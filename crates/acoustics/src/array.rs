@@ -1,0 +1,316 @@
+//! Microphone-array geometries for the three prototype devices of Table I.
+//!
+//! | # | Device | Channels | Aperture (orthogonal mic distance) |
+//! |---|--------|----------|------------------------------------|
+//! | D1 | miniDSP UMA-8 USB v2.0 | 7 (center + 6 ring) | 8.5 cm |
+//! | D2 | Seeed ReSpeaker Core v2.0 | 6 (ring) | 9.0 cm |
+//! | D3 | Seeed ReSpeaker USB Mic Array | 4 (ring) | 6.5 cm |
+//!
+//! Positions are planar (the arrays are flat boards); world placement adds a
+//! mounting height and an azimuth.
+
+use crate::geometry::Vec3;
+use crate::{SAMPLE_RATE, SPEED_OF_SOUND};
+use serde::{Deserialize, Serialize};
+
+/// The three prototype devices (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Device {
+    /// miniDSP UMA-8 USB microphone array v2.0 — 7 channels.
+    D1,
+    /// Seeed ReSpeaker Core v2.0 — 6 channels (the paper's default device).
+    D2,
+    /// Seeed ReSpeaker USB microphone array — 4 channels.
+    D3,
+}
+
+impl Device {
+    /// All devices, in Table I order.
+    pub const ALL: [Device; 3] = [Device::D1, Device::D2, Device::D3];
+
+    /// Number of microphones (Table I "Channels").
+    pub fn channels(self) -> usize {
+        match self {
+            Device::D1 => 7,
+            Device::D2 => 6,
+            Device::D3 => 4,
+        }
+    }
+
+    /// Distance between orthogonal (diametrically opposite) microphones in
+    /// meters (§III-B3: 8.5 cm, 9 cm, 6.5 cm for D1, D2, D3).
+    pub fn aperture_m(self) -> f64 {
+        match self {
+            Device::D1 => 0.085,
+            Device::D2 => 0.090,
+            Device::D3 => 0.065,
+        }
+    }
+
+    /// Human-readable device name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Device::D1 => "UMA-8 USB mic array V2.0",
+            Device::D2 => "Seeed ReSpeaker Core V2.0",
+            Device::D3 => "Seeed ReSpeaker USB Mic Array",
+        }
+    }
+
+    /// Microphone positions relative to the array center (meters, planar).
+    ///
+    /// Ring mics sit at equal angular spacing starting from the array's +x
+    /// axis; D1 additionally has a center microphone at index 0.
+    pub fn mic_offsets(self) -> Vec<Vec3> {
+        let r = self.aperture_m() / 2.0;
+        match self {
+            Device::D1 => {
+                let mut mics = vec![Vec3::ZERO];
+                mics.extend((0..6).map(|k| ring_position(r, k, 6)));
+                mics
+            }
+            Device::D2 => (0..6).map(|k| ring_position(r, k, 6)).collect(),
+            Device::D3 => (0..4).map(|k| ring_position(r, k, 4)).collect(),
+        }
+    }
+
+    /// The one-sided SRP lag window in samples at 48 kHz, matching the
+    /// paper's per-device choices (§III-B3): ±12 for D1 (±0.25 ms), ±13 for
+    /// D2 (±0.27 ms), ±10 for D3 (±0.2 ms).
+    pub fn srp_max_lag(self) -> usize {
+        match self {
+            Device::D1 => 12,
+            Device::D2 => 13,
+            Device::D3 => 10,
+        }
+    }
+
+    /// The four-microphone subset used for the main evaluation (§IV-A): the
+    /// paper selects 4 mics from D1/D2 to stay comparable with D3 and reduce
+    /// computation. Indices are 0-based into [`Device::mic_offsets`].
+    ///
+    /// For ring arrays the subset picks two orthogonal diameters (maximum
+    /// spread); D3 already has exactly four microphones.
+    pub fn default_subset(self) -> Vec<usize> {
+        match self {
+            // D1: ring mics 1..=6; {1, 2, 4, 5} are two diameters 60° apart.
+            Device::D1 => vec![1, 2, 4, 5],
+            // D2 (paper: Mic1, Mic2, Mic4, Mic5 → 0-based 0, 1, 3, 4).
+            Device::D2 => vec![0, 1, 3, 4],
+            Device::D3 => vec![0, 1, 2, 3],
+        }
+    }
+
+    /// Places the array in the world: `center` is the array center (the
+    /// mounting height goes in `center.z`), `azimuth_deg` rotates the board
+    /// about z.
+    pub fn array_at(self, center: Vec3, azimuth_deg: f64) -> PlacedArray {
+        let mics = self
+            .mic_offsets()
+            .into_iter()
+            .map(|m| center + m.rotate_z_deg(azimuth_deg))
+            .collect();
+        PlacedArray {
+            device: self,
+            center,
+            mic_positions: mics,
+        }
+    }
+}
+
+fn ring_position(radius: f64, k: usize, n: usize) -> Vec3 {
+    let theta = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+    Vec3::new(radius * theta.cos(), radius * theta.sin(), 0.0)
+}
+
+/// A device placed in world coordinates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacedArray {
+    /// Which prototype device this is.
+    pub device: Device,
+    /// Array center in world coordinates.
+    pub center: Vec3,
+    /// World positions of all microphones.
+    pub mic_positions: Vec<Vec3>,
+}
+
+impl PlacedArray {
+    /// Number of microphones.
+    pub fn channels(&self) -> usize {
+        self.mic_positions.len()
+    }
+
+    /// Largest distance between any microphone pair (the physical aperture).
+    pub fn max_pair_distance(&self) -> f64 {
+        let mut d = 0.0f64;
+        for i in 0..self.mic_positions.len() {
+            for j in (i + 1)..self.mic_positions.len() {
+                d = d.max(self.mic_positions[i].distance(self.mic_positions[j]));
+            }
+        }
+        d
+    }
+
+    /// Maximum physically possible inter-mic delay in samples at the device
+    /// sample rate.
+    pub fn max_delay_samples(&self) -> usize {
+        (self.max_pair_distance() * SAMPLE_RATE / SPEED_OF_SOUND).ceil() as usize
+    }
+
+    /// Selects a subset of microphones by index, preserving order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> PlacedArray {
+        PlacedArray {
+            device: self.device,
+            center: self.center,
+            mic_positions: indices.iter().map(|&i| self.mic_positions[i]).collect(),
+        }
+    }
+
+    /// Greedy max-spread ordering of `n` microphone indices, reproducing the
+    /// §IV-B6 protocol: *"We select the microphones in an order that results
+    /// in the greatest distance among them."* Starts from the farthest pair,
+    /// then repeatedly adds the mic maximizing the minimum distance to the
+    /// already-chosen set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the channel count or `n < 1`.
+    pub fn max_spread_indices(&self, n: usize) -> Vec<usize> {
+        let total = self.mic_positions.len();
+        assert!((1..=total).contains(&n), "n must be in 1..={total}");
+        if n == 1 {
+            return vec![0];
+        }
+        // Farthest pair.
+        let (mut bi, mut bj, mut bd) = (0, 1, -1.0);
+        for i in 0..total {
+            for j in (i + 1)..total {
+                let d = self.mic_positions[i].distance(self.mic_positions[j]);
+                if d > bd {
+                    bd = d;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        let mut chosen = vec![bi, bj];
+        while chosen.len() < n {
+            let next = (0..total)
+                .filter(|i| !chosen.contains(i))
+                .max_by(|&a, &b| {
+                    let da = chosen
+                        .iter()
+                        .map(|&c| self.mic_positions[a].distance(self.mic_positions[c]))
+                        .fold(f64::INFINITY, f64::min);
+                    let db = chosen
+                        .iter()
+                        .map(|&c| self.mic_positions[b].distance(self.mic_positions[c]))
+                        .fold(f64::INFINITY, f64::min);
+                    da.total_cmp(&db)
+                })
+                .expect("candidates remain");
+            chosen.push(next);
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_counts_match_table_one() {
+        assert_eq!(Device::D1.channels(), 7);
+        assert_eq!(Device::D2.channels(), 6);
+        assert_eq!(Device::D3.channels(), 4);
+        for d in Device::ALL {
+            assert_eq!(d.mic_offsets().len(), d.channels());
+        }
+    }
+
+    #[test]
+    fn apertures_match_paper() {
+        assert_eq!(Device::D1.aperture_m(), 0.085);
+        assert_eq!(Device::D2.aperture_m(), 0.090);
+        assert_eq!(Device::D3.aperture_m(), 0.065);
+    }
+
+    #[test]
+    fn ring_mics_lie_on_the_stated_diameter() {
+        for d in Device::ALL {
+            let placed = d.array_at(Vec3::ZERO, 0.0);
+            let max = placed.max_pair_distance();
+            assert!(
+                (max - d.aperture_m()).abs() < 1e-12,
+                "{:?}: aperture {max}",
+                d
+            );
+        }
+    }
+
+    #[test]
+    fn srp_lag_windows_match_paper() {
+        assert_eq!(Device::D1.srp_max_lag(), 12);
+        assert_eq!(Device::D2.srp_max_lag(), 13);
+        assert_eq!(Device::D3.srp_max_lag(), 10);
+        // And they are consistent with the physical aperture at 48 kHz.
+        for d in Device::ALL {
+            let placed = d.array_at(Vec3::ZERO, 0.0);
+            let phys = placed.max_delay_samples();
+            let window = d.srp_max_lag();
+            assert!(
+                window >= phys || phys - window <= 1,
+                "{:?}: window {window} vs physical {phys}",
+                d
+            );
+        }
+    }
+
+    #[test]
+    fn placement_translates_and_rotates() {
+        let c = Vec3::new(1.0, 2.0, 0.74);
+        let placed = Device::D3.array_at(c, 90.0);
+        assert_eq!(placed.center, c);
+        // First D3 mic starts on +x; rotated 90° it points along +y.
+        let m0 = placed.mic_positions[0] - c;
+        assert!(m0.x.abs() < 1e-12 && (m0.y - 0.0325).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_subsets_are_valid_and_four_wide() {
+        for d in Device::ALL {
+            let subset = d.default_subset();
+            assert_eq!(subset.len(), 4);
+            let placed = d.array_at(Vec3::ZERO, 0.0).subset(&subset);
+            assert_eq!(placed.channels(), 4);
+        }
+    }
+
+    #[test]
+    fn max_spread_prefers_opposite_mics() {
+        let placed = Device::D2.array_at(Vec3::ZERO, 0.0);
+        let two = placed.max_spread_indices(2);
+        let d = placed.mic_positions[two[0]].distance(placed.mic_positions[two[1]]);
+        assert!((d - Device::D2.aperture_m()).abs() < 1e-12);
+        // Full set is all indices.
+        assert_eq!(placed.max_spread_indices(6), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be")]
+    fn max_spread_rejects_oversized_request() {
+        Device::D3.array_at(Vec3::ZERO, 0.0).max_spread_indices(5);
+    }
+
+    #[test]
+    fn d1_has_center_mic() {
+        let offsets = Device::D1.mic_offsets();
+        assert_eq!(offsets[0], Vec3::ZERO);
+        assert!((offsets[1].norm() - 0.0425).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the acoustics substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible acoustics routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AcousticsError {
+    /// A geometric configuration was invalid (source outside the room, …).
+    InvalidGeometry(String),
+    /// A numeric parameter was outside its valid domain.
+    InvalidParameter(String),
+    /// A lower-level DSP routine failed.
+    Dsp(ht_dsp::DspError),
+}
+
+impl fmt::Display for AcousticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcousticsError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            AcousticsError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            AcousticsError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl Error for AcousticsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AcousticsError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ht_dsp::DspError> for AcousticsError {
+    fn from(e: ht_dsp::DspError) -> Self {
+        AcousticsError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let g = AcousticsError::InvalidGeometry("source outside room".into());
+        assert!(g.to_string().contains("geometry"));
+        let d: AcousticsError = ht_dsp::DspError::param("x", "bad").into();
+        assert!(d.to_string().contains("dsp error"));
+    }
+
+    #[test]
+    fn source_chain_is_exposed() {
+        use std::error::Error as _;
+        let d: AcousticsError = ht_dsp::DspError::param("x", "bad").into();
+        assert!(d.source().is_some());
+        assert!(AcousticsError::InvalidParameter("p".into())
+            .source()
+            .is_none());
+    }
+}

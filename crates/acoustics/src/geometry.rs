@@ -1,0 +1,222 @@
+//! 3-D geometry and the azimuth conventions used across the reproduction.
+//!
+//! Coordinates are right-handed with `z` up. Azimuths are measured in the
+//! horizontal (`x`–`y`) plane in degrees, counter-clockwise from the `+x`
+//! axis. A *speaker orientation* of 0° in a scene means the speaker faces the
+//! device; 180° means the speaker faces directly away — matching the paper's
+//! angle labels (Fig. 8/9: 14 angles spanning 360°).
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 3-D point or vector in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// x component (m).
+    pub x: f64,
+    /// y component (m).
+    pub y: f64,
+    /// z component (m), positive up.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The origin / zero vector.
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Unit vector in the same direction; `ZERO` stays `ZERO`.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        if n == 0.0 {
+            Vec3::ZERO
+        } else {
+            self * (1.0 / n)
+        }
+    }
+
+    /// Horizontal azimuth of this vector in degrees, CCW from `+x`, in
+    /// `(-180, 180]`.
+    pub fn azimuth_deg(self) -> f64 {
+        self.y.atan2(self.x).to_degrees()
+    }
+
+    /// Rotates the vector about the `z` axis by `deg` degrees (CCW).
+    pub fn rotate_z_deg(self, deg: f64) -> Vec3 {
+        let r = deg.to_radians();
+        let (s, c) = r.sin_cos();
+        Vec3 {
+            x: c * self.x - s * self.y,
+            y: s * self.x + c * self.y,
+            z: self.z,
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, k: f64) -> Vec3 {
+        Vec3::new(self.x * k, self.y * k, self.z * k)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// Unit direction vector in the horizontal plane for an azimuth in degrees.
+///
+/// ```
+/// use ht_acoustics::geometry::{azimuth_to_direction, Vec3};
+///
+/// let east = azimuth_to_direction(0.0);
+/// assert!((east.x - 1.0).abs() < 1e-12 && east.y.abs() < 1e-12);
+/// let north = azimuth_to_direction(90.0);
+/// assert!((north.y - 1.0).abs() < 1e-12);
+/// ```
+pub fn azimuth_to_direction(deg: f64) -> Vec3 {
+    let r = deg.to_radians();
+    Vec3::new(r.cos(), r.sin(), 0.0)
+}
+
+/// Normalizes an angle in degrees to `(-180, 180]`.
+pub fn wrap_angle_deg(deg: f64) -> f64 {
+    let mut a = deg % 360.0;
+    if a <= -180.0 {
+        a += 360.0;
+    } else if a > 180.0 {
+        a -= 360.0;
+    }
+    a
+}
+
+/// The smallest absolute angular difference between two azimuths, in
+/// `[0, 180]` degrees.
+pub fn angle_between_deg(a: f64, b: f64) -> f64 {
+    wrap_angle_deg(a - b).abs()
+}
+
+/// The 14 speaker-orientation angles of the paper's data-collection grid
+/// (§IV, "Datasets"): 0, ±15, ±30, ±45, ±60, ±90, ±135, 180.
+pub const PAPER_ANGLES_DEG: [f64; 14] = [
+    0.0, 15.0, -15.0, 30.0, -30.0, 45.0, -45.0, 60.0, -60.0, 90.0, -90.0, 135.0, -135.0, 180.0,
+];
+
+/// The two extra verification angles collected for Table III (±75°).
+pub const EXTRA_ANGLES_DEG: [f64; 2] = [75.0, -75.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_and_distance() {
+        let v = Vec3::new(3.0, 4.0, 12.0);
+        assert!((v.norm() - 13.0).abs() < 1e-12);
+        assert!((Vec3::ZERO.distance(v) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_has_unit_length() {
+        let v = Vec3::new(1.0, -2.0, 3.0).normalized();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn azimuth_of_cardinal_directions() {
+        assert!((Vec3::new(1.0, 0.0, 0.0).azimuth_deg() - 0.0).abs() < 1e-12);
+        assert!((Vec3::new(0.0, 1.0, 0.0).azimuth_deg() - 90.0).abs() < 1e-12);
+        assert!((Vec3::new(-1.0, 0.0, 0.0).azimuth_deg() - 180.0).abs() < 1e-12);
+        assert!((Vec3::new(0.0, -1.0, 0.0).azimuth_deg() + 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_norm_and_moves_azimuth() {
+        let v = Vec3::new(2.0, 0.0, 5.0);
+        let r = v.rotate_z_deg(45.0);
+        assert!((r.norm() - v.norm()).abs() < 1e-12);
+        assert!((Vec3::new(r.x, r.y, 0.0).azimuth_deg() - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrap_angle_covers_edges() {
+        assert_eq!(wrap_angle_deg(180.0), 180.0);
+        assert_eq!(wrap_angle_deg(-180.0), 180.0);
+        assert_eq!(wrap_angle_deg(540.0), 180.0);
+        assert!((wrap_angle_deg(-190.0) - 170.0).abs() < 1e-12);
+        assert!((wrap_angle_deg(370.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_between_is_symmetric_and_bounded() {
+        assert!((angle_between_deg(10.0, 350.0) - 20.0).abs() < 1e-12);
+        assert!((angle_between_deg(350.0, 10.0) - 20.0).abs() < 1e-12);
+        assert!((angle_between_deg(0.0, 180.0) - 180.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_angle_grid_is_complete() {
+        assert_eq!(PAPER_ANGLES_DEG.len(), 14);
+        // Symmetric except 0 and 180.
+        for a in PAPER_ANGLES_DEG {
+            assert!(PAPER_ANGLES_DEG.contains(&-a) || a == 180.0 || a == 0.0);
+        }
+    }
+
+    #[test]
+    fn direction_round_trip() {
+        for deg in [-135.0, -60.0, 0.0, 45.0, 90.0, 180.0] {
+            let d = azimuth_to_direction(deg);
+            assert!((wrap_angle_deg(d.azimuth_deg() - deg)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! The image-source model of room reverberation.
+//!
+//! Eq. 1 of the paper models the received signal as `y(t) = h(t) * x(t)`
+//! where the room impulse response `h(t)` changes with speaker orientation
+//! (Insight 1). The image-source method constructs `h(t)` explicitly: every
+//! reflection path corresponds to a mirror image of the receiver across the
+//! room's walls, and the *unfolded* straight line from the real source to the
+//! mirrored receiver preserves both the path length and — crucially for
+//! directivity — the departure direction of the first leg at the source.
+
+use crate::bands::{BandValues, NUM_BANDS};
+use crate::geometry::Vec3;
+use crate::materials::air_gain;
+use crate::room::Room;
+use crate::AcousticsError;
+
+/// One propagation path from source to a microphone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImagePath {
+    /// Total (unfolded) path length in meters.
+    pub distance: f64,
+    /// Horizontal azimuth (degrees) of the departure direction at the
+    /// source. Feeding this through the source directivity gives the
+    /// orientation dependence of the reverberation pattern.
+    pub departure_azimuth_deg: f64,
+    /// Per-band gain from wall reflections and air absorption. Spherical
+    /// spreading (`1/d`) and source directivity are *not* included.
+    pub band_gain: BandValues,
+    /// Total reflection count (0 = the direct path).
+    pub order: u32,
+}
+
+/// Mirrored coordinate of `p` across walls at `0` and `len`, for image index
+/// `n`: even `n` translates, odd `n` reflects.
+fn mirror_coord(p: f64, len: f64, n: i32) -> f64 {
+    if n.rem_euclid(2) == 0 {
+        n as f64 * len + p
+    } else {
+        n as f64 * len + (len - p)
+    }
+}
+
+/// Number of reflections at the low and high wall of one axis for image
+/// index `n`.
+fn reflection_counts(n: i32) -> (u32, u32) {
+    let a = n.unsigned_abs();
+    if n >= 0 {
+        (a / 2, a - a / 2) // positive indices reflect first off the high wall
+    } else {
+        (a - a / 2, a / 2)
+    }
+}
+
+/// Enumerates all image paths from `source_pos` to `mic_pos` inside `room`
+/// up to `max_order` total reflections.
+///
+/// # Errors
+///
+/// Returns [`AcousticsError::InvalidGeometry`] when source or microphone lie
+/// outside the room.
+pub fn image_paths(
+    room: &Room,
+    source_pos: Vec3,
+    mic_pos: Vec3,
+    max_order: u32,
+) -> Result<Vec<ImagePath>, AcousticsError> {
+    if !room.contains(source_pos) {
+        return Err(AcousticsError::InvalidGeometry(format!(
+            "source {source_pos:?} outside room {}",
+            room.name
+        )));
+    }
+    if !room.contains(mic_pos) {
+        return Err(AcousticsError::InvalidGeometry(format!(
+            "microphone {mic_pos:?} outside room {}",
+            room.name
+        )));
+    }
+
+    // Reflection coefficients per surface, in Surface::ALL order:
+    // floor, ceiling, x0, x1, y0, y1.
+    let refl: Vec<BandValues> = room.materials.iter().map(|m| m.reflection()).collect();
+
+    let order = max_order as i32;
+    let mut paths = Vec::new();
+    for nx in -order..=order {
+        for ny in -order..=order {
+            for nz in -order..=order {
+                let total = nx.unsigned_abs() + ny.unsigned_abs() + nz.unsigned_abs();
+                if total > max_order {
+                    continue;
+                }
+                let img = Vec3::new(
+                    mirror_coord(mic_pos.x, room.length, nx),
+                    mirror_coord(mic_pos.y, room.width, ny),
+                    mirror_coord(mic_pos.z, room.height, nz),
+                );
+                let delta = img - source_pos;
+                let distance = delta.norm().max(1e-6);
+
+                let (x_lo, x_hi) = reflection_counts(nx);
+                let (y_lo, y_hi) = reflection_counts(ny);
+                let (z_lo, z_hi) = reflection_counts(nz);
+
+                let mut gain = [1.0; NUM_BANDS];
+                for (b, g) in gain.iter_mut().enumerate() {
+                    *g *= refl[0].get(b).powi(z_lo as i32) // floor
+                        * refl[1].get(b).powi(z_hi as i32) // ceiling
+                        * refl[2].get(b).powi(x_lo as i32)
+                        * refl[3].get(b).powi(x_hi as i32)
+                        * refl[4].get(b).powi(y_lo as i32)
+                        * refl[5].get(b).powi(y_hi as i32);
+                }
+                let band_gain = BandValues(gain).mul(air_gain(distance));
+
+                paths.push(ImagePath {
+                    distance,
+                    departure_azimuth_deg: delta.azimuth_deg(),
+                    band_gain,
+                    order: total,
+                });
+            }
+        }
+    }
+    // Sort by arrival time: the direct path first.
+    paths.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lab() -> Room {
+        Room::lab()
+    }
+
+    #[test]
+    fn path_count_matches_combinatorics() {
+        let room = lab();
+        let s = Vec3::new(2.0, 2.0, 1.5);
+        let m = Vec3::new(4.0, 2.0, 1.0);
+        // #{(nx,ny,nz) : |nx|+|ny|+|nz| <= R}: R=0 -> 1, R=1 -> 7, R=2 -> 25,
+        // R=3 -> 63.
+        assert_eq!(image_paths(&room, s, m, 0).unwrap().len(), 1);
+        assert_eq!(image_paths(&room, s, m, 1).unwrap().len(), 7);
+        assert_eq!(image_paths(&room, s, m, 2).unwrap().len(), 25);
+        assert_eq!(image_paths(&room, s, m, 3).unwrap().len(), 63);
+    }
+
+    #[test]
+    fn direct_path_is_first_and_exact() {
+        let room = lab();
+        let s = Vec3::new(2.0, 2.0, 1.5);
+        let m = Vec3::new(5.0, 2.0, 1.5);
+        let paths = image_paths(&room, s, m, 2).unwrap();
+        let direct = &paths[0];
+        assert_eq!(direct.order, 0);
+        assert!((direct.distance - 3.0).abs() < 1e-12);
+        // Departure direction points from source toward the mic (+x).
+        assert!(direct.departure_azimuth_deg.abs() < 1e-9);
+        // No walls touched: gain is pure air absorption (≈1 at 3 m).
+        for b in 0..NUM_BANDS {
+            assert!(direct.band_gain.get(b) > 0.9);
+        }
+    }
+
+    #[test]
+    fn first_order_ceiling_bounce_geometry() {
+        let room = lab();
+        let s = Vec3::new(2.0, 2.0, 1.5);
+        let m = Vec3::new(2.0, 2.0, 1.0);
+        let paths = image_paths(&room, s, m, 1).unwrap();
+        // Find the ceiling image: mirrored z = 2*H - m.z.
+        let expected = (2.0 * room.height - 1.0 - 1.5).abs();
+        assert!(
+            paths.iter().any(|p| (p.distance - expected).abs() < 1e-9),
+            "ceiling-bounce path of length {expected} missing"
+        );
+    }
+
+    #[test]
+    fn reflected_paths_are_weaker_per_band_than_direct() {
+        let room = lab();
+        let s = Vec3::new(2.0, 2.0, 1.5);
+        let m = Vec3::new(4.5, 3.0, 1.0);
+        let paths = image_paths(&room, s, m, 3).unwrap();
+        let direct = paths.iter().find(|p| p.order == 0).unwrap();
+        for p in paths.iter().filter(|p| p.order >= 2) {
+            for b in 0..NUM_BANDS {
+                assert!(p.band_gain.get(b) <= direct.band_gain.get(b) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn paths_sorted_by_distance() {
+        let room = lab();
+        let s = Vec3::new(1.0, 1.0, 1.0);
+        let m = Vec3::new(5.0, 3.0, 2.0);
+        let paths = image_paths(&room, s, m, 3).unwrap();
+        for w in paths.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn outside_positions_are_rejected() {
+        let room = lab();
+        let inside = Vec3::new(1.0, 1.0, 1.0);
+        let outside = Vec3::new(-1.0, 1.0, 1.0);
+        assert!(image_paths(&room, outside, inside, 1).is_err());
+        assert!(image_paths(&room, inside, outside, 1).is_err());
+    }
+
+    #[test]
+    fn mirror_coord_matches_reflection_algebra() {
+        let l = 5.0;
+        let p = 1.2;
+        assert_eq!(mirror_coord(p, l, 0), p);
+        assert!((mirror_coord(p, l, 1) - (2.0 * l - p)).abs() < 1e-12);
+        assert!((mirror_coord(p, l, -1) + p).abs() < 1e-12);
+        assert!((mirror_coord(p, l, 2) - (2.0 * l + p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reflection_counts_add_up() {
+        for n in -5i32..=5 {
+            let (lo, hi) = reflection_counts(n);
+            assert_eq!(lo + hi, n.unsigned_abs());
+        }
+        assert_eq!(reflection_counts(1), (0, 1));
+        assert_eq!(reflection_counts(-1), (1, 0));
+        assert_eq!(reflection_counts(2), (1, 1));
+    }
+
+    #[test]
+    fn backward_facing_source_sees_reflections_from_behind() {
+        // For a mic in front of the source (+x), the direct path departs at
+        // 0° but a back-wall bounce departs near 180°: the reverberation
+        // pattern carries orientation information (Insight 1).
+        let room = lab();
+        let s = Vec3::new(3.0, 2.0, 1.5);
+        let m = Vec3::new(5.0, 2.0, 1.5);
+        let paths = image_paths(&room, s, m, 1).unwrap();
+        let behind = paths
+            .iter()
+            .filter(|p| p.order == 1)
+            .any(|p| p.departure_azimuth_deg.abs() > 150.0);
+        assert!(behind, "expected a departure azimuth near 180°");
+    }
+}

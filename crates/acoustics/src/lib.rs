@@ -1,0 +1,67 @@
+//! # ht-acoustics — room-acoustics simulation substrate
+//!
+//! The HeadTalk paper measures real rooms with real microphone arrays; this
+//! crate is the simulated stand-in (see the repository `DESIGN.md` for the
+//! substitution argument). It provides:
+//!
+//! * [`geometry`] — 3-D points/vectors and azimuth conventions,
+//! * [`bands`] — the octave bands in which wall absorption and source
+//!   directivity are frequency dependent,
+//! * [`materials`] — per-band absorption data and Eyring reverberation time,
+//! * [`room`] — shoebox rooms (the paper's lab and home), device obstruction
+//!   states for the §IV-B13 experiment,
+//! * [`directivity`] — frequency-dependent source directivity (human speech
+//!   per Monson et al., loudspeakers, omni),
+//! * [`mod@array`] — the three prototype microphone arrays of Table I,
+//! * [`image_source`] — the image-source reverberation model (Eq. 1),
+//! * [`render`] — multichannel rendering of a directional source into an
+//!   array inside a room,
+//! * [`noise`] — ambient noise fields (white, TV/babble) at calibrated SPL,
+//! * [`spl`] — the dB-SPL ↔ amplitude convention used throughout.
+//!
+//! # Example
+//!
+//! ```
+//! use ht_acoustics::array::Device;
+//! use ht_acoustics::directivity::Directivity;
+//! use ht_acoustics::geometry::Vec3;
+//! use ht_acoustics::render::{RenderConfig, Scene, Source};
+//! use ht_acoustics::room::Room;
+//!
+//! # fn main() -> Result<(), ht_acoustics::AcousticsError> {
+//! let room = Room::lab();
+//! let scene = Scene {
+//!     room,
+//!     source: Source {
+//!         position: Vec3::new(3.0, 2.0, 1.65),
+//!         azimuth_deg: 180.0, // facing away from the array
+//!         directivity: Directivity::human_speech(),
+//!     },
+//!     array: Device::D2.array_at(Vec3::new(0.5, 2.0, 0.74), 0.0),
+//! };
+//! let signal = vec![0.5; 4800]; // 100 ms of audio at 48 kHz
+//! let channels = scene.render(&signal, &RenderConfig::default())?;
+//! assert_eq!(channels.len(), 6); // D2 has six microphones
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod array;
+pub mod bands;
+pub mod directivity;
+pub mod error;
+pub mod geometry;
+pub mod image_source;
+pub mod materials;
+pub mod noise;
+pub mod render;
+pub mod room;
+pub mod spl;
+
+pub use error::AcousticsError;
+
+/// Speed of sound used throughout, in m/s (the paper's constant, §III-B3).
+pub const SPEED_OF_SOUND: f64 = 340.0;
+
+/// The sample rate all three prototype devices record at (§IV).
+pub const SAMPLE_RATE: f64 = 48_000.0;

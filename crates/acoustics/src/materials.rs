@@ -1,0 +1,182 @@
+//! Wall materials (per-band absorption) and reverberation-time estimation.
+//!
+//! Absorption coefficients are octave-band values in `[0, 1]` taken from
+//! standard architectural-acoustics tables. The Eyring equation (§III-B2 of
+//! the paper, citing Eyring 1930) estimates the reverberation time of a room
+//! from its volume, surface area and mean absorption.
+
+use crate::bands::{BandValues, NUM_BANDS};
+
+/// A surface material with per-octave-band absorption coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Material {
+    /// Absorption coefficient α per band, each in `[0, 1]`.
+    pub absorption: BandValues,
+    /// Human-readable name.
+    pub name: &'static str,
+}
+
+impl Material {
+    /// Painted drywall / gypsum board: reflective, slightly absorptive at
+    /// low frequencies (panel resonance).
+    pub const fn drywall() -> Material {
+        Material {
+            absorption: BandValues([0.29, 0.10, 0.05, 0.04, 0.07, 0.09, 0.09]),
+            name: "drywall",
+        }
+    }
+
+    /// Concrete / brick: highly reflective across the band.
+    pub const fn concrete() -> Material {
+        Material {
+            absorption: BandValues([0.01, 0.01, 0.02, 0.02, 0.02, 0.03, 0.04]),
+            name: "concrete",
+        }
+    }
+
+    /// Carpet on concrete: absorptive at high frequencies.
+    pub const fn carpet() -> Material {
+        Material {
+            absorption: BandValues([0.02, 0.06, 0.14, 0.37, 0.60, 0.65, 0.65]),
+            name: "carpet",
+        }
+    }
+
+    /// Acoustic ceiling tile (dropped ceiling, as in the paper's lab).
+    pub const fn ceiling_tile() -> Material {
+        Material {
+            absorption: BandValues([0.70, 0.66, 0.72, 0.92, 0.88, 0.75, 0.75]),
+            name: "ceiling tile",
+        }
+    }
+
+    /// Hardwood / laminate floor.
+    pub const fn wood_floor() -> Material {
+        Material {
+            absorption: BandValues([0.15, 0.11, 0.10, 0.07, 0.06, 0.07, 0.07]),
+            name: "wood floor",
+        }
+    }
+
+    /// Heavily furnished wall equivalent (bookcases, curtains, sofa backs) —
+    /// used for the home setting's busier surfaces.
+    pub const fn furnished() -> Material {
+        Material {
+            absorption: BandValues([0.30, 0.35, 0.40, 0.45, 0.50, 0.55, 0.55]),
+            name: "furnished",
+        }
+    }
+
+    /// Pressure reflection coefficient per band: `sqrt(1 - α)`.
+    pub fn reflection(self) -> BandValues {
+        let mut r = [0.0; NUM_BANDS];
+        for (out, &a) in r.iter_mut().zip(self.absorption.0.iter()) {
+            *out = (1.0 - a.clamp(0.0, 1.0)).sqrt();
+        }
+        BandValues(r)
+    }
+}
+
+/// Eyring reverberation time for a room of volume `v` m³, total surface `s`
+/// m², and mean absorption `alpha_mean` in `(0, 1)`:
+///
+/// `T = k · V / (−S · ln(1 − α))`, with `k = 0.161 s/m` (the Sabine/Eyring
+/// constant; the paper writes the same equation with a generic `k`).
+///
+/// # Panics
+///
+/// Panics if `alpha_mean` is outside `(0, 1)` or `s <= 0`.
+pub fn eyring_rt60(v: f64, s: f64, alpha_mean: f64) -> f64 {
+    assert!(s > 0.0, "surface area must be positive");
+    assert!(
+        (0.0..1.0).contains(&alpha_mean) && alpha_mean > 0.0,
+        "mean absorption must be in (0, 1)"
+    );
+    0.161 * v / (-s * (1.0 - alpha_mean).ln())
+}
+
+/// Frequency-dependent air absorption in nepers per meter per band: a mild
+/// exponential high-frequency loss, `gain = exp(-coeff · distance)`.
+///
+/// Values approximate 20 °C / 50 % relative humidity.
+pub fn air_absorption_per_meter() -> BandValues {
+    BandValues([0.0001, 0.0003, 0.0006, 0.0011, 0.0027, 0.0090, 0.0300])
+}
+
+/// Per-band gain after traveling `distance_m` meters of air.
+pub fn air_gain(distance_m: f64) -> BandValues {
+    let coeffs = air_absorption_per_meter();
+    let mut g = [0.0; NUM_BANDS];
+    for (out, &c) in g.iter_mut().zip(coeffs.0.iter()) {
+        *out = (-c * distance_m).exp();
+    }
+    BandValues(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorption_is_a_valid_coefficient() {
+        for m in [
+            Material::drywall(),
+            Material::concrete(),
+            Material::carpet(),
+            Material::ceiling_tile(),
+            Material::wood_floor(),
+            Material::furnished(),
+        ] {
+            for a in m.absorption.0 {
+                assert!((0.0..=1.0).contains(&a), "{}: α = {a}", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn reflection_complements_absorption() {
+        let m = Material::concrete();
+        let r = m.reflection();
+        for (rf, a) in r.0.iter().zip(m.absorption.0.iter()) {
+            assert!((rf * rf + a - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn carpet_absorbs_more_highs_than_lows() {
+        let c = Material::carpet();
+        assert!(c.absorption.get(6) > 5.0 * c.absorption.get(0));
+    }
+
+    #[test]
+    fn eyring_rt60_is_plausible_for_a_lab() {
+        // Paper's lab: 20' x 14' x 10' ≈ 6.1 x 4.27 x 3.05 m.
+        let (l, w, h) = (6.1, 4.27, 3.05);
+        let v = l * w * h;
+        let s = 2.0 * (l * w + l * h + w * h);
+        let t = eyring_rt60(v, s, 0.3);
+        assert!((0.1..1.0).contains(&t), "rt60 {t}");
+        // More absorption means a shorter tail.
+        assert!(eyring_rt60(v, s, 0.5) < t);
+    }
+
+    #[test]
+    #[should_panic(expected = "absorption")]
+    fn eyring_rejects_alpha_one() {
+        eyring_rt60(10.0, 20.0, 1.0);
+    }
+
+    #[test]
+    fn air_gain_decays_with_distance_and_frequency() {
+        let g1 = air_gain(1.0);
+        let g10 = air_gain(10.0);
+        for b in 0..NUM_BANDS {
+            assert!(g10.get(b) < g1.get(b));
+            assert!(g1.get(b) <= 1.0);
+        }
+        // High band loses more than low band.
+        assert!(g10.get(6) < g10.get(0));
+        // But even at 10 m the loss is mild, not a brick wall.
+        assert!(g10.get(6) > 0.5);
+    }
+}

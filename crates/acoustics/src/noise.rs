@@ -1,0 +1,203 @@
+//! Ambient noise fields at calibrated SPL.
+//!
+//! The paper evaluates against two injected noise types (§IV-B10): white
+//! noise and "a TV playing a popular series" — people chatting/laughing,
+//! doors, footsteps. We synthesize the latter as speech-shaped noise with
+//! syllabic amplitude modulation plus sparse broadband transients. Room
+//! ambient floors (lab 33 dB, home 43 dB) are low-frequency-weighted rumble,
+//! approximating HVAC/appliance/street noise.
+
+use ht_dsp::filter::Butterworth;
+use ht_dsp::rng::white_noise;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The kinds of ambient noise used in the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NoiseKind {
+    /// Flat-spectrum white noise (§IV-B10).
+    White,
+    /// TV-series noise: speech-shaped, amplitude modulated, with transients
+    /// (§IV-B10).
+    Tv,
+    /// Low-frequency-weighted room floor (HVAC, refrigerator, street).
+    RoomAmbient,
+}
+
+/// Generates `n` samples of the given noise kind at `spl_db` dB SPL and
+/// `sample_rate` Hz.
+///
+/// Each microphone channel should get its own call (ambient fields are
+/// spatially diffuse, i.e. decorrelated across microphones at speech
+/// frequencies for realistic array spacings).
+pub fn generate<R: Rng + ?Sized>(
+    rng: &mut R,
+    kind: NoiseKind,
+    n: usize,
+    sample_rate: f64,
+    spl_db: f64,
+) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut x = match kind {
+        NoiseKind::White => white_noise(rng, n),
+        NoiseKind::Tv => tv_shape(rng, n, sample_rate),
+        NoiseKind::RoomAmbient => room_shape(rng, n, sample_rate),
+    };
+    crate::spl::scale_to_spl(&mut x, spl_db);
+    x
+}
+
+/// Speech-shaped noise with 3–5 Hz syllabic modulation and sparse
+/// transients.
+fn tv_shape<R: Rng + ?Sized>(rng: &mut R, n: usize, sample_rate: f64) -> Vec<f64> {
+    let raw = white_noise(rng, n);
+    // Speech band emphasis.
+    let bp =
+        Butterworth::bandpass(2, 150.0, 3500.0, sample_rate).expect("static corners are valid");
+    let mut x = bp.filter(&raw);
+
+    // Syllabic modulation around 4 Hz with random phase/depth.
+    let rate = 3.0 + 2.0 * rng.gen::<f64>();
+    let phase = rng.gen::<f64>() * std::f64::consts::TAU;
+    let depth = 0.5 + 0.3 * rng.gen::<f64>();
+    for (i, v) in x.iter_mut().enumerate() {
+        let m = 1.0 - depth
+            + depth
+                * (std::f64::consts::TAU * rate * i as f64 / sample_rate + phase)
+                    .sin()
+                    .abs();
+        *v *= m;
+    }
+
+    // Sparse transients: ~1 per second, 30 ms decaying broadband bursts.
+    let per_second = 1.0;
+    let expected = (n as f64 / sample_rate * per_second).ceil() as usize;
+    for _ in 0..expected {
+        let at = rng.gen_range(0..n);
+        let len = (0.03 * sample_rate) as usize;
+        let amp = 2.0 + 2.0 * rng.gen::<f64>();
+        for k in 0..len {
+            if at + k >= n {
+                break;
+            }
+            let env = (-(k as f64) / (0.008 * sample_rate)).exp();
+            x[at + k] += amp * env * ht_dsp::rng::gaussian(rng);
+        }
+    }
+    x
+}
+
+/// Low-frequency-weighted floor noise.
+fn room_shape<R: Rng + ?Sized>(rng: &mut R, n: usize, sample_rate: f64) -> Vec<f64> {
+    let raw = white_noise(rng, n);
+    let lp = Butterworth::lowpass(2, 400.0, sample_rate).expect("static corner is valid");
+    let mut x = lp.filter(&raw);
+    // A little broadband hiss on top so the field is not purely rumble.
+    for (v, w) in x.iter_mut().zip(white_noise(rng, n)) {
+        *v += 0.05 * w;
+    }
+    x
+}
+
+/// Adds `kind` noise at `spl_db` to every channel in place (independent
+/// noise per channel).
+pub fn add_to_channels<R: Rng + ?Sized>(
+    rng: &mut R,
+    channels: &mut [Vec<f64>],
+    kind: NoiseKind,
+    sample_rate: f64,
+    spl_db: f64,
+) {
+    for ch in channels.iter_mut() {
+        let noise = generate(rng, kind, ch.len(), sample_rate, spl_db);
+        for (c, v) in ch.iter_mut().zip(noise.iter()) {
+            *c += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spl::amplitude_for_spl;
+    use ht_dsp::spectrum::Spectrum;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const FS: f64 = 48_000.0;
+
+    #[test]
+    fn level_calibration_is_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in [NoiseKind::White, NoiseKind::Tv, NoiseKind::RoomAmbient] {
+            let x = generate(&mut rng, kind, 48_000, FS, 43.0);
+            let rms = ht_dsp::signal::rms(&x);
+            assert!(
+                (rms - amplitude_for_spl(43.0)).abs() < 1e-9,
+                "{kind:?}: rms {rms}"
+            );
+        }
+    }
+
+    #[test]
+    fn white_noise_is_roughly_flat() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = generate(&mut rng, NoiseKind::White, 96_000, FS, 60.0);
+        let s = Spectrum::of(&x, FS).unwrap();
+        let low = s.band_energy(500.0, 4000.0);
+        let high = s.band_energy(8000.0, 11_500.0);
+        // Equal bandwidths -> comparable energy.
+        let ratio = low / high;
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn tv_noise_is_speech_band_weighted() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = generate(&mut rng, NoiseKind::Tv, 96_000, FS, 60.0);
+        let s = Spectrum::of(&x, FS).unwrap();
+        assert!(s.band_energy(200.0, 3000.0) > 5.0 * s.band_energy(8000.0, 10_800.0));
+    }
+
+    #[test]
+    fn room_ambient_is_low_frequency_weighted() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = generate(&mut rng, NoiseKind::RoomAmbient, 96_000, FS, 40.0);
+        let s = Spectrum::of(&x, FS).unwrap();
+        assert!(s.band_energy(50.0, 400.0) > 3.0 * s.band_energy(2000.0, 2350.0));
+    }
+
+    #[test]
+    fn tv_noise_has_amplitude_modulation() {
+        // Frame-level RMS of TV noise varies much more than white noise.
+        let mut rng = StdRng::seed_from_u64(5);
+        let tv = generate(&mut rng, NoiseKind::Tv, 96_000, FS, 60.0);
+        let wh = generate(&mut rng, NoiseKind::White, 96_000, FS, 60.0);
+        let frame_rms = |x: &[f64]| {
+            ht_dsp::stft::frames(x, 4800, 4800)
+                .iter()
+                .map(|f| ht_dsp::signal::rms(f))
+                .collect::<Vec<_>>()
+        };
+        let cv = |r: &[f64]| ht_dsp::stats::std_dev(r) / ht_dsp::stats::mean(r);
+        assert!(cv(&frame_rms(&tv)) > 3.0 * cv(&frame_rms(&wh)));
+    }
+
+    #[test]
+    fn add_to_channels_is_decorrelated() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut chans = vec![vec![0.0; 24_000]; 2];
+        add_to_channels(&mut rng, &mut chans, NoiseKind::White, FS, 60.0);
+        let c = ht_dsp::correlate::xcorr(&chans[0], &chans[1], 0).unwrap();
+        let auto = ht_dsp::correlate::xcorr(&chans[0], &chans[0], 0).unwrap();
+        assert!(c.at(0).abs() < 0.05 * auto.at(0));
+    }
+
+    #[test]
+    fn empty_request_is_empty() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(generate(&mut rng, NoiseKind::White, 0, FS, 40.0).is_empty());
+    }
+}

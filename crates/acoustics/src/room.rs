@@ -1,0 +1,335 @@
+//! Shoebox rooms, including the paper's lab and home environments, and the
+//! device-obstruction states of the surrounding-objects experiment
+//! (§IV-B13).
+
+use crate::bands::{BandValues, NUM_BANDS};
+use crate::geometry::Vec3;
+use crate::materials::{eyring_rt60, Material};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The six surfaces of a shoebox room.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Surface {
+    /// Floor (z = 0).
+    Floor,
+    /// Ceiling (z = height).
+    Ceiling,
+    /// Wall at x = 0.
+    WallX0,
+    /// Wall at x = length.
+    WallX1,
+    /// Wall at y = 0.
+    WallY0,
+    /// Wall at y = width.
+    WallY1,
+}
+
+impl Surface {
+    /// All six surfaces.
+    pub const ALL: [Surface; 6] = [
+        Surface::Floor,
+        Surface::Ceiling,
+        Surface::WallX0,
+        Surface::WallX1,
+        Surface::WallY0,
+        Surface::WallY1,
+    ];
+}
+
+/// Obstruction state of the device, reproducing the §IV-B13 setups
+/// (Fig. 17): unobstructed, partially blocked by nearby objects, fully
+/// blocked, or raised above the surrounding objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Obstruction {
+    /// Open placement (default).
+    #[default]
+    None,
+    /// Objects beside the device partially shadow the direct path.
+    Partial,
+    /// Objects surround the device; the direct path is heavily shadowed and
+    /// the response is dominated by diffracted/reflected energy.
+    Full,
+    /// Device raised above the surrounding objects (the paper raises it
+    /// 14.8 cm), restoring the direct path.
+    Raised,
+}
+
+impl Obstruction {
+    /// Per-band gain applied to the *direct* (and first-order) propagation
+    /// paths. Diffraction passes low frequencies around an obstacle more
+    /// readily than high frequencies, so blocking is band-dependent — this is
+    /// exactly why a fully blocked device "hears the voice like a speech
+    /// coming from the backward direction" (§IV-B13): the facing cues live in
+    /// the high bands.
+    pub fn direct_path_gain(self) -> BandValues {
+        match self {
+            Obstruction::None | Obstruction::Raised => BandValues::flat(1.0),
+            Obstruction::Partial => BandValues([0.9, 0.85, 0.75, 0.6, 0.5, 0.4, 0.35]),
+            Obstruction::Full => BandValues([0.6, 0.45, 0.3, 0.15, 0.08, 0.04, 0.03]),
+        }
+    }
+
+    /// Gain on a strong extra early reflection off the obstructing objects
+    /// themselves (zero when unobstructed).
+    pub fn clutter_reflection_gain(self) -> f64 {
+        match self {
+            Obstruction::None | Obstruction::Raised => 0.0,
+            Obstruction::Partial => 0.25,
+            Obstruction::Full => 0.5,
+        }
+    }
+}
+
+/// A shoebox room with per-surface materials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Room {
+    /// Interior length along x, in meters.
+    pub length: f64,
+    /// Interior width along y, in meters.
+    pub width: f64,
+    /// Interior height along z, in meters.
+    pub height: f64,
+    /// Materials in [`Surface::ALL`] order.
+    pub materials: [Material; 6],
+    /// Extra diffuse scattering strength in `[0, 1]` — a proxy for clutter
+    /// (furniture) that is not part of the shoebox geometry. Higher values
+    /// add more late, direction-less energy. The home setting is more
+    /// cluttered than the lab.
+    pub scattering: f64,
+    /// Human-readable name ("lab", "home", …).
+    pub name: String,
+}
+
+impl Room {
+    /// Builds a room from dimensions and a uniform wall material, with
+    /// floor/ceiling overridden separately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is non-positive.
+    pub fn new(
+        name: impl Into<String>,
+        length: f64,
+        width: f64,
+        height: f64,
+        walls: Material,
+        floor: Material,
+        ceiling: Material,
+    ) -> Room {
+        assert!(
+            length > 0.0 && width > 0.0 && height > 0.0,
+            "room dimensions must be positive"
+        );
+        Room {
+            length,
+            width,
+            height,
+            materials: [floor, ceiling, walls, walls, walls, walls],
+            scattering: 0.1,
+            name: name.into(),
+        }
+    }
+
+    /// The paper's lab: a 280 ft² office, 20' × 14' with a 10' dropped
+    /// ceiling (§IV, Fig. 8). Quiet (33 dB SPL ambient), acoustic ceiling
+    /// tile, carpeted floor.
+    pub fn lab() -> Room {
+        let mut r = Room::new(
+            "lab",
+            6.10,
+            4.27,
+            3.05,
+            Material::drywall(),
+            Material::carpet(),
+            Material::ceiling_tile(),
+        );
+        r.scattering = 0.08;
+        r
+    }
+
+    /// The paper's home: a 33' × 10' × 8' apartment living room (§IV,
+    /// Fig. 9). Harder surfaces, more furniture clutter, noisier ambient
+    /// (43 dB SPL).
+    pub fn home() -> Room {
+        let mut r = Room::new(
+            "home",
+            10.06,
+            3.05,
+            2.44,
+            Material::drywall(),
+            Material::wood_floor(),
+            Material::drywall(),
+        );
+        // One long wall is heavily furnished (sofa, shelves, curtains).
+        r.materials[4] = Material::furnished();
+        r.scattering = 0.2;
+        r
+    }
+
+    /// Interior volume in m³.
+    pub fn volume(&self) -> f64 {
+        self.length * self.width * self.height
+    }
+
+    /// Total interior surface area in m².
+    pub fn surface_area(&self) -> f64 {
+        2.0 * (self.length * self.width + self.length * self.height + self.width * self.height)
+    }
+
+    /// Surface-area-weighted mean absorption per band.
+    pub fn mean_absorption(&self) -> BandValues {
+        let areas = [
+            self.length * self.width,  // floor
+            self.length * self.width,  // ceiling
+            self.width * self.height,  // x0
+            self.width * self.height,  // x1
+            self.length * self.height, // y0
+            self.length * self.height, // y1
+        ];
+        let total: f64 = areas.iter().sum();
+        let mut acc = [0.0; NUM_BANDS];
+        for (m, &a) in self.materials.iter().zip(areas.iter()) {
+            for (out, &alpha) in acc.iter_mut().zip(m.absorption.0.iter()) {
+                *out += alpha * a / total;
+            }
+        }
+        BandValues(acc)
+    }
+
+    /// Eyring RT60 per band (§III-B2, Eyring 1930).
+    pub fn rt60(&self) -> BandValues {
+        let v = self.volume();
+        let s = self.surface_area();
+        let alpha = self.mean_absorption();
+        let mut out = [0.0; NUM_BANDS];
+        for (o, &a) in out.iter_mut().zip(alpha.0.iter()) {
+            *o = eyring_rt60(v, s, a.clamp(0.01, 0.99));
+        }
+        BandValues(out)
+    }
+
+    /// `true` if `p` lies strictly inside the room.
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x > 0.0
+            && p.x < self.length
+            && p.y > 0.0
+            && p.y < self.width
+            && p.z > 0.0
+            && p.z < self.height
+    }
+
+    /// A copy with every material's per-band absorption perturbed by
+    /// independent multiplicative noise `(1 + sd·N(0,1))` clamped to
+    /// `[0.01, 0.95]` — models day-to-day changes in furnishings/temperature
+    /// for the temporal-stability experiment (§IV-B9).
+    pub fn with_perturbed_absorption<R: Rng + ?Sized>(&self, rng: &mut R, sd: f64) -> Room {
+        let mut room = self.clone();
+        for m in &mut room.materials {
+            let mut a = m.absorption.0;
+            for v in &mut a {
+                *v = (*v * (1.0 + sd * ht_dsp::rng::gaussian(rng))).clamp(0.01, 0.95);
+            }
+            m.absorption = BandValues(a);
+        }
+        room.scattering =
+            (room.scattering * (1.0 + sd * ht_dsp::rng::gaussian(rng))).clamp(0.0, 0.6);
+        room
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lab_and_home_match_paper_dimensions() {
+        let lab = Room::lab();
+        assert!((lab.length - 6.10).abs() < 0.01);
+        assert!((lab.volume() - 6.10 * 4.27 * 3.05).abs() < 1e-9);
+        let home = Room::home();
+        assert!((home.length - 10.06).abs() < 0.01);
+        assert!(home.height < lab.height);
+    }
+
+    #[test]
+    fn home_is_more_reverberant_than_lab_in_mid_band() {
+        // The lab's ceiling tile and carpet soak up mid/high energy; the
+        // home's drywall and wood floor do not.
+        let lab = Room::lab().rt60();
+        let home = Room::home().rt60();
+        assert!(
+            home.get(3) > lab.get(3),
+            "home {} vs lab {}",
+            home.get(3),
+            lab.get(3)
+        );
+    }
+
+    #[test]
+    fn rt60_values_are_room_scale() {
+        for room in [Room::lab(), Room::home()] {
+            for b in 0..NUM_BANDS {
+                let t = room.rt60().get(b);
+                assert!((0.05..3.0).contains(&t), "{}: band {b} rt60 {t}", room.name);
+            }
+        }
+    }
+
+    #[test]
+    fn contains_checks_strict_interior() {
+        let lab = Room::lab();
+        assert!(lab.contains(Vec3::new(3.0, 2.0, 1.5)));
+        assert!(!lab.contains(Vec3::new(0.0, 2.0, 1.5)));
+        assert!(!lab.contains(Vec3::new(3.0, 2.0, 4.0)));
+        assert!(!lab.contains(Vec3::new(-1.0, 2.0, 1.5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn zero_dimension_panics() {
+        Room::new(
+            "bad",
+            0.0,
+            1.0,
+            1.0,
+            Material::drywall(),
+            Material::carpet(),
+            Material::drywall(),
+        );
+    }
+
+    #[test]
+    fn perturbation_changes_but_stays_valid() {
+        let lab = Room::lab();
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = lab.with_perturbed_absorption(&mut rng, 0.15);
+        assert_ne!(p.materials[0].absorption, lab.materials[0].absorption);
+        for m in &p.materials {
+            for a in m.absorption.0 {
+                assert!((0.01..=0.95).contains(&a));
+            }
+        }
+        // Geometry untouched.
+        assert_eq!(p.length, lab.length);
+    }
+
+    #[test]
+    fn obstruction_gains_are_ordered() {
+        let none = Obstruction::None.direct_path_gain();
+        let partial = Obstruction::Partial.direct_path_gain();
+        let full = Obstruction::Full.direct_path_gain();
+        for b in 0..NUM_BANDS {
+            assert!(none.get(b) >= partial.get(b));
+            assert!(partial.get(b) > full.get(b));
+        }
+        // Blocking hits high bands hardest.
+        assert!(full.get(6) < full.get(0));
+        assert_eq!(
+            Obstruction::Raised.direct_path_gain(),
+            Obstruction::None.direct_path_gain()
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Sound-pressure-level (SPL) calibration.
+//!
+//! The reproduction uses a fixed digital full-scale convention: an RMS
+//! amplitude of 1.0 corresponds to 94 dB SPL at the source's 1 m reference
+//! distance. The paper's utterance loudness levels (60/70/80 dB, §IV) and
+//! ambient noise floors (33/43/45 dB) all map through this one constant, so
+//! relative levels — which are what the experiments measure — are exact.
+
+/// RMS amplitude 1.0 ≡ this many dB SPL (at the 1 m reference distance).
+pub const FULL_SCALE_DB_SPL: f64 = 94.0;
+
+/// RMS amplitude corresponding to `spl_db` dB SPL.
+///
+/// ```
+/// let a = ht_acoustics::spl::amplitude_for_spl(94.0);
+/// assert!((a - 1.0).abs() < 1e-12);
+/// assert!(ht_acoustics::spl::amplitude_for_spl(74.0) < a);
+/// ```
+pub fn amplitude_for_spl(spl_db: f64) -> f64 {
+    10f64.powf((spl_db - FULL_SCALE_DB_SPL) / 20.0)
+}
+
+/// dB SPL corresponding to an RMS amplitude (`-inf` for silence).
+pub fn spl_for_amplitude(rms: f64) -> f64 {
+    FULL_SCALE_DB_SPL + 20.0 * rms.log10()
+}
+
+/// Scales `signal` in place so its RMS equals the amplitude of `spl_db`
+/// dB SPL. Silence is left untouched.
+pub fn scale_to_spl(signal: &mut [f64], spl_db: f64) {
+    let current = ht_dsp::signal::rms(signal);
+    if current <= 0.0 {
+        return;
+    }
+    let target = amplitude_for_spl(spl_db);
+    let g = target / current;
+    for v in signal.iter_mut() {
+        *v *= g;
+    }
+}
+
+/// The paper's default utterance loudness (§IV "Data Collection Process").
+pub const DEFAULT_UTTERANCE_SPL: f64 = 70.0;
+/// Ambient noise floor measured in the lab (§IV).
+pub const LAB_AMBIENT_SPL: f64 = 33.0;
+/// Ambient noise floor measured in the home (§IV).
+pub const HOME_AMBIENT_SPL: f64 = 43.0;
+/// Level of the injected ambient noise in the §IV-B10 experiment.
+pub const AMBIENT_EXPERIMENT_SPL: f64 = 45.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_spl_amplitude() {
+        for spl in [33.0, 43.0, 60.0, 70.0, 80.0, 94.0] {
+            let a = amplitude_for_spl(spl);
+            assert!((spl_for_amplitude(a) - spl).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ten_db_is_a_sqrt10_amplitude_ratio() {
+        let r = amplitude_for_spl(80.0) / amplitude_for_spl(70.0);
+        assert!((r - 10f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_to_spl_sets_rms() {
+        let mut x: Vec<f64> = (0..4800).map(|n| (n as f64 * 0.13).sin() * 3.0).collect();
+        scale_to_spl(&mut x, 70.0);
+        let rms = ht_dsp::signal::rms(&x);
+        assert!((spl_for_amplitude(rms) - 70.0).abs() < 1e-9);
+        // Silence stays silent.
+        let mut z = vec![0.0; 16];
+        scale_to_spl(&mut z, 70.0);
+        assert!(z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn paper_levels_are_ordered_sensibly() {
+        assert!(amplitude_for_spl(LAB_AMBIENT_SPL) < amplitude_for_spl(HOME_AMBIENT_SPL));
+        assert!(amplitude_for_spl(HOME_AMBIENT_SPL) < amplitude_for_spl(DEFAULT_UTTERANCE_SPL));
+        // Speech at 70 dB has ~37 dB SNR over the lab floor.
+        let snr = DEFAULT_UTTERANCE_SPL - LAB_AMBIENT_SPL;
+        assert_eq!(snr, 37.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Physics-level integration tests for the room simulator: energy decay,
+//! geometry, and the orientation-dependence the HeadTalk features rely on.
+
+use ht_acoustics::array::Device;
+use ht_acoustics::directivity::Directivity;
+use ht_acoustics::geometry::Vec3;
+use ht_acoustics::image_source::image_paths;
+use ht_acoustics::render::{RenderConfig, Scene, Source};
+use ht_acoustics::room::Room;
+use rand::SeedableRng;
+
+fn speech_like(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let raw = ht_dsp::rng::white_noise(&mut rng, n);
+    let bp = ht_dsp::filter::Butterworth::bandpass(2, 120.0, 9_000.0, 48_000.0).unwrap();
+    let mut x = bp.filter(&raw);
+    ht_dsp::signal::normalize_peak(&mut x, 0.3);
+    x
+}
+
+fn scene(room: Room, angle: f64, dist: f64) -> Scene {
+    let array_pos = Vec3::new(0.6, 2.0, 0.74);
+    Scene {
+        room,
+        source: Source {
+            position: Vec3::new(0.6 + dist, 2.0, 1.6),
+            azimuth_deg: angle,
+            directivity: Directivity::human_speech(),
+        },
+        array: Device::D2.array_at(array_pos, 0.0),
+    }
+}
+
+#[test]
+fn higher_order_images_carry_less_energy() {
+    let room = Room::lab();
+    let s = Vec3::new(2.5, 2.0, 1.5);
+    let m = Vec3::new(4.5, 2.5, 1.0);
+    let paths = image_paths(&room, s, m, 3).unwrap();
+    let mean_amp = |order: u32| {
+        let v: Vec<f64> = paths
+            .iter()
+            .filter(|p| p.order == order)
+            .map(|p| p.band_gain.mean() / p.distance)
+            .collect();
+        ht_dsp::stats::mean(&v)
+    };
+    assert!(mean_amp(0) > mean_amp(1));
+    assert!(mean_amp(1) > mean_amp(3));
+}
+
+#[test]
+fn bigger_room_renders_longer_impulse_tails() {
+    // The home (10.06 m long) has longer reflection paths than the lab
+    // (6.10 m), so the rendered capture extends further past the dry signal.
+    let x = speech_like(9600, 1);
+    let cfg = RenderConfig::default();
+    let render_len = |room: Room| {
+        scene(room, 180.0, 2.0).render(&x, &cfg).unwrap()[0].len()
+    };
+    let lab = render_len(Room::lab());
+    let home = render_len(Room::home());
+    assert!(home > lab, "home render {home} vs lab {lab}");
+    // And the model-level mid-band RT60 ordering holds (home harder walls).
+    assert!(Room::home().rt60().get(3) > Room::lab().rt60().get(3));
+}
+
+#[test]
+fn angle_sweep_monotonically_reduces_high_band() {
+    // The >2 kHz received energy should fall monotonically (on average) as
+    // the speaker rotates away, per the directivity model.
+    let x = speech_like(7200, 2);
+    let cfg = RenderConfig {
+        max_order: 2,
+        ..RenderConfig::default()
+    };
+    let high_energy = |angle: f64| {
+        let out = scene(Room::lab(), angle, 2.0).render(&x, &cfg).unwrap();
+        let s = ht_dsp::spectrum::Spectrum::of(&out[0], 48_000.0).unwrap();
+        s.band_energy(2_000.0, 8_000.0)
+    };
+    let e0 = high_energy(180.0); // facing the array (array is at -x)
+    let e90 = high_energy(90.0);
+    let e180 = high_energy(0.0); // facing away
+    assert!(e0 > e90, "0° {e0} vs 90° {e90}");
+    assert!(e90 > e180, "90° {e90} vs 180° {e180}");
+}
+
+#[test]
+fn all_mics_hear_comparable_levels() {
+    // The array aperture (9 cm) is tiny compared to the source distance;
+    // per-mic levels must agree within a fraction of a dB (before the
+    // simulated gain mismatch that datagen adds).
+    let x = speech_like(7200, 3);
+    let out = scene(Room::lab(), 180.0, 3.0)
+        .render(&x, &RenderConfig::default())
+        .unwrap();
+    let levels: Vec<f64> = out.iter().map(|c| ht_dsp::signal::rms(c)).collect();
+    let spread = ht_dsp::stats::max(&levels) / ht_dsp::stats::min(&levels);
+    assert!(spread < 1.2, "inter-mic level spread {spread}");
+}
+
+#[test]
+fn direct_path_arrival_time_matches_distance() {
+    // Cross-correlating renders at 1 m and 3 m should reveal the ~2 m
+    // propagation difference (2/340 s ≈ 282 samples at 48 kHz).
+    let x = speech_like(4800, 4);
+    let cfg = RenderConfig {
+        max_order: 0,
+        ..RenderConfig::default()
+    };
+    let near = scene(Room::lab(), 180.0, 1.0).render(&x, &cfg).unwrap();
+    let far = scene(Room::lab(), 180.0, 3.0).render(&x, &cfg).unwrap();
+    let n = near[0].len().min(far[0].len());
+    let est = ht_dsp::correlate::tdoa_samples(&far[0][..n], &near[0][..n], 400).unwrap();
+    // 3-D distances: mouth at z = 1.6 m, array at z = 0.74 m.
+    let d_near = (1.0f64.powi(2) + 0.86f64.powi(2)).sqrt();
+    let d_far = (3.0f64.powi(2) + 0.86f64.powi(2)).sqrt();
+    let expected = (d_far - d_near) / 340.0 * 48_000.0;
+    assert!(
+        (est - expected).abs() < 4.0,
+        "estimated {est}, expected {expected}"
+    );
+}
+
+#[test]
+fn obstruction_reduces_but_never_silences() {
+    let x = speech_like(7200, 5);
+    for obstruction in [
+        ht_acoustics::room::Obstruction::Partial,
+        ht_acoustics::room::Obstruction::Full,
+    ] {
+        let open = scene(Room::lab(), 180.0, 2.0)
+            .render(&x, &RenderConfig::default())
+            .unwrap();
+        let blocked = scene(Room::lab(), 180.0, 2.0)
+            .render(
+                &x,
+                &RenderConfig {
+                    obstruction,
+                    ..RenderConfig::default()
+                },
+            )
+            .unwrap();
+        let ro = ht_dsp::signal::rms(&open[0]);
+        let rb = ht_dsp::signal::rms(&blocked[0]);
+        assert!(rb < ro, "{obstruction:?} must attenuate");
+        assert!(
+            rb > 0.05 * ro,
+            "{obstruction:?} must not silence (diffraction)"
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! # ht-bench — benchmark support crate
+//!
+//! The Criterion benchmarks live in `benches/`; this library only re-exports
+//! the workspace crates so the benches share one dependency point.
+
+pub use ht_acoustics as acoustics;
+pub use ht_datagen as datagen;
+pub use ht_dsp as dsp;
+pub use ht_experiments as experiments;
+pub use ht_ml as ml;
+pub use ht_speech as speech;

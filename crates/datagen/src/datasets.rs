@@ -1,0 +1,470 @@
+//! Builders for the paper's datasets (Table II) plus the auxiliary
+//! collections used by individual experiments (±75° angles for Table III,
+//! placements B/C for §IV-B7, and the ASVspoof-sim liveness corpus).
+//!
+//! Builders return [`CaptureSpec`]s — audio is rendered lazily (and usually
+//! in parallel) by the experiment harness.
+
+use crate::placements::{GridLocation, Placement, RoomKind};
+use crate::scenario::{CaptureSpec, Posture, SourceKind};
+use ht_acoustics::array::Device;
+use ht_acoustics::noise::NoiseKind;
+use ht_acoustics::room::Obstruction;
+use ht_speech::replay::SpeakerModel;
+use ht_speech::utterance::WakeWord;
+use ht_speech::voice::VoiceProfile;
+
+/// The 14 collection angles (§IV "Datasets").
+pub fn angles14() -> Vec<f64> {
+    ht_acoustics::geometry::PAPER_ANGLES_DEG.to_vec()
+}
+
+/// The 8 angles of the DoV-style cross-user dataset (no ±15°/±30°;
+/// §IV-B14).
+pub fn angles8() -> Vec<f64> {
+    vec![0.0, 45.0, -45.0, 90.0, -90.0, 135.0, -135.0, 180.0]
+}
+
+/// The experimenter's voice used for Datasets 1–7 (a single person
+/// collected those datasets).
+pub fn experimenter_voice() -> VoiceProfile {
+    VoiceProfile::adult_male()
+}
+
+fn seed_for(dataset_id: u64, index: usize) -> u64 {
+    (dataset_id << 40) ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Dataset-1: 2 rooms × 3 devices × 3 utterances × 9 locations × 14 angles
+/// × 2 samples × 2 sessions = 9072 samples.
+pub fn dataset1() -> Vec<CaptureSpec> {
+    let mut specs = Vec::with_capacity(9072);
+    let voice = experimenter_voice();
+    let mut idx = 0usize;
+    for room in RoomKind::ALL {
+        for device in Device::ALL {
+            for wake_word in WakeWord::ALL {
+                for location in GridLocation::grid9() {
+                    for &angle_deg in &angles14() {
+                        for session in 0..2u32 {
+                            for _rep in 0..2 {
+                                specs.push(CaptureSpec {
+                                    room,
+                                    placement: Placement::default_for(room),
+                                    device,
+                                    location,
+                                    angle_deg,
+                                    wake_word,
+                                    source: SourceKind::Human { voice },
+                                    loudness_spl: 70.0,
+                                    ambient: None,
+                                    posture: Posture::Standing,
+                                    obstruction: Obstruction::None,
+                                    raised: false,
+                                    session,
+                                    temporal_drift: 0.0,
+                                    seed: seed_for(1, idx),
+                                });
+                                idx += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    specs
+}
+
+/// Dataset-2 (Replay): Sony loudspeaker, 2 utterances ("Computer" and
+/// "Hey Assistant!"), 9 locations, 14 angles, 2 repetitions, 2 sessions
+/// = 1008 samples (recorded by D2 in the lab).
+pub fn dataset2() -> Vec<CaptureSpec> {
+    let mut specs = Vec::with_capacity(1008);
+    let voice = experimenter_voice();
+    let mut idx = 0usize;
+    for wake_word in [WakeWord::Computer, WakeWord::HeyAssistant] {
+        for location in GridLocation::grid9() {
+            for &angle_deg in &angles14() {
+                for session in 0..2u32 {
+                    for _rep in 0..2 {
+                        specs.push(CaptureSpec {
+                            source: SourceKind::Replay {
+                                model: SpeakerModel::SonySrsX5,
+                                voice,
+                            },
+                            wake_word,
+                            location,
+                            angle_deg,
+                            session,
+                            ..CaptureSpec::baseline(seed_for(2, idx))
+                        });
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+    specs
+}
+
+/// Dataset-3 (Temporal): "Computer", M1/M3/M5, 14 angles, 2 sessions,
+/// 2 repetitions, 2 temporal offsets (one week, one month) = 336 samples.
+pub fn dataset3() -> Vec<CaptureSpec> {
+    let mut specs = Vec::with_capacity(336);
+    let mut idx = 0usize;
+    for (t, temporal_drift) in [(0u32, 0.15), (1, 0.25)] {
+        // week, month
+        for location in GridLocation::mid3() {
+            for &angle_deg in &angles14() {
+                for session in 0..2u32 {
+                    for _rep in 0..2 {
+                        specs.push(CaptureSpec {
+                            location,
+                            angle_deg,
+                            // Fresh session indices so the temporal rooms
+                            // differ from the Dataset-1 sessions.
+                            session: 10 + 2 * t + session,
+                            temporal_drift,
+                            ..CaptureSpec::baseline(seed_for(3, idx))
+                        });
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+    specs
+}
+
+/// Dataset-4 (Ambient): "Computer", 2 noise kinds (white, TV) at 45 dB,
+/// M1/M3/M5, 14 angles, 1 session, 2 repetitions = 168 samples.
+pub fn dataset4() -> Vec<CaptureSpec> {
+    let mut specs = Vec::with_capacity(168);
+    let mut idx = 0usize;
+    for kind in [NoiseKind::White, NoiseKind::Tv] {
+        for location in GridLocation::mid3() {
+            for &angle_deg in &angles14() {
+                for _rep in 0..2 {
+                    specs.push(CaptureSpec {
+                        location,
+                        angle_deg,
+                        ambient: Some((kind, ht_acoustics::spl::AMBIENT_EXPERIMENT_SPL)),
+                        ..CaptureSpec::baseline(seed_for(4, idx))
+                    });
+                    idx += 1;
+                }
+            }
+        }
+    }
+    specs
+}
+
+/// Dataset-5 (Sitting): "Computer", M1/M3/M5, 14 angles, 1 session,
+/// 2 repetitions = 84 samples.
+pub fn dataset5() -> Vec<CaptureSpec> {
+    let mut specs = Vec::with_capacity(84);
+    let mut idx = 0usize;
+    for location in GridLocation::mid3() {
+        for &angle_deg in &angles14() {
+            for _rep in 0..2 {
+                specs.push(CaptureSpec {
+                    location,
+                    angle_deg,
+                    posture: Posture::Sitting,
+                    ..CaptureSpec::baseline(seed_for(5, idx))
+                });
+                idx += 1;
+            }
+        }
+    }
+    specs
+}
+
+/// Dataset-6 (Loudness): "Computer", M1/M3/M5, 14 angles, 1 session,
+/// 2 repetitions, 2 loudness levels (60 and 80 dB) = 168 samples.
+pub fn dataset6() -> Vec<CaptureSpec> {
+    let mut specs = Vec::with_capacity(168);
+    let mut idx = 0usize;
+    for loudness_spl in [60.0, 80.0] {
+        for location in GridLocation::mid3() {
+            for &angle_deg in &angles14() {
+                for _rep in 0..2 {
+                    specs.push(CaptureSpec {
+                        location,
+                        angle_deg,
+                        loudness_spl,
+                        ..CaptureSpec::baseline(seed_for(6, idx))
+                    });
+                    idx += 1;
+                }
+            }
+        }
+    }
+    specs
+}
+
+/// The three §IV-B13 obstruction settings: partially blocked, fully
+/// blocked, and fully blocked but raised 14.8 cm (Fig. 17).
+pub fn obstruction_settings() -> [(Obstruction, bool); 3] {
+    [
+        (Obstruction::Partial, false),
+        (Obstruction::Full, false),
+        (Obstruction::Raised, true),
+    ]
+}
+
+/// Dataset-7 (Nearby objects): "Computer", M1/M3/M5, 14 angles, 1 session,
+/// 2 repetitions, 3 settings = 252 samples.
+pub fn dataset7() -> Vec<CaptureSpec> {
+    let mut specs = Vec::with_capacity(252);
+    let mut idx = 0usize;
+    for (obstruction, raised) in obstruction_settings() {
+        for location in GridLocation::mid3() {
+            for &angle_deg in &angles14() {
+                for _rep in 0..2 {
+                    specs.push(CaptureSpec {
+                        location,
+                        angle_deg,
+                        obstruction,
+                        raised,
+                        ..CaptureSpec::baseline(seed_for(7, idx))
+                    });
+                    idx += 1;
+                }
+            }
+        }
+    }
+    specs
+}
+
+/// Dataset-8 (Multi-user, DoV-style): 10 participants (4 male, 6 female),
+/// 9 locations, 8 angles, 2 repetitions = 1440 samples. Returns the specs
+/// together with each sample's participant id (for leave-one-user-out).
+pub fn dataset8() -> (Vec<CaptureSpec>, Vec<usize>) {
+    let panel = VoiceProfile::panel(0xD0_5EED);
+    let mut specs = Vec::with_capacity(1440);
+    let mut participants = Vec::with_capacity(1440);
+    let mut idx = 0usize;
+    for (pid, voice) in panel.iter().enumerate() {
+        for location in GridLocation::grid9() {
+            for &angle_deg in &angles8() {
+                for _rep in 0..2 {
+                    specs.push(CaptureSpec {
+                        location,
+                        angle_deg,
+                        wake_word: WakeWord::HeyAssistant,
+                        source: SourceKind::Human { voice: *voice },
+                        ..CaptureSpec::baseline(seed_for(8, idx))
+                    });
+                    participants.push(pid);
+                    idx += 1;
+                }
+            }
+        }
+    }
+    (specs, participants)
+}
+
+/// The ±75° verification angles for Table III: D2, lab, "Computer",
+/// 9 locations × 2 angles × 2 repetitions × 2 sessions = 72 samples.
+pub fn table3_extra_angles() -> Vec<CaptureSpec> {
+    let mut specs = Vec::with_capacity(72);
+    let mut idx = 0usize;
+    for &angle_deg in &ht_acoustics::geometry::EXTRA_ANGLES_DEG {
+        for location in GridLocation::grid9() {
+            for session in 0..2u32 {
+                for _rep in 0..2 {
+                    specs.push(CaptureSpec {
+                        location,
+                        angle_deg,
+                        session,
+                        ..CaptureSpec::baseline(seed_for(9, idx))
+                    });
+                    idx += 1;
+                }
+            }
+        }
+    }
+    specs
+}
+
+/// §IV-B7 placement data: "Computer" at 3 m along 0° from placement `p`
+/// (B or C), 14 angles × 2 repetitions × 2 sessions = 56 samples.
+pub fn placement_specs(placement: Placement) -> Vec<CaptureSpec> {
+    let mut specs = Vec::with_capacity(56);
+    let mut idx = 0usize;
+    let location = GridLocation {
+        radial_deg: 0.0,
+        distance_m: 3.0,
+    };
+    for &angle_deg in &angles14() {
+        for session in 0..2u32 {
+            for _rep in 0..2 {
+                specs.push(CaptureSpec {
+                    placement,
+                    location,
+                    angle_deg,
+                    session,
+                    ..CaptureSpec::baseline(seed_for(10, idx) ^ placement as u64)
+                });
+                idx += 1;
+            }
+        }
+    }
+    specs
+}
+
+/// An ASVspoof-2019-style liveness pre-training corpus: `n_per_class` live
+/// utterances from varied voices and `n_per_class` replays through varied
+/// playback devices, at varied positions. Returns specs and liveness labels
+/// (1 = live).
+///
+/// The corpus is *deliberately domain-shifted* from the paper's own data
+/// (home acoustics instead of the lab, and no Sony-class speaker among the
+/// replay devices), mirroring how ASVspoof's simulated physical-access
+/// conditions differ from the authors' recordings — this is what produces
+/// the §IV-A1 generalization gap that incremental learning then closes.
+pub fn asvspoof_sim(n_per_class: usize, seed: u64) -> (Vec<CaptureSpec>, Vec<usize>) {
+    use rand::Rng;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut specs = Vec::with_capacity(2 * n_per_class);
+    let mut labels = Vec::with_capacity(2 * n_per_class);
+    let words = WakeWord::ALL;
+    let models = [SpeakerModel::GalaxyS21, SpeakerModel::GenericMedia];
+    let grid = GridLocation::grid9();
+    for i in 0..n_per_class {
+        let female: bool = rng.gen();
+        let voice = VoiceProfile::random(&mut rng, female);
+        let location = grid[rng.gen_range(0..grid.len())];
+        let angle_deg = *angles14()
+            .get(rng.gen_range(0..14))
+            .expect("angle grid has 14 entries");
+        let base = CaptureSpec {
+            room: RoomKind::Home,
+            placement: Placement::HomeShelf,
+            location,
+            angle_deg,
+            wake_word: words[rng.gen_range(0..words.len())],
+            ..CaptureSpec::baseline(seed_for(11, 2 * i) ^ seed)
+        };
+        specs.push(CaptureSpec {
+            source: SourceKind::Human { voice },
+            ..base
+        });
+        labels.push(1);
+        specs.push(CaptureSpec {
+            source: SourceKind::Replay {
+                model: models[rng.gen_range(0..models.len())],
+                voice,
+            },
+            seed: seed_for(11, 2 * i + 1) ^ seed,
+            ..base
+        });
+        labels.push(0);
+    }
+    (specs, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_sample_counts() {
+        assert_eq!(dataset1().len(), 9072);
+        assert_eq!(dataset2().len(), 1008);
+        assert_eq!(dataset3().len(), 336);
+        assert_eq!(dataset4().len(), 168);
+        assert_eq!(dataset5().len(), 84);
+        assert_eq!(dataset6().len(), 168);
+        assert_eq!(dataset7().len(), 252);
+        let (d8, pids) = dataset8();
+        assert_eq!(d8.len(), 1440);
+        assert_eq!(pids.len(), 1440);
+    }
+
+    #[test]
+    fn dataset1_covers_all_factor_combinations() {
+        let specs = dataset1();
+        use std::collections::HashSet;
+        let rooms: HashSet<_> = specs.iter().map(|s| s.room).collect();
+        let devices: HashSet<_> = specs.iter().map(|s| s.device).collect();
+        let words: HashSet<_> = specs.iter().map(|s| s.wake_word).collect();
+        let sessions: HashSet<_> = specs.iter().map(|s| s.session).collect();
+        assert_eq!(rooms.len(), 2);
+        assert_eq!(devices.len(), 3);
+        assert_eq!(words.len(), 3);
+        assert_eq!(sessions.len(), 2);
+        // All seeds unique.
+        let seeds: HashSet<_> = specs.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds.len(), specs.len());
+    }
+
+    #[test]
+    fn dataset2_is_all_replay() {
+        assert!(dataset2().iter().all(|s| !s.source.is_live()));
+    }
+
+    #[test]
+    fn dataset3_has_temporal_drift() {
+        let specs = dataset3();
+        assert!(specs.iter().all(|s| s.temporal_drift > 0.0));
+        let weeks = specs.iter().filter(|s| s.temporal_drift == 0.15).count();
+        assert_eq!(weeks, 168);
+    }
+
+    #[test]
+    fn dataset5_is_sitting() {
+        assert!(dataset5().iter().all(|s| s.posture == Posture::Sitting));
+    }
+
+    #[test]
+    fn dataset6_loudness_levels() {
+        let specs = dataset6();
+        let sixty = specs.iter().filter(|s| s.loudness_spl == 60.0).count();
+        assert_eq!(sixty, 84);
+    }
+
+    #[test]
+    fn dataset7_settings() {
+        let specs = dataset7();
+        let raised = specs.iter().filter(|s| s.raised).count();
+        assert_eq!(raised, 84);
+        assert!(specs.iter().all(|s| s.obstruction != Obstruction::None));
+    }
+
+    #[test]
+    fn dataset8_participants_are_balanced() {
+        let (_, pids) = dataset8();
+        for p in 0..10 {
+            assert_eq!(pids.iter().filter(|&&x| x == p).count(), 144);
+        }
+    }
+
+    #[test]
+    fn extra_angles_are_75() {
+        let specs = table3_extra_angles();
+        assert_eq!(specs.len(), 72);
+        assert!(specs.iter().all(|s| s.angle_deg.abs() == 75.0));
+    }
+
+    #[test]
+    fn placement_specs_use_requested_placement() {
+        let b = placement_specs(Placement::LabB);
+        assert_eq!(b.len(), 56);
+        assert!(b.iter().all(|s| s.placement == Placement::LabB));
+    }
+
+    #[test]
+    fn asvspoof_sim_is_balanced_and_seeded() {
+        let (specs, labels) = asvspoof_sim(20, 1);
+        assert_eq!(specs.len(), 40);
+        assert_eq!(labels.iter().filter(|&&l| l == 1).count(), 20);
+        let (again, _) = asvspoof_sim(20, 1);
+        assert_eq!(specs, again);
+        let (other, _) = asvspoof_sim(20, 2);
+        assert_ne!(specs, other);
+    }
+}

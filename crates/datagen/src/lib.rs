@@ -1,0 +1,31 @@
+//! # ht-datagen — scenario and dataset generators
+//!
+//! Reproduces the paper's data-collection protocol (§IV, Table I/II) on top
+//! of the simulation substrates:
+//!
+//! * [`scenario`] — one *capture*: a room, a device placement, a speaker (or
+//!   loudspeaker) at a grid location with an orientation angle, a wake word,
+//!   loudness, ambient noise, posture, obstruction, and session index; plus
+//!   its deterministic rendering into multichannel audio,
+//! * [`placements`] — the device locations A/B/C in the lab and the home
+//!   shelf (Fig. 8/9),
+//! * [`datasets`] — builders for Datasets 1–8 of Table II with exactly the
+//!   paper's sample counts,
+//! * [`parallel`] — a thread-pool map for rendering/feature extraction.
+//!
+//! # Example
+//!
+//! ```
+//! use ht_datagen::datasets;
+//!
+//! // Table II: Dataset-1 has 9072 samples.
+//! let specs = datasets::dataset1();
+//! assert_eq!(specs.len(), 9072);
+//! ```
+
+pub mod datasets;
+pub mod parallel;
+pub mod placements;
+pub mod scenario;
+
+pub use scenario::{CaptureSpec, SourceKind};

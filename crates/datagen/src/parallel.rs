@@ -1,0 +1,89 @@
+//! A minimal scoped-thread parallel map for rendering and feature
+//! extraction (no external thread-pool dependency needed).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on `threads` worker threads, preserving input
+/// order in the output. `threads == 0` or `1` runs inline.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers).
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<U>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(items.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled by a worker")
+        })
+        .collect()
+}
+
+/// The default worker count: the machine's available parallelism, capped to
+/// leave a core for the system.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let items = vec![1, 2, 3];
+        assert_eq!(parallel_map(&items, 1, |&x| x + 1), vec![2, 3, 4]);
+        assert_eq!(parallel_map(&items, 0, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[5], 4, |&x| x), vec![5]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = vec![1, 2];
+        assert_eq!(parallel_map(&items, 64, |&x| x * 10), vec![10, 20]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Device placements: locations A, B, C in the lab (Fig. 8) and the
+//! near-window TV shelf in the home (Fig. 9).
+
+use ht_acoustics::geometry::Vec3;
+use ht_acoustics::room::Room;
+use serde::{Deserialize, Serialize};
+
+/// The two rooms of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoomKind {
+    /// The 20'×14'×10' office (Fig. 8), 33 dB ambient.
+    Lab,
+    /// The 33'×10'×8' apartment living room (Fig. 9), 43 dB ambient.
+    Home,
+}
+
+impl RoomKind {
+    /// Both rooms.
+    pub const ALL: [RoomKind; 2] = [RoomKind::Lab, RoomKind::Home];
+
+    /// Builds the room model.
+    pub fn room(self) -> Room {
+        match self {
+            RoomKind::Lab => Room::lab(),
+            RoomKind::Home => Room::home(),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoomKind::Lab => "lab",
+            RoomKind::Home => "home",
+        }
+    }
+
+    /// The measured ambient noise floor (§IV): 33 dB lab, 43 dB home.
+    pub fn ambient_spl(self) -> f64 {
+        match self {
+            RoomKind::Lab => ht_acoustics::spl::LAB_AMBIENT_SPL,
+            RoomKind::Home => ht_acoustics::spl::HOME_AMBIENT_SPL,
+        }
+    }
+}
+
+/// Device placements within a room.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Placement {
+    /// Lab location A: near-wall study table, 74 cm high (the default).
+    LabA,
+    /// Lab location B: coffee table, 45 cm high (§IV-B7).
+    LabB,
+    /// Lab location C: work table, 75 cm high (§IV-B7).
+    LabC,
+    /// Home: near-window TV shelf, 83 cm high.
+    HomeShelf,
+}
+
+impl Placement {
+    /// The default placement for a room (A in the lab, the shelf at home).
+    pub fn default_for(room: RoomKind) -> Placement {
+        match room {
+            RoomKind::Lab => Placement::LabA,
+            RoomKind::Home => Placement::HomeShelf,
+        }
+    }
+
+    /// Which room this placement lives in.
+    pub fn room_kind(self) -> RoomKind {
+        match self {
+            Placement::HomeShelf => RoomKind::Home,
+            _ => RoomKind::Lab,
+        }
+    }
+
+    /// Device (array-center) position in room coordinates.
+    pub fn device_position(self) -> Vec3 {
+        match self {
+            Placement::LabA => Vec3::new(0.5, 2.1, 0.74),
+            Placement::LabB => Vec3::new(3.0, 0.5, 0.45),
+            Placement::LabC => Vec3::new(5.6, 2.1, 0.75),
+            Placement::HomeShelf => Vec3::new(0.5, 1.5, 0.83),
+        }
+    }
+
+    /// The azimuth the device "faces" (into the open space the speaker grid
+    /// occupies); radial directions are measured around this axis.
+    pub fn facing_azimuth_deg(self) -> f64 {
+        match self {
+            Placement::LabA => 0.0,   // toward +x
+            Placement::LabB => 90.0,  // toward +y
+            Placement::LabC => 180.0, // toward -x
+            Placement::HomeShelf => 0.0,
+        }
+    }
+
+    /// Extra device height (meters) applied for the "raised" obstruction
+    /// experiment (the paper raises the device 14.8 cm, §IV-B13).
+    pub const RAISED_HEIGHT_M: f64 = 0.148;
+}
+
+/// A grid location of the speaker: radial direction (−15°/0°/+15°, labeled
+/// L/M/R in the paper) and distance (1/3/5 m).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridLocation {
+    /// Radial offset from the device's facing axis, in degrees (−15, 0, 15).
+    pub radial_deg: f64,
+    /// Distance from the device, in meters (1, 3, 5).
+    pub distance_m: f64,
+}
+
+impl GridLocation {
+    /// The nine grid intersections of Fig. 8/9: {L, M, R} × {1, 3, 5} m.
+    pub fn grid9() -> Vec<GridLocation> {
+        let mut g = Vec::with_capacity(9);
+        for &radial_deg in &[-15.0, 0.0, 15.0] {
+            for &distance_m in &[1.0, 3.0, 5.0] {
+                g.push(GridLocation {
+                    radial_deg,
+                    distance_m,
+                });
+            }
+        }
+        g
+    }
+
+    /// The three mid-line locations M1, M3, M5 used by Datasets 3–7.
+    pub fn mid3() -> Vec<GridLocation> {
+        [1.0, 3.0, 5.0]
+            .into_iter()
+            .map(|distance_m| GridLocation {
+                radial_deg: 0.0,
+                distance_m,
+            })
+            .collect()
+    }
+
+    /// The paper's label for this location (L1, M3, R5, …).
+    pub fn label(self) -> String {
+        let side = if self.radial_deg < -1.0 {
+            "L"
+        } else if self.radial_deg > 1.0 {
+            "R"
+        } else {
+            "M"
+        };
+        format!("{side}{}", self.distance_m as i64)
+    }
+
+    /// The speaker's floor position for a placement (mouth height applied
+    /// separately).
+    pub fn speaker_position(self, placement: Placement, mouth_height: f64) -> Vec3 {
+        let device = placement.device_position();
+        let az = placement.facing_azimuth_deg() + self.radial_deg;
+        let dir = ht_acoustics::geometry::azimuth_to_direction(az);
+        Vec3::new(
+            device.x + dir.x * self.distance_m,
+            device.y + dir.y * self.distance_m,
+            mouth_height,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_placements_are_inside_their_rooms() {
+        for p in [
+            Placement::LabA,
+            Placement::LabB,
+            Placement::LabC,
+            Placement::HomeShelf,
+        ] {
+            let room = p.room_kind().room();
+            assert!(
+                room.contains(p.device_position()),
+                "{p:?} outside {}",
+                room.name
+            );
+        }
+    }
+
+    #[test]
+    fn grid_locations_stay_inside_the_rooms() {
+        // Every default-placement grid point at standing mouth height must
+        // be inside the room (the paper collected data there).
+        for room in RoomKind::ALL {
+            let p = Placement::default_for(room);
+            for loc in GridLocation::grid9() {
+                let pos = loc.speaker_position(p, 1.65);
+                assert!(
+                    room.room().contains(pos),
+                    "{} {} -> {pos:?}",
+                    room.name(),
+                    loc.label()
+                );
+            }
+        }
+        // B and C are only used at 3 m along the mid line (§IV-B7).
+        for p in [Placement::LabB, Placement::LabC] {
+            let loc = GridLocation {
+                radial_deg: 0.0,
+                distance_m: 3.0,
+            };
+            assert!(RoomKind::Lab.room().contains(loc.speaker_position(p, 1.65)));
+        }
+    }
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(
+            GridLocation {
+                radial_deg: -15.0,
+                distance_m: 1.0
+            }
+            .label(),
+            "L1"
+        );
+        assert_eq!(
+            GridLocation {
+                radial_deg: 0.0,
+                distance_m: 3.0
+            }
+            .label(),
+            "M3"
+        );
+        assert_eq!(
+            GridLocation {
+                radial_deg: 15.0,
+                distance_m: 5.0
+            }
+            .label(),
+            "R5"
+        );
+    }
+
+    #[test]
+    fn grid_sizes() {
+        assert_eq!(GridLocation::grid9().len(), 9);
+        assert_eq!(GridLocation::mid3().len(), 3);
+    }
+
+    #[test]
+    fn distance_is_realized_exactly() {
+        let p = Placement::LabA;
+        let loc = GridLocation {
+            radial_deg: 15.0,
+            distance_m: 3.0,
+        };
+        let pos = loc.speaker_position(p, 1.65);
+        let horiz = ((pos.x - p.device_position().x).powi(2)
+            + (pos.y - p.device_position().y).powi(2))
+        .sqrt();
+        assert!((horiz - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ambient_levels_match_paper() {
+        assert_eq!(RoomKind::Lab.ambient_spl(), 33.0);
+        assert_eq!(RoomKind::Home.ambient_spl(), 43.0);
+    }
+}

@@ -1,0 +1,406 @@
+//! One capture: the full description of a single data-collection sample and
+//! its deterministic rendering to multichannel audio.
+
+use crate::placements::{GridLocation, Placement, RoomKind};
+use ht_acoustics::array::Device;
+use ht_acoustics::directivity::Directivity;
+use ht_acoustics::noise::NoiseKind;
+use ht_acoustics::render::{RenderConfig, Scene, Source};
+use ht_acoustics::room::Obstruction;
+use ht_acoustics::AcousticsError;
+use ht_speech::replay::SpeakerModel;
+use ht_speech::utterance::WakeWord;
+use ht_speech::voice::VoiceProfile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Who produces the sound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SourceKind {
+    /// A live human speaker.
+    Human {
+        /// The speaker's voice.
+        voice: VoiceProfile,
+    },
+    /// The wake word replayed through a loudspeaker (replay attack /
+    /// accidental trigger).
+    Replay {
+        /// Playback device.
+        model: SpeakerModel,
+        /// The voice that was recorded and is being replayed.
+        voice: VoiceProfile,
+    },
+}
+
+impl SourceKind {
+    /// `true` for a live human source (the liveness ground truth).
+    pub fn is_live(self) -> bool {
+        matches!(self, SourceKind::Human { .. })
+    }
+
+    fn voice(self) -> VoiceProfile {
+        match self {
+            SourceKind::Human { voice } | SourceKind::Replay { voice, .. } => voice,
+        }
+    }
+}
+
+/// Speaker posture (§IV-B11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Posture {
+    /// Standing: mouth at ≈1.65 m.
+    #[default]
+    Standing,
+    /// Sitting: mouth at ≈1.20 m.
+    Sitting,
+}
+
+impl Posture {
+    /// Mouth height above the floor in meters.
+    pub fn mouth_height_m(self) -> f64 {
+        match self {
+            Posture::Standing => 1.65,
+            Posture::Sitting => 1.20,
+        }
+    }
+}
+
+/// A complete description of one collected sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CaptureSpec {
+    /// The room.
+    pub room: RoomKind,
+    /// Where the device sits.
+    pub placement: Placement,
+    /// Which prototype array records.
+    pub device: Device,
+    /// The speaker's grid location.
+    pub location: GridLocation,
+    /// Speaker orientation: 0° = facing the device, 180° = facing away.
+    pub angle_deg: f64,
+    /// The spoken wake word.
+    pub wake_word: WakeWord,
+    /// Human or replay source.
+    pub source: SourceKind,
+    /// Utterance loudness in dB SPL at the 1 m reference (paper default 70).
+    pub loudness_spl: f64,
+    /// Optional injected ambient noise `(kind, dB SPL)` on top of the room
+    /// floor (§IV-B10 uses 45 dB).
+    pub ambient: Option<(NoiseKind, f64)>,
+    /// Standing or sitting.
+    pub posture: Posture,
+    /// Obstruction state of the device (§IV-B13).
+    pub obstruction: Obstruction,
+    /// Device raised by 14.8 cm (§IV-B13 recovery condition).
+    pub raised: bool,
+    /// Data-collection session index (cross-session protocols train on one
+    /// session and test on another).
+    pub session: u32,
+    /// Temporal drift relative to the training day: 0.0 same-day,
+    /// larger for the week/month recollections of §IV-B9.
+    pub temporal_drift: f64,
+    /// Per-sample random seed (renders are fully deterministic).
+    pub seed: u64,
+}
+
+impl CaptureSpec {
+    /// A baseline spec: D2 in the lab at M3, "Computer", 70 dB, standing,
+    /// facing the device, session 0.
+    pub fn baseline(seed: u64) -> CaptureSpec {
+        CaptureSpec {
+            room: RoomKind::Lab,
+            placement: Placement::LabA,
+            device: Device::D2,
+            location: GridLocation {
+                radial_deg: 0.0,
+                distance_m: 3.0,
+            },
+            angle_deg: 0.0,
+            wake_word: WakeWord::Computer,
+            source: SourceKind::Human {
+                voice: VoiceProfile::adult_male(),
+            },
+            loudness_spl: ht_acoustics::spl::DEFAULT_UTTERANCE_SPL,
+            ambient: None,
+            posture: Posture::Standing,
+            obstruction: Obstruction::None,
+            raised: false,
+            session: 0,
+            temporal_drift: 0.0,
+            seed,
+        }
+    }
+
+    /// The session-level room: the base room perturbed deterministically by
+    /// the session index and temporal drift (all samples of one session see
+    /// the same room; different sessions/days see slightly different ones —
+    /// §IV-B9).
+    pub fn session_room(&self) -> ht_acoustics::room::Room {
+        let base = self.room.room();
+        if self.session == 0 && self.temporal_drift == 0.0 {
+            return base;
+        }
+        let mut rng = StdRng::seed_from_u64(
+            0x5E55_1044u64
+                ^ (self.session as u64).wrapping_mul(0x9E37_79B9)
+                ^ ((self.temporal_drift * 1000.0) as u64).wrapping_mul(0x85EB_CA6B),
+        );
+        let sd = 0.05 + self.temporal_drift;
+        base.with_perturbed_absorption(&mut rng, sd)
+    }
+
+    /// Renders the capture on a subset of the device's microphones
+    /// (`None` = the paper's default 4-mic subset).
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry/rendering errors.
+    pub fn render_mics(
+        &self,
+        mic_indices: Option<&[usize]>,
+    ) -> Result<Vec<Vec<f64>>, AcousticsError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let voice = self.source.voice();
+
+        // --- Dry source waveform -----------------------------------------
+        // Per-utterance prosody: real speakers never say the wake word the
+        // same way twice (rate, pitch and effort drift a few percent).
+        let voice = VoiceProfile {
+            f0_hz: (voice.f0_hz * (1.0 + 0.06 * ht_dsp::rng::gaussian(&mut rng)))
+                .clamp(70.0, 320.0),
+            rate: (voice.rate * (1.0 + 0.08 * ht_dsp::rng::gaussian(&mut rng))).clamp(0.6, 1.6),
+            brightness: (voice.brightness * (1.0 + 0.10 * ht_dsp::rng::gaussian(&mut rng)))
+                .clamp(0.3, 2.2),
+            ..voice
+        };
+        let dry = self
+            .wake_word
+            .synthesize(&voice, &mut rng, ht_acoustics::SAMPLE_RATE);
+        let mut dry = match self.source {
+            SourceKind::Human { .. } => dry,
+            SourceKind::Replay { model, .. } => {
+                model.play(&dry, &mut rng, ht_acoustics::SAMPLE_RATE)
+            }
+        };
+        ht_acoustics::spl::scale_to_spl(&mut dry, self.loudness_spl);
+
+        // --- Geometry with human placement error -------------------------
+        // §VI: "we tried our best to maintain the exact angle … some human
+        // errors may exist" — ±4° orientation and ±5 cm position jitter
+        // (people re-align to floor markings imperfectly on every trial).
+        // Re-placement error grows with temporal drift: weeks later the
+        // user no longer remembers the exact marks or stance (§IV-B9).
+        let angle_sd = 4.0 + 40.0 * self.temporal_drift;
+        let pos_sd = 0.05 + 0.4 * self.temporal_drift;
+        let angle_jitter = angle_sd * ht_dsp::rng::gaussian(&mut rng);
+        let pos_jitter = ht_acoustics::geometry::Vec3::new(
+            pos_sd * ht_dsp::rng::gaussian(&mut rng),
+            pos_sd * ht_dsp::rng::gaussian(&mut rng),
+            0.03 * ht_dsp::rng::gaussian(&mut rng),
+        );
+        let mouth_height = match self.source {
+            SourceKind::Human { .. } => self.posture.mouth_height_m(),
+            // The loudspeaker sits on furniture at ≈1 m.
+            SourceKind::Replay { .. } => 1.0,
+        };
+        let speaker_pos = self.location.speaker_position(self.placement, mouth_height) + pos_jitter;
+
+        // Facing the device means pointing back along the radial direction.
+        let device_pos = {
+            let mut p = self.placement.device_position();
+            if self.raised {
+                p.z += Placement::RAISED_HEIGHT_M;
+            }
+            // Temporal drift nudges the device itself (moved for cleaning,
+            // re-plugged, shelf items shifted) — deterministic per
+            // session-day so all samples of a day agree.
+            if self.temporal_drift > 0.0 {
+                let mut drng = StdRng::seed_from_u64(
+                    0xDE51_CE00 ^ (self.session as u64).wrapping_mul(0xC2B2_AE35),
+                );
+                let sd = 0.4 * self.temporal_drift;
+                p.x += sd * ht_dsp::rng::gaussian(&mut drng);
+                p.y += sd * ht_dsp::rng::gaussian(&mut drng);
+            }
+            p
+        };
+        let to_device = device_pos - speaker_pos;
+        let facing_az =
+            ht_acoustics::geometry::Vec3::new(to_device.x, to_device.y, 0.0).azimuth_deg();
+        let source_az = facing_az + self.angle_deg + angle_jitter;
+
+        // --- Directivity --------------------------------------------------
+        let directivity = match self.source {
+            SourceKind::Human { voice } => {
+                // Per-speaker anatomy: deterministic in the voice identity.
+                let mut drng = StdRng::seed_from_u64(voice.f0_hz.to_bits());
+                Directivity::human_speech().perturbed(&mut drng, 0.08)
+            }
+            SourceKind::Replay { model, .. } => match model {
+                SpeakerModel::GalaxyS21 => Directivity::phone_speaker(),
+                _ => Directivity::loudspeaker(),
+            },
+        };
+
+        // --- Scene and render ---------------------------------------------
+        let array = self
+            .device
+            .array_at(device_pos, self.placement.facing_azimuth_deg());
+        let array = match mic_indices {
+            Some(idx) => array.subset(idx),
+            None => array.subset(&self.device.default_subset()),
+        };
+        let scene = Scene {
+            room: self.session_room(),
+            source: Source {
+                position: speaker_pos,
+                azimuth_deg: source_az,
+                directivity,
+            },
+            array,
+        };
+        let cfg = RenderConfig {
+            obstruction: self.obstruction,
+            scatter_seed: self.seed ^ 0xD1FF_05E5,
+            ..RenderConfig::default()
+        };
+        let mut channels = scene.render(&dry, &cfg)?;
+
+        // --- Microphone gain mismatch --------------------------------------
+        // COTS arrays have ±0.5 dB channel-to-channel sensitivity spread.
+        for ch in channels.iter_mut() {
+            let g = 1.0 + 0.06 * ht_dsp::rng::gaussian(&mut rng);
+            for v in ch.iter_mut() {
+                *v *= g;
+            }
+        }
+
+        // --- Ambient noise -------------------------------------------------
+        ht_acoustics::noise::add_to_channels(
+            &mut rng,
+            &mut channels,
+            NoiseKind::RoomAmbient,
+            ht_acoustics::SAMPLE_RATE,
+            self.room.ambient_spl(),
+        );
+        if let Some((kind, spl)) = self.ambient {
+            ht_acoustics::noise::add_to_channels(
+                &mut rng,
+                &mut channels,
+                kind,
+                ht_acoustics::SAMPLE_RATE,
+                spl,
+            );
+        }
+        Ok(channels)
+    }
+
+    /// Renders with the paper's default 4-microphone subset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry/rendering errors.
+    pub fn render(&self) -> Result<Vec<Vec<f64>>, AcousticsError> {
+        self.render_mics(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ht_dsp::signal::rms;
+
+    #[test]
+    fn baseline_renders_four_channels() {
+        let spec = CaptureSpec::baseline(1);
+        let ch = spec.render().unwrap();
+        assert_eq!(ch.len(), 4);
+        assert!(ch[0].len() > 10_000);
+        assert!(ch.iter().flatten().all(|v| v.is_finite()));
+        assert!(rms(&ch[0]) > 0.0);
+    }
+
+    #[test]
+    fn renders_are_deterministic() {
+        let spec = CaptureSpec::baseline(42);
+        assert_eq!(spec.render().unwrap(), spec.render().unwrap());
+        let other = CaptureSpec::baseline(43);
+        assert_ne!(spec.render().unwrap(), other.render().unwrap());
+    }
+
+    #[test]
+    fn facing_capture_is_louder_than_backward() {
+        let facing = CaptureSpec::baseline(7);
+        let backward = CaptureSpec {
+            angle_deg: 180.0,
+            ..facing
+        };
+        let rf = rms(&facing.render().unwrap()[0]);
+        let rb = rms(&backward.render().unwrap()[0]);
+        assert!(rf > rb, "facing {rf} vs backward {rb}");
+    }
+
+    #[test]
+    fn session_rooms_differ_between_sessions_but_not_within() {
+        let s0a = CaptureSpec {
+            session: 1,
+            ..CaptureSpec::baseline(1)
+        };
+        let s0b = CaptureSpec {
+            session: 1,
+            seed: 99,
+            ..CaptureSpec::baseline(1)
+        };
+        let s1 = CaptureSpec {
+            session: 2,
+            ..CaptureSpec::baseline(1)
+        };
+        assert_eq!(s0a.session_room(), s0b.session_room());
+        assert_ne!(s0a.session_room(), s1.session_room());
+    }
+
+    #[test]
+    fn temporal_drift_perturbs_more() {
+        let base = CaptureSpec::baseline(1);
+        let week = CaptureSpec {
+            temporal_drift: 0.15,
+            ..base
+        };
+        assert_ne!(week.session_room(), base.session_room());
+    }
+
+    #[test]
+    fn replay_sources_render() {
+        let spec = CaptureSpec {
+            source: SourceKind::Replay {
+                model: SpeakerModel::SonySrsX5,
+                voice: VoiceProfile::adult_male(),
+            },
+            ..CaptureSpec::baseline(5)
+        };
+        assert!(!spec.source.is_live());
+        let ch = spec.render().unwrap();
+        assert_eq!(ch.len(), 4);
+    }
+
+    #[test]
+    fn mic_subset_controls_channel_count() {
+        let spec = CaptureSpec::baseline(9);
+        let two = spec.render_mics(Some(&[0, 3])).unwrap();
+        assert_eq!(two.len(), 2);
+    }
+
+    #[test]
+    fn louder_spec_renders_louder() {
+        let quiet = CaptureSpec {
+            loudness_spl: 60.0,
+            ..CaptureSpec::baseline(11)
+        };
+        let loud = CaptureSpec {
+            loudness_spl: 80.0,
+            ..CaptureSpec::baseline(11)
+        };
+        assert!(rms(&loud.render().unwrap()[0]) > 3.0 * rms(&quiet.render().unwrap()[0]));
+    }
+}

@@ -1,0 +1,124 @@
+//! Linear convolution, both direct and FFT-based.
+//!
+//! The room simulator convolves utterances with per-band room impulse
+//! responses (Eq. 1 of the paper: `y(t) = h(t) * x(t)`), which for second-long
+//! signals at 48 kHz requires the FFT path.
+
+use crate::complex::Complex;
+use crate::fft;
+
+/// Full linear convolution of `x` and `h` (output length
+/// `x.len() + h.len() - 1`), computed directly. Efficient for short kernels.
+pub fn convolve_direct(x: &[f64], h: &[f64]) -> Vec<f64> {
+    if x.is_empty() || h.is_empty() {
+        return Vec::new();
+    }
+    let n = x.len() + h.len() - 1;
+    let mut y = vec![0.0; n];
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        for (j, &hj) in h.iter().enumerate() {
+            y[i + j] += xi * hj;
+        }
+    }
+    y
+}
+
+/// Full linear convolution via FFT (output length `x.len() + h.len() - 1`).
+pub fn convolve_fft(x: &[f64], h: &[f64]) -> Vec<f64> {
+    if x.is_empty() || h.is_empty() {
+        return Vec::new();
+    }
+    let out_len = x.len() + h.len() - 1;
+    let n = fft::next_pow2(out_len);
+    let mut xa = vec![Complex::ZERO; n];
+    for (b, &v) in xa.iter_mut().zip(x.iter()) {
+        b.re = v;
+    }
+    let mut hb = vec![Complex::ZERO; n];
+    for (b, &v) in hb.iter_mut().zip(h.iter()) {
+        b.re = v;
+    }
+    let xf = fft::fft(&xa);
+    let hf = fft::fft(&hb);
+    let prod: Vec<Complex> = xf.iter().zip(hf.iter()).map(|(a, b)| *a * *b).collect();
+    let y = fft::ifft(&prod);
+    y.into_iter().take(out_len).map(|z| z.re).collect()
+}
+
+/// Picks the faster of direct and FFT convolution based on sizes.
+pub fn convolve(x: &[f64], h: &[f64]) -> Vec<f64> {
+    // Direct is O(N·K); FFT is O(M log M) with M ≈ N+K. Crossover around
+    // K ≈ 64 for realistic N.
+    if x.len().min(h.len()) <= 64 {
+        convolve_direct(x, h)
+    } else {
+        convolve_fft(x, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn direct_matches_hand_computation() {
+        let y = convolve_direct(&[1.0, 2.0, 3.0], &[1.0, -1.0]);
+        assert_eq!(y, vec![1.0, 1.0, 1.0, -3.0]);
+    }
+
+    #[test]
+    fn identity_kernel_is_pass_through() {
+        let x = vec![0.5, -1.5, 2.0];
+        assert_eq!(convolve_direct(&x, &[1.0]), x);
+    }
+
+    #[test]
+    fn delayed_impulse_shifts() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = convolve_direct(&x, &[0.0, 0.0, 1.0]);
+        assert_eq!(y, vec![0.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn fft_matches_direct() {
+        let x: Vec<f64> = (0..257)
+            .map(|k| ((k * 37 % 101) as f64 - 50.0) / 50.0)
+            .collect();
+        let h: Vec<f64> = (0..93)
+            .map(|k| ((k * 13 % 29) as f64 - 14.0) / 14.0)
+            .collect();
+        assert_close(&convolve_fft(&x, &h), &convolve_direct(&x, &h), 1e-9);
+    }
+
+    #[test]
+    fn dispatcher_matches_both_paths() {
+        let x: Vec<f64> = (0..200).map(|k| (k as f64 * 0.1).sin()).collect();
+        let short = vec![0.25; 4];
+        let long: Vec<f64> = (0..100).map(|k| (k as f64 * 0.2).cos()).collect();
+        assert_close(&convolve(&x, &short), &convolve_direct(&x, &short), 1e-9);
+        assert_close(&convolve(&x, &long), &convolve_direct(&x, &long), 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_output() {
+        assert!(convolve(&[], &[1.0]).is_empty());
+        assert!(convolve(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn convolution_is_commutative() {
+        let a = vec![1.0, 0.5, -0.25, 0.125];
+        let b = vec![2.0, -1.0, 0.5];
+        assert_close(&convolve_direct(&a, &b), &convolve_direct(&b, &a), 1e-12);
+    }
+}

@@ -1,0 +1,280 @@
+//! Cross-correlation and GCC-PHAT (Generalized Cross-Correlation with Phase
+//! Transform, Knapp & Carter 1976), Eq. 5 of the paper.
+//!
+//! GCC-PHAT whitens the cross-power spectrum so that the correlation peak
+//! reflects pure time delay rather than spectral coloration — this is what
+//! makes it usable for time-difference-of-arrival (TDoA) estimation in
+//! reverberant rooms.
+
+use crate::complex::Complex;
+use crate::error::DspError;
+use crate::fft;
+
+/// A lag-domain correlation curve restricted to `±max_lag` samples.
+///
+/// `values[k]` corresponds to lag `k as isize - max_lag as isize`; positive
+/// lag means the first signal *leads* (the second is a delayed copy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LagCurve {
+    /// Correlation values for lags `-max_lag ..= +max_lag`.
+    pub values: Vec<f64>,
+    /// Half-width of the lag window in samples.
+    pub max_lag: usize,
+}
+
+impl LagCurve {
+    /// The lag (in samples, possibly negative) with the largest value.
+    pub fn peak_lag(&self) -> isize {
+        let idx = crate::peak::argmax(&self.values).unwrap_or(self.max_lag);
+        idx as isize - self.max_lag as isize
+    }
+
+    /// Sub-sample peak location via parabolic interpolation around the
+    /// discrete maximum. Falls back to the discrete lag at the window edges.
+    pub fn peak_lag_interpolated(&self) -> f64 {
+        let idx = crate::peak::argmax(&self.values).unwrap_or(self.max_lag);
+        let coarse = idx as f64 - self.max_lag as f64;
+        if idx == 0 || idx + 1 >= self.values.len() {
+            return coarse;
+        }
+        let (ym1, y0, yp1) = (self.values[idx - 1], self.values[idx], self.values[idx + 1]);
+        let denom = ym1 - 2.0 * y0 + yp1;
+        if denom.abs() < 1e-15 {
+            coarse
+        } else {
+            coarse + 0.5 * (ym1 - yp1) / denom
+        }
+    }
+
+    /// Value at an explicit lag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|lag| > max_lag`.
+    pub fn at(&self, lag: isize) -> f64 {
+        assert!(
+            lag.unsigned_abs() <= self.max_lag,
+            "lag {lag} outside ±{}",
+            self.max_lag
+        );
+        self.values[(lag + self.max_lag as isize) as usize]
+    }
+}
+
+fn validate_pair(x: &[f64], y: &[f64]) -> Result<(), DspError> {
+    if x.is_empty() || y.is_empty() {
+        return Err(DspError::length("signal", "must be non-empty"));
+    }
+    if x.len() != y.len() {
+        return Err(DspError::length(
+            "signal",
+            format!("channel lengths differ: {} vs {}", x.len(), y.len()),
+        ));
+    }
+    Ok(())
+}
+
+/// Computes the whitened (`phat = true`) or plain cross-correlation of two
+/// equal-length channels over lags `±max_lag`.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidLength`] for empty or length-mismatched inputs.
+fn cross_correlate(x: &[f64], y: &[f64], max_lag: usize, phat: bool) -> Result<LagCurve, DspError> {
+    validate_pair(x, y)?;
+    let n = x.len();
+    let max_lag = max_lag.min(n - 1);
+    // Pad to avoid circular aliasing of lags we care about.
+    let size = fft::next_pow2(n + max_lag + 1);
+    let xf = fft::rfft_n(x, size);
+    let yf = fft::rfft_n(y, size);
+    let mut cross: Vec<Complex> = xf
+        .iter()
+        .zip(yf.iter())
+        .map(|(a, b)| *a * b.conj())
+        .collect();
+    if phat {
+        // Whiten, but silence bins whose cross-power is numerically
+        // insignificant (more than 80 dB below the strongest bin): PHAT
+        // would otherwise amplify pure round-off noise to unit weight.
+        let max_mag = cross.iter().map(|c| c.abs()).fold(0.0, f64::max);
+        let floor = max_mag * 1e-4;
+        for c in &mut cross {
+            let m = c.abs();
+            *c = if m > floor && m > 1e-15 {
+                *c / m
+            } else {
+                Complex::ZERO
+            };
+        }
+    }
+    let r = fft::ifft(&cross);
+    let total = r.len();
+    // Lag l >= 0 lives at index l; lag l < 0 at index total + l.
+    let mut values = Vec::with_capacity(2 * max_lag + 1);
+    for l in -(max_lag as isize)..=(max_lag as isize) {
+        let idx = if l >= 0 {
+            l as usize
+        } else {
+            (total as isize + l) as usize
+        };
+        values.push(r[idx].re);
+    }
+    Ok(LagCurve { values, max_lag })
+}
+
+/// Plain cross-correlation over lags `±max_lag`.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidLength`] for empty or mismatched inputs.
+pub fn xcorr(x: &[f64], y: &[f64], max_lag: usize) -> Result<LagCurve, DspError> {
+    cross_correlate(x, y, max_lag, false)
+}
+
+/// GCC-PHAT of two equal-length channels over lags `±max_lag` (Eq. 5).
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidLength`] for empty or mismatched inputs.
+///
+/// # Example
+///
+/// ```
+/// use ht_dsp::correlate::gcc_phat;
+/// use ht_dsp::signal::fractional_delay;
+///
+/// # fn main() -> Result<(), ht_dsp::DspError> {
+/// // y is x delayed by 4 samples; the GCC-PHAT peak sits at lag -4
+/// // (negative lag: the first argument is the earlier signal).
+/// # let mut s = 1234567u64;
+/// # let mut next = move || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1); ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0 };
+/// let x: Vec<f64> = (0..512).map(|_| next()).collect();
+/// let y = fractional_delay(&x, 4.0, 16);
+/// let gcc = gcc_phat(&x, &y, 10)?;
+/// assert_eq!(gcc.peak_lag(), -4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gcc_phat(x: &[f64], y: &[f64], max_lag: usize) -> Result<LagCurve, DspError> {
+    cross_correlate(x, y, max_lag, true)
+}
+
+/// Estimates the TDoA between two channels in samples (positive when `x`
+/// arrives later than `y`), using GCC-PHAT with parabolic refinement.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidLength`] for empty or mismatched inputs.
+pub fn tdoa_samples(x: &[f64], y: &[f64], max_lag: usize) -> Result<f64, DspError> {
+    Ok(gcc_phat(x, y, max_lag)?.peak_lag_interpolated())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::fractional_delay;
+
+    fn chirp(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|k| {
+                let t = k as f64 / n as f64;
+                (2.0 * std::f64::consts::PI * (50.0 * t + 400.0 * t * t)).sin()
+            })
+            .collect()
+    }
+
+    /// Deterministic broadband test signal (LCG white noise) — sub-sample
+    /// delay estimation needs energy across the whole band.
+    fn broadband(n: usize) -> Vec<f64> {
+        let mut state = 0x2545F4914F6CDD1Du64;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn autocorrelation_peaks_at_zero() {
+        let x = chirp(1024);
+        let c = xcorr(&x, &x, 20).unwrap();
+        assert_eq!(c.peak_lag(), 0);
+        let g = gcc_phat(&x, &x, 20).unwrap();
+        assert_eq!(g.peak_lag(), 0);
+    }
+
+    #[test]
+    fn integer_delay_is_recovered() {
+        let x = chirp(2048);
+        for d in [1usize, 3, 7, 12] {
+            let y = fractional_delay(&x, d as f64, 16);
+            let g = gcc_phat(&x, &y, 16).unwrap();
+            assert_eq!(g.peak_lag(), -(d as isize), "delay {d}");
+            // Swapped arguments flip the sign.
+            let g2 = gcc_phat(&y, &x, 16).unwrap();
+            assert_eq!(g2.peak_lag(), d as isize);
+        }
+    }
+
+    #[test]
+    fn fractional_delay_is_recovered_subsample() {
+        let x = broadband(4096);
+        let d = 3.4;
+        let y = fractional_delay(&x, d, 24);
+        let est = tdoa_samples(&y, &x, 16).unwrap();
+        assert!((est - d).abs() < 0.2, "estimated {est}, expected {d}");
+    }
+
+    #[test]
+    fn phat_is_robust_to_spectral_coloring() {
+        // Color one channel with a strong zero-phase low-pass; PHAT should
+        // still find the true delay while keeping a sharp peak.
+        let x = broadband(4096);
+        let lp = crate::filter::Butterworth::lowpass(4, 2_000.0, 48_000.0).unwrap();
+        let y = lp.filtfilt(&fractional_delay(&x, 5.0, 16));
+        let g = gcc_phat(&x, &y, 16).unwrap();
+        assert_eq!(g.peak_lag(), -5);
+    }
+
+    #[test]
+    fn lag_window_clamps_to_signal_length() {
+        let x = vec![1.0, 0.0, 0.0];
+        let c = xcorr(&x, &x, 100).unwrap();
+        assert_eq!(c.max_lag, 2);
+        assert_eq!(c.values.len(), 5);
+    }
+
+    #[test]
+    fn mismatched_lengths_are_rejected() {
+        assert!(gcc_phat(&[1.0, 2.0], &[1.0], 1).is_err());
+        assert!(gcc_phat(&[], &[], 1).is_err());
+    }
+
+    #[test]
+    fn at_indexes_by_lag() {
+        let x = chirp(512);
+        let y = fractional_delay(&x, 2.0, 16);
+        let g = gcc_phat(&x, &y, 8).unwrap();
+        let m = crate::stats::max(&g.values);
+        assert!((g.at(-2) - m).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn at_rejects_out_of_window_lag() {
+        let x = chirp(256);
+        let g = gcc_phat(&x, &x, 4).unwrap();
+        g.at(5);
+    }
+
+    #[test]
+    fn silence_produces_flat_curve_not_nan() {
+        let z = vec![0.0; 256];
+        let g = gcc_phat(&z, &z, 8).unwrap();
+        assert!(g.values.iter().all(|v| v.is_finite()));
+    }
+}

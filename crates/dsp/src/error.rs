@@ -1,0 +1,88 @@
+//! Error type shared by fallible DSP routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible routines in this crate.
+///
+/// # Example
+///
+/// ```
+/// use ht_dsp::{filter::Butterworth, DspError};
+///
+/// // A corner frequency at or above Nyquist is rejected.
+/// let err = Butterworth::lowpass(5, 30_000.0, 48_000.0).unwrap_err();
+/// assert!(matches!(err, DspError::InvalidParameter { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DspError {
+    /// A numeric parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// An input slice had an unusable length (empty, mismatched, …).
+    InvalidLength {
+        /// Name of the offending input.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+}
+
+impl DspError {
+    /// Convenience constructor for [`DspError::InvalidParameter`].
+    pub fn param(name: &'static str, reason: impl Into<String>) -> Self {
+        DspError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`DspError::InvalidLength`].
+    pub fn length(name: &'static str, reason: impl Into<String>) -> Self {
+        DspError::InvalidLength {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DspError::InvalidLength { name, reason } => {
+                write!(f, "invalid length for `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = DspError::param("order", "must be at least 1");
+        assert_eq!(
+            e.to_string(),
+            "invalid parameter `order`: must be at least 1"
+        );
+        let e = DspError::length("signal", "must be non-empty");
+        assert!(e.to_string().contains("signal"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+}

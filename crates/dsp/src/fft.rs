@@ -1,0 +1,341 @@
+//! Fast Fourier transform: iterative radix-2 with a Bluestein fallback for
+//! arbitrary lengths.
+//!
+//! All transforms are unnormalized in the forward direction; the inverse
+//! divides by the length, so `ifft(fft(x)) == x`.
+
+use crate::complex::Complex;
+
+/// Returns the smallest power of two `>= n` (and at least 1).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(ht_dsp::fft::next_pow2(1000), 1024);
+/// assert_eq!(ht_dsp::fft::next_pow2(1024), 1024);
+/// assert_eq!(ht_dsp::fft::next_pow2(0), 1);
+/// ```
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// `inverse` selects the conjugate transform; normalization by `1/N` for the
+/// inverse is applied by the caller-facing wrappers.
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a power of two (internal invariant; public
+/// entry points pad or use Bluestein).
+fn fft_pow2_in_place(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    debug_assert!(n.is_power_of_two());
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_angle(ang);
+        let half = len / 2;
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for k in 0..half {
+                let u = buf[i + k];
+                let v = buf[i + k + half] * w;
+                buf[i + k] = u + v;
+                buf[i + k + half] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a complex buffer of arbitrary length.
+///
+/// Power-of-two lengths use radix-2 directly; other lengths use Bluestein's
+/// algorithm (chirp-z), so the result is the exact N-point DFT, not a padded
+/// approximation.
+///
+/// # Example
+///
+/// ```
+/// use ht_dsp::{fft, Complex};
+///
+/// let x: Vec<Complex> = (0..6).map(|k| Complex::from_real(k as f64)).collect();
+/// let spec = fft::fft(&x);
+/// // DC bin equals the sum of the samples.
+/// assert!((spec[0].re - 15.0).abs() < 1e-9);
+/// ```
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let mut buf = input.to_vec();
+    fft_in_place(&mut buf, false);
+    buf
+}
+
+/// Inverse FFT of a complex buffer of arbitrary length (normalized by `1/N`).
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let mut buf = input.to_vec();
+    fft_in_place(&mut buf, true);
+    let n = buf.len() as f64;
+    for z in &mut buf {
+        *z = *z / n;
+    }
+    buf
+}
+
+/// Dispatches between radix-2 and Bluestein. Inverse is unnormalized.
+fn fft_in_place(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        fft_pow2_in_place(buf, inverse);
+    } else {
+        let out = bluestein(buf, inverse);
+        buf.copy_from_slice(&out);
+    }
+}
+
+/// Bluestein chirp-z transform: computes the exact N-point DFT for arbitrary
+/// N using three power-of-two FFTs.
+fn bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = input.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let m = next_pow2(2 * n - 1);
+
+    // Chirp: w_k = exp(sign * i * pi * k^2 / n)
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            // Reduce k^2 mod 2n before the float multiply to keep precision
+            // for long transforms.
+            let k2 = (k as u128 * k as u128) % (2 * n as u128);
+            Complex::from_angle(sign * std::f64::consts::PI * k2 as f64 / n as f64)
+        })
+        .collect();
+
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+    }
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+
+    fft_pow2_in_place(&mut a, false);
+    fft_pow2_in_place(&mut b, false);
+    for (av, bv) in a.iter_mut().zip(b.iter()) {
+        *av *= *bv;
+    }
+    fft_pow2_in_place(&mut a, true);
+    let scale = 1.0 / m as f64;
+    (0..n).map(|k| a[k] * chirp[k] * scale).collect()
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+///
+/// Returns the full complex spectrum of length `next_pow2(x.len())`. Use
+/// [`rfft_len`] to get the padded length up front.
+pub fn rfft(x: &[f64]) -> Vec<Complex> {
+    let n = next_pow2(x.len());
+    let mut buf = vec![Complex::ZERO; n];
+    for (b, &v) in buf.iter_mut().zip(x.iter()) {
+        b.re = v;
+    }
+    fft_pow2_in_place(&mut buf, false);
+    buf
+}
+
+/// Forward FFT of a real signal zero-padded to exactly `n_fft` points
+/// (`n_fft` is rounded up to a power of two).
+pub fn rfft_n(x: &[f64], n_fft: usize) -> Vec<Complex> {
+    let n = next_pow2(n_fft.max(x.len()));
+    let mut buf = vec![Complex::ZERO; n];
+    for (b, &v) in buf.iter_mut().zip(x.iter()) {
+        b.re = v;
+    }
+    fft_pow2_in_place(&mut buf, false);
+    buf
+}
+
+/// Length of the spectrum produced by [`rfft`] for an input of length `n`.
+pub fn rfft_len(n: usize) -> usize {
+    next_pow2(n)
+}
+
+/// One-sided magnitude spectrum of a real signal: `|X[0..=N/2]|`.
+///
+/// The length is `next_pow2(x.len())/2 + 1`; bin `k` corresponds to frequency
+/// `k * sample_rate / next_pow2(x.len())`.
+pub fn rfft_magnitude(x: &[f64]) -> Vec<f64> {
+    let spec = rfft(x);
+    let half = spec.len() / 2;
+    spec[..=half].iter().map(|z| z.abs()).collect()
+}
+
+/// Inverse FFT returning only the real parts (for spectra known to be
+/// conjugate-symmetric, e.g. produced from real signals).
+pub fn irfft_real(spec: &[Complex]) -> Vec<f64> {
+    ifft(spec).into_iter().map(|z| z.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Naive O(N^2) DFT used as ground truth.
+    fn dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|j| {
+                        x[j] * Complex::from_angle(
+                            -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64,
+                        )
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|k| Complex::new(k as f64 * 0.5 - 1.0, (k as f64 * 0.3).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_pow2() {
+        for n in [1usize, 2, 4, 8, 16, 64] {
+            let x = ramp(n);
+            assert!(max_err(&fft(&x), &dft(&x)) < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_non_pow2() {
+        for n in [3usize, 5, 6, 7, 12, 15, 100] {
+            let x = ramp(n);
+            assert!(max_err(&fft(&x), &dft(&x)) < 1e-8, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        for n in [8usize, 13, 48, 1000] {
+            let x = ramp(n);
+            let back = ifft(&fft(&x));
+            assert!(max_err(&x, &back) < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 16];
+        x[0] = Complex::ONE;
+        for bin in fft(&x) {
+            assert!((bin.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let x = ramp(64);
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let freq_energy: f64 = fft(&x).iter().map(|z| z.norm_sqr()).sum::<f64>() / 64.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn rfft_spectrum_is_conjugate_symmetric() {
+        let x: Vec<f64> = (0..100).map(|k| (k as f64 * 0.17).sin()).collect();
+        let spec = rfft(&x);
+        let n = spec.len();
+        for k in 1..n / 2 {
+            let d = spec[k] - spec[n - k].conj();
+            assert!(d.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rfft_magnitude_locates_tone() {
+        let sr = 48_000.0;
+        let f = 3000.0;
+        let x: Vec<f64> = (0..4096)
+            .map(|n| (2.0 * std::f64::consts::PI * f * n as f64 / sr).sin())
+            .collect();
+        let mag = rfft_magnitude(&x);
+        let peak = mag
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let hz_per_bin = sr / 4096.0;
+        assert!((peak as f64 * hz_per_bin - f).abs() <= hz_per_bin);
+    }
+
+    #[test]
+    fn rfft_n_pads_to_requested_size() {
+        let x = vec![1.0; 10];
+        assert_eq!(rfft_n(&x, 64).len(), 64);
+        // Requested size below input length still covers the whole input.
+        assert_eq!(rfft_n(&x, 4).len(), 16);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert!(fft(&[]).is_empty());
+        let one = fft(&[Complex::new(2.5, 0.0)]);
+        assert_eq!(one, vec![Complex::new(2.5, 0.0)]);
+    }
+
+    #[test]
+    fn linearity_of_transform() {
+        let a = ramp(32);
+        let b: Vec<Complex> = ramp(32)
+            .iter()
+            .map(|z| *z * Complex::new(0.3, 0.7))
+            .collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let lhs = fft(&sum);
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let rhs: Vec<Complex> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(max_err(&lhs, &rhs) < 1e-9);
+    }
+}

@@ -1,0 +1,155 @@
+//! Peak detection over sampled curves (SRP lag windows, spectra).
+
+/// A detected local maximum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Index of the peak within the input slice.
+    pub index: usize,
+    /// Value at the peak.
+    pub value: f64,
+}
+
+/// Finds local maxima of `x`: samples strictly greater than their left
+/// neighbour and at least as great as their right neighbour. Endpoints count
+/// as peaks when they dominate their single neighbour — the SRP lag window is
+/// a truncated curve, so its physical maximum can sit on the boundary.
+///
+/// # Example
+///
+/// ```
+/// use ht_dsp::peak::local_maxima;
+///
+/// let x = [0.0, 2.0, 1.0, 3.0, 0.5];
+/// let peaks = local_maxima(&x);
+/// let idx: Vec<usize> = peaks.iter().map(|p| p.index).collect();
+/// assert_eq!(idx, vec![1, 3]);
+/// ```
+pub fn local_maxima(x: &[f64]) -> Vec<Peak> {
+    let n = x.len();
+    match n {
+        0 => return Vec::new(),
+        1 => {
+            return vec![Peak {
+                index: 0,
+                value: x[0],
+            }]
+        }
+        _ => {}
+    }
+    let mut peaks = Vec::new();
+    if x[0] > x[1] {
+        peaks.push(Peak {
+            index: 0,
+            value: x[0],
+        });
+    }
+    for i in 1..n - 1 {
+        if x[i] > x[i - 1] && x[i] >= x[i + 1] {
+            peaks.push(Peak {
+                index: i,
+                value: x[i],
+            });
+        }
+    }
+    if x[n - 1] > x[n - 2] {
+        peaks.push(Peak {
+            index: n - 1,
+            value: x[n - 1],
+        });
+    }
+    peaks
+}
+
+/// The `k` largest local maxima, sorted by descending value. When fewer than
+/// `k` local maxima exist the list is padded with the globally largest
+/// remaining samples so that feature vectors keep a fixed width (§III-B3
+/// ranks "the top three peak values as one feature").
+pub fn top_k_peaks(x: &[f64], k: usize) -> Vec<Peak> {
+    let mut peaks = local_maxima(x);
+    peaks.sort_by(|a, b| b.value.total_cmp(&a.value));
+    peaks.truncate(k);
+    if peaks.len() < k && !x.is_empty() {
+        let taken: Vec<usize> = peaks.iter().map(|p| p.index).collect();
+        let mut rest: Vec<Peak> = x
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !taken.contains(i))
+            .map(|(index, &value)| Peak { index, value })
+            .collect();
+        rest.sort_by(|a, b| b.value.total_cmp(&a.value));
+        peaks.extend(rest.into_iter().take(k - peaks.len()));
+    }
+    peaks
+}
+
+/// The values of the `k` largest peaks, zero-padded to exactly `k` entries
+/// (fixed-width feature helper).
+pub fn top_k_peak_values(x: &[f64], k: usize) -> Vec<f64> {
+    let mut vals: Vec<f64> = top_k_peaks(x, k).into_iter().map(|p| p.value).collect();
+    vals.resize(k, 0.0);
+    vals
+}
+
+/// Index of the global maximum, or `None` for an empty slice.
+pub fn argmax(x: &[f64]) -> Option<usize> {
+    x.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(local_maxima(&[]).is_empty());
+        let p = local_maxima(&[7.0]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].value, 7.0);
+    }
+
+    #[test]
+    fn boundary_peaks_are_detected() {
+        let x = [5.0, 1.0, 0.0, 4.0];
+        let idx: Vec<usize> = local_maxima(&x).iter().map(|p| p.index).collect();
+        assert_eq!(idx, vec![0, 3]);
+    }
+
+    #[test]
+    fn plateau_counts_once() {
+        // [0, 2, 2, 0]: index 1 satisfies (strict left, >= right); index 2
+        // does not satisfy strict left. Exactly one peak.
+        let x = [0.0, 2.0, 2.0, 0.0];
+        assert_eq!(local_maxima(&x).len(), 1);
+    }
+
+    #[test]
+    fn top_k_orders_by_value() {
+        let x = [0.0, 3.0, 0.0, 5.0, 0.0, 1.0, 0.0];
+        let top = top_k_peaks(&x, 2);
+        assert_eq!(top[0].value, 5.0);
+        assert_eq!(top[1].value, 3.0);
+    }
+
+    #[test]
+    fn top_k_pads_with_largest_samples() {
+        // Monotone ramp has a single local max (the right endpoint).
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let vals = top_k_peak_values(&x, 3);
+        assert_eq!(vals, vec![4.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn top_k_zero_pads_short_inputs() {
+        assert_eq!(top_k_peak_values(&[2.0], 3), vec![2.0, 0.0, 0.0]);
+        assert_eq!(top_k_peak_values(&[], 2), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn argmax_basics() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0, 9.0, 3.0]), Some(1));
+    }
+}

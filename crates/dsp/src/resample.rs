@@ -1,0 +1,146 @@
+//! Sample-rate conversion.
+//!
+//! The liveness detector consumes 16 kHz audio while the arrays record at
+//! 48 kHz (§III-A: "takes the downsampled 16 kHz speech … as input"), so the
+//! primary operation here is an anti-aliased integer-factor decimation.
+
+use crate::error::DspError;
+use crate::window::{sinc_lowpass, Window};
+
+/// Decimates `x` by the integer `factor` after an anti-alias windowed-sinc
+/// low-pass at 45% of the output Nyquist.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if `factor == 0`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), ht_dsp::DspError> {
+/// let x: Vec<f64> = (0..4800).map(|n| (n as f64 * 0.01).sin()).collect();
+/// let y = ht_dsp::resample::decimate(&x, 3)?;
+/// assert_eq!(y.len(), 1600);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decimate(x: &[f64], factor: usize) -> Result<Vec<f64>, DspError> {
+    if factor == 0 {
+        return Err(DspError::param("factor", "must be at least 1"));
+    }
+    if factor == 1 {
+        return Ok(x.to_vec());
+    }
+    if x.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Anti-alias filter: cutoff at 0.45 / factor (relative to input rate).
+    // The Blackman transition band is ~5.5/taps of the input rate; 24·factor
+    // taps keeps the transition inside the guard band below the new Nyquist.
+    let fc = 0.45 / factor as f64;
+    let taps = 24 * factor + 1;
+    let h = sinc_lowpass(taps, fc, Window::Blackman);
+    let delay = (taps - 1) / 2;
+
+    let out_len = x.len().div_ceil(factor);
+    let mut y = Vec::with_capacity(out_len);
+    for m in 0..out_len {
+        // Output sample m corresponds to input index m*factor; compensate
+        // the FIR group delay so the output is time-aligned with the input.
+        let center = m * factor + delay;
+        let mut acc = 0.0;
+        for (k, &hk) in h.iter().enumerate() {
+            let idx = center as isize - k as isize;
+            if idx >= 0 && (idx as usize) < x.len() {
+                acc += hk * x[idx as usize];
+            }
+        }
+        y.push(acc);
+    }
+    Ok(y)
+}
+
+/// Downsamples 48 kHz audio to 16 kHz (the liveness-detector input rate).
+///
+/// # Errors
+///
+/// Propagates [`decimate`] errors (none in practice: the factor is fixed).
+pub fn to_16k_from_48k(x: &[f64]) -> Result<Vec<f64>, DspError> {
+    decimate(x, 3)
+}
+
+/// Naive zero-order-hold upsampling by an integer factor (used only by test
+/// fixtures; real rendering happens natively at 48 kHz).
+pub fn upsample_hold(x: &[f64], factor: usize) -> Result<Vec<f64>, DspError> {
+    if factor == 0 {
+        return Err(DspError::param("factor", "must be at least 1"));
+    }
+    let mut y = Vec::with_capacity(x.len() * factor);
+    for &v in x {
+        for _ in 0..factor {
+            y.push(v);
+        }
+    }
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::{rms, tone};
+
+    #[test]
+    fn output_length_is_ceil_division() {
+        let x = vec![0.0; 10];
+        assert_eq!(decimate(&x, 3).unwrap().len(), 4);
+        assert_eq!(decimate(&x, 2).unwrap().len(), 5);
+        assert_eq!(decimate(&x, 1).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn factor_zero_is_rejected() {
+        assert!(decimate(&[1.0], 0).is_err());
+        assert!(upsample_hold(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn passband_tone_survives_decimation() {
+        // 1 kHz tone at 48 kHz -> 16 kHz: well inside the new Nyquist.
+        let x = tone(1000.0, 48_000.0, 48_000, 1.0);
+        let y = to_16k_from_48k(&x).unwrap();
+        let mid = &y[2000..14_000];
+        assert!((rms(mid) - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02);
+    }
+
+    #[test]
+    fn aliasing_tone_is_suppressed() {
+        // 10 kHz is above the 16 kHz-Nyquist of 8 kHz; it must not alias in.
+        let x = tone(10_000.0, 48_000.0, 48_000, 1.0);
+        let y = to_16k_from_48k(&x).unwrap();
+        assert!(rms(&y[2000..14_000]) < 0.01);
+    }
+
+    #[test]
+    fn decimated_tone_keeps_frequency() {
+        let f = 440.0;
+        let x = tone(f, 48_000.0, 48_000, 1.0);
+        let y = to_16k_from_48k(&x).unwrap();
+        let mag = crate::fft::rfft_magnitude(&y[..16_000]);
+        let peak = crate::peak::argmax(&mag).unwrap();
+        let bin_hz = 16_000.0 / crate::fft::next_pow2(16_000) as f64;
+        assert!((peak as f64 * bin_hz - f).abs() < 2.0 * bin_hz);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(decimate(&[], 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn upsample_hold_repeats_samples() {
+        assert_eq!(
+            upsample_hold(&[1.0, 2.0], 3).unwrap(),
+            vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]
+        );
+    }
+}

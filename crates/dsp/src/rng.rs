@@ -1,0 +1,91 @@
+//! Random-signal helpers shared across the workspace: Gaussian sampling
+//! (Box–Muller, so we avoid a `rand_distr` dependency) and white-noise
+//! buffers.
+//!
+//! Every generator takes an explicit [`rand::Rng`] so callers control
+//! seeding; all experiments in the reproduction are deterministic given a
+//! seed.
+
+use rand::Rng;
+
+/// Draws one standard-normal sample via the Box–Muller transform.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let z = ht_dsp::rng::gaussian(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal sample with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * gaussian(rng)
+}
+
+/// A buffer of `n` i.i.d. standard-normal samples (white Gaussian noise with
+/// unit RMS in expectation).
+pub fn white_noise<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    (0..n).map(|_| gaussian(rng)).collect()
+}
+
+/// A buffer of `n` uniform samples in `[-1, 1)`.
+pub fn uniform_noise<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments_are_standard() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs = white_noise(&mut rng, 100_000);
+        let mean = crate::stats::mean(&xs);
+        let var = crate::stats::variance(&xs);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn gaussian_tail_mass_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs = white_noise(&mut rng, 50_000);
+        let beyond_2sd = xs.iter().filter(|v| v.abs() > 2.0).count() as f64 / xs.len() as f64;
+        // True mass is ~4.55%.
+        assert!((beyond_2sd - 0.0455).abs() < 0.01, "tail {beyond_2sd}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let xs: Vec<f64> = (0..50_000).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        assert!((crate::stats::mean(&xs) - 5.0).abs() < 0.05);
+        assert!((crate::stats::std_dev(&xs) - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn uniform_noise_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs = uniform_noise(&mut rng, 10_000);
+        assert!(xs.iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = white_noise(&mut StdRng::seed_from_u64(123), 64);
+        let b = white_noise(&mut StdRng::seed_from_u64(123), 64);
+        assert_eq!(a, b);
+    }
+}

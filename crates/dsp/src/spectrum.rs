@@ -1,0 +1,309 @@
+//! Spectral analysis: band energies, Welch PSD, and the paper's speech
+//! directivity features (high/low band ratio and low-band chunk statistics,
+//! §III-B3).
+
+use crate::error::DspError;
+use crate::fft;
+use crate::stft;
+use crate::window::Window;
+
+/// A one-sided magnitude spectrum with its frequency axis metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum {
+    /// Magnitudes `|X[k]|` for bins `0 ..= n_fft/2`.
+    pub magnitudes: Vec<f64>,
+    /// Sample rate of the analyzed signal in Hz.
+    pub sample_rate: f64,
+    /// FFT length used for the analysis.
+    pub n_fft: usize,
+}
+
+impl Spectrum {
+    /// Computes the one-sided magnitude spectrum of `x` (zero-padded to the
+    /// next power of two).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidLength`] for an empty signal and
+    /// [`DspError::InvalidParameter`] for a non-positive sample rate.
+    pub fn of(x: &[f64], sample_rate: f64) -> Result<Spectrum, DspError> {
+        if x.is_empty() {
+            return Err(DspError::length("x", "must be non-empty"));
+        }
+        if sample_rate <= 0.0 || sample_rate.is_nan() {
+            return Err(DspError::param("sample_rate", "must be positive"));
+        }
+        let n_fft = fft::next_pow2(x.len());
+        Ok(Spectrum {
+            magnitudes: fft::rfft_magnitude(x),
+            sample_rate,
+            n_fft,
+        })
+    }
+
+    /// Frequency (Hz) of bin `k`.
+    pub fn bin_to_hz(&self, k: usize) -> f64 {
+        k as f64 * self.sample_rate / self.n_fft as f64
+    }
+
+    /// Bin index closest to frequency `hz` (clamped to the valid range).
+    pub fn hz_to_bin(&self, hz: f64) -> usize {
+        let k = (hz * self.n_fft as f64 / self.sample_rate).round() as usize;
+        k.min(self.magnitudes.len() - 1)
+    }
+
+    /// The slice of magnitudes spanning `[lo_hz, hi_hz)`.
+    pub fn band(&self, lo_hz: f64, hi_hz: f64) -> &[f64] {
+        let lo = self.hz_to_bin(lo_hz);
+        let hi = self.hz_to_bin(hi_hz).max(lo);
+        &self.magnitudes[lo..hi]
+    }
+
+    /// Mean magnitude over `[lo_hz, hi_hz)` (0 if the band is empty).
+    pub fn band_mean(&self, lo_hz: f64, hi_hz: f64) -> f64 {
+        crate::stats::mean(self.band(lo_hz, hi_hz))
+    }
+
+    /// Energy (sum of squared magnitudes) over `[lo_hz, hi_hz)`.
+    pub fn band_energy(&self, lo_hz: f64, hi_hz: f64) -> f64 {
+        self.band(lo_hz, hi_hz).iter().map(|m| m * m).sum()
+    }
+
+    /// Magnitudes normalized to a unit maximum (as plotted in Fig. 3/5 of
+    /// the paper). A silent spectrum stays zero.
+    pub fn normalized(&self) -> Vec<f64> {
+        let m = crate::stats::max(&self.magnitudes).max(0.0);
+        if m == 0.0 {
+            return self.magnitudes.clone();
+        }
+        self.magnitudes.iter().map(|v| v / m).collect()
+    }
+}
+
+/// The paper's low band for speech directivity analysis: 100–400 Hz.
+pub const LOW_BAND_HZ: (f64, f64) = (100.0, 400.0);
+/// The paper's high band for speech directivity analysis: 500–4000 Hz.
+pub const HIGH_BAND_HZ: (f64, f64) = (500.0, 4000.0);
+
+/// High/low band ratio (HLBR): mean magnitude of the 500–4000 Hz band over
+/// the mean magnitude of the 100–400 Hz band (§III-B3). Returns 0 when the
+/// low band is silent.
+pub fn hlbr(spectrum: &Spectrum) -> f64 {
+    let low = spectrum.band_mean(LOW_BAND_HZ.0, LOW_BAND_HZ.1);
+    let high = spectrum.band_mean(HIGH_BAND_HZ.0, HIGH_BAND_HZ.1);
+    if low <= 0.0 {
+        0.0
+    } else {
+        high / low
+    }
+}
+
+/// Per-chunk statistics of the low band, divided into `chunks` equal
+/// frequency sub-bands: `(mean, rms, std_dev)` for each chunk (§III-B3 uses
+/// 20 chunks).
+pub fn low_band_chunk_stats(spectrum: &Spectrum, chunks: usize) -> Vec<(f64, f64, f64)> {
+    assert!(chunks >= 1, "need at least one chunk");
+    let (lo, hi) = LOW_BAND_HZ;
+    let step = (hi - lo) / chunks as f64;
+    (0..chunks)
+        .map(|c| {
+            let b = spectrum.band(lo + c as f64 * step, lo + (c + 1) as f64 * step);
+            (
+                crate::stats::mean(b),
+                crate::stats::rms(b),
+                crate::stats::std_dev(b),
+            )
+        })
+        .collect()
+}
+
+/// Welch power-spectral-density estimate: mean periodogram over Hann-windowed
+/// half-overlapping segments of length `segment`.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidLength`] if the signal is shorter than one
+/// segment, and [`DspError::InvalidParameter`] for a zero segment length.
+pub fn welch_psd(x: &[f64], segment: usize, sample_rate: f64) -> Result<Spectrum, DspError> {
+    if segment == 0 {
+        return Err(DspError::param("segment", "must be at least 1"));
+    }
+    if x.len() < segment {
+        return Err(DspError::length(
+            "x",
+            format!("signal ({}) shorter than segment ({segment})", x.len()),
+        ));
+    }
+    let frames = stft::frames(x, segment, segment / 2);
+    let n_fft = fft::next_pow2(segment);
+    let mut acc = vec![0.0; n_fft / 2 + 1];
+    let w = Window::Hann.coefficients(segment);
+    let wnorm: f64 = w.iter().map(|v| v * v).sum();
+    for frame in &frames {
+        let mut buf = frame.clone();
+        for (s, wv) in buf.iter_mut().zip(w.iter()) {
+            *s *= wv;
+        }
+        let spec = fft::rfft_n(&buf, n_fft);
+        for (a, z) in acc.iter_mut().zip(spec[..=n_fft / 2].iter()) {
+            *a += z.norm_sqr();
+        }
+    }
+    let scale = 1.0 / (frames.len() as f64 * wnorm * sample_rate);
+    for a in &mut acc {
+        *a *= scale;
+    }
+    Ok(Spectrum {
+        magnitudes: acc,
+        sample_rate,
+        n_fft,
+    })
+}
+
+/// Log-spaced band energies of a signal — the compact spectral signature fed
+/// to the liveness network's input layer (see `headtalk::liveness`).
+///
+/// Produces `bands` energies covering `[f_lo, f_hi]` with logarithmic band
+/// edges, each in log-power (`ln(energy + eps)`).
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] for invalid band counts/edges and
+/// [`DspError::InvalidLength`] for an empty signal.
+pub fn log_band_energies(
+    x: &[f64],
+    sample_rate: f64,
+    bands: usize,
+    f_lo: f64,
+    f_hi: f64,
+) -> Result<Vec<f64>, DspError> {
+    if bands == 0 {
+        return Err(DspError::param("bands", "must be at least 1"));
+    }
+    if f_lo <= 0.0 || f_lo.is_nan() || f_hi <= f_lo || f_hi > sample_rate / 2.0 {
+        return Err(DspError::param(
+            "f_lo/f_hi",
+            format!("band edges must satisfy 0 < f_lo < f_hi <= fs/2, got [{f_lo}, {f_hi}]"),
+        ));
+    }
+    let spec = Spectrum::of(x, sample_rate)?;
+    let log_lo = f_lo.ln();
+    let log_hi = f_hi.ln();
+    let eps = 1e-12;
+    Ok((0..bands)
+        .map(|b| {
+            let lo = (log_lo + (log_hi - log_lo) * b as f64 / bands as f64).exp();
+            let hi = (log_lo + (log_hi - log_lo) * (b + 1) as f64 / bands as f64).exp();
+            (spec.band_energy(lo, hi) + eps).ln()
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::tone;
+
+    const FS: f64 = 48_000.0;
+
+    #[test]
+    fn bin_frequency_round_trip() {
+        let x = tone(1000.0, FS, 4096, 1.0);
+        let s = Spectrum::of(&x, FS).unwrap();
+        let k = s.hz_to_bin(1000.0);
+        assert!((s.bin_to_hz(k) - 1000.0).abs() < FS / 4096.0);
+    }
+
+    #[test]
+    fn tone_energy_lands_in_its_band() {
+        let x = tone(1000.0, FS, 8192, 1.0);
+        let s = Spectrum::of(&x, FS).unwrap();
+        assert!(s.band_energy(900.0, 1100.0) > 100.0 * s.band_energy(2000.0, 3000.0));
+    }
+
+    #[test]
+    fn hlbr_distinguishes_bright_from_dull() {
+        // Equal-amplitude components in low and high bands -> HLBR ~ band
+        // width effects aside, removing the high tone drops HLBR sharply.
+        let mut bright = tone(250.0, FS, 8192, 1.0);
+        let high = tone(2000.0, FS, 8192, 1.0);
+        for (b, h) in bright.iter_mut().zip(high.iter()) {
+            *b += h;
+        }
+        let dull = tone(250.0, FS, 8192, 1.0);
+        let hb = hlbr(&Spectrum::of(&bright, FS).unwrap());
+        let hd = hlbr(&Spectrum::of(&dull, FS).unwrap());
+        assert!(hb > 5.0 * hd, "bright {hb} vs dull {hd}");
+    }
+
+    #[test]
+    fn hlbr_of_silence_is_zero() {
+        let s = Spectrum::of(&[0.0; 1024], FS).unwrap();
+        assert_eq!(hlbr(&s), 0.0);
+    }
+
+    #[test]
+    fn chunk_stats_have_requested_layout() {
+        let x = tone(250.0, FS, 8192, 1.0);
+        let s = Spectrum::of(&x, FS).unwrap();
+        let stats = low_band_chunk_stats(&s, 20);
+        assert_eq!(stats.len(), 20);
+        // The 250 Hz tone falls in chunk 10 of [100, 400) split into 20.
+        let loudest = stats
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+            .unwrap()
+            .0;
+        assert_eq!(loudest, 10);
+    }
+
+    #[test]
+    fn welch_psd_peaks_at_tone() {
+        let x = tone(3000.0, FS, 48_000, 1.0);
+        let psd = welch_psd(&x, 2048, FS).unwrap();
+        let peak = crate::peak::argmax(&psd.magnitudes).unwrap();
+        assert!((psd.bin_to_hz(peak) - 3000.0).abs() < 50.0);
+    }
+
+    #[test]
+    fn welch_rejects_short_signal() {
+        assert!(welch_psd(&[1.0; 10], 64, FS).is_err());
+        assert!(welch_psd(&[1.0; 10], 0, FS).is_err());
+    }
+
+    #[test]
+    fn normalized_peak_is_one() {
+        let x = tone(500.0, FS, 2048, 3.0);
+        let s = Spectrum::of(&x, FS).unwrap();
+        let n = s.normalized();
+        assert!((crate::stats::max(&n) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_band_energies_shape_and_order() {
+        let x = tone(1000.0, 16_000.0, 8000, 1.0);
+        let e = log_band_energies(&x, 16_000.0, 32, 50.0, 8000.0).unwrap();
+        assert_eq!(e.len(), 32);
+        assert!(e.iter().all(|v| v.is_finite()));
+        // The band containing 1 kHz dominates.
+        let imax = crate::peak::argmax(&e).unwrap();
+        let lo = (50f64.ln() + (8000f64 / 50.0).ln() * imax as f64 / 32.0).exp();
+        let hi = (50f64.ln() + (8000f64 / 50.0).ln() * (imax + 1) as f64 / 32.0).exp();
+        assert!(lo <= 1000.0 && 1000.0 <= hi, "peak band [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn log_band_energies_validates_edges() {
+        let x = vec![0.1; 100];
+        assert!(log_band_energies(&x, 16_000.0, 0, 50.0, 8000.0).is_err());
+        assert!(log_band_energies(&x, 16_000.0, 8, 0.0, 8000.0).is_err());
+        assert!(log_band_energies(&x, 16_000.0, 8, 100.0, 9000.0).is_err());
+    }
+
+    #[test]
+    fn empty_signal_is_rejected() {
+        assert!(Spectrum::of(&[], FS).is_err());
+        assert!(Spectrum::of(&[1.0], 0.0).is_err());
+    }
+}

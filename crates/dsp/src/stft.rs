@@ -1,0 +1,164 @@
+//! Framing and the short-time Fourier transform.
+
+use crate::complex::Complex;
+use crate::fft;
+use crate::window::Window;
+
+/// Splits `x` into frames of `size` samples advancing by `hop` samples.
+/// The final partial frame is zero-padded. Returns no frames for an empty
+/// signal.
+///
+/// # Panics
+///
+/// Panics if `size == 0` or `hop == 0`.
+pub fn frames(x: &[f64], size: usize, hop: usize) -> Vec<Vec<f64>> {
+    assert!(size > 0, "frame size must be positive");
+    assert!(hop > 0, "hop must be positive");
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < x.len() {
+        let end = (start + size).min(x.len());
+        let mut frame = x[start..end].to_vec();
+        frame.resize(size, 0.0);
+        out.push(frame);
+        start += hop;
+    }
+    out
+}
+
+/// A complex STFT matrix: `bins[t][k]` is frequency bin `k` of frame `t`
+/// (one-sided, `n_fft/2 + 1` bins).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stft {
+    /// One-sided complex bins per frame.
+    pub bins: Vec<Vec<Complex>>,
+    /// FFT length (frames are zero-padded to this power of two).
+    pub n_fft: usize,
+    /// Hop size in samples.
+    pub hop: usize,
+    /// Sample rate in Hz.
+    pub sample_rate: f64,
+}
+
+impl Stft {
+    /// Computes the STFT of `x` with the given window, frame size and hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_size == 0` or `hop == 0`.
+    pub fn compute(
+        x: &[f64],
+        sample_rate: f64,
+        frame_size: usize,
+        hop: usize,
+        window: Window,
+    ) -> Stft {
+        let n_fft = fft::next_pow2(frame_size);
+        let w = window.coefficients(frame_size);
+        let bins = frames(x, frame_size, hop)
+            .into_iter()
+            .map(|mut frame| {
+                for (s, wv) in frame.iter_mut().zip(w.iter()) {
+                    *s *= wv;
+                }
+                let spec = fft::rfft_n(&frame, n_fft);
+                spec[..=n_fft / 2].to_vec()
+            })
+            .collect();
+        Stft {
+            bins,
+            n_fft,
+            hop,
+            sample_rate,
+        }
+    }
+
+    /// Magnitude spectrogram: `|bins[t][k]|`.
+    pub fn magnitudes(&self) -> Vec<Vec<f64>> {
+        self.bins
+            .iter()
+            .map(|row| row.iter().map(|z| z.abs()).collect())
+            .collect()
+    }
+
+    /// Mean magnitude over time per frequency bin (a long-term average
+    /// spectrum).
+    pub fn mean_magnitude(&self) -> Vec<f64> {
+        if self.bins.is_empty() {
+            return Vec::new();
+        }
+        let k = self.bins[0].len();
+        let mut acc = vec![0.0; k];
+        for row in &self.bins {
+            for (a, z) in acc.iter_mut().zip(row.iter()) {
+                *a += z.abs();
+            }
+        }
+        let n = self.bins.len() as f64;
+        for a in &mut acc {
+            *a /= n;
+        }
+        acc
+    }
+
+    /// Frequency (Hz) of bin `k`.
+    pub fn bin_to_hz(&self, k: usize) -> f64 {
+        k as f64 * self.sample_rate / self.n_fft as f64
+    }
+
+    /// Number of frames.
+    pub fn n_frames(&self) -> usize {
+        self.bins.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::tone;
+
+    #[test]
+    fn frame_count_and_padding() {
+        let x = vec![1.0; 10];
+        let f = frames(&x, 4, 2);
+        assert_eq!(f.len(), 5); // starts at 0,2,4,6,8
+        assert_eq!(f[4], vec![1.0, 1.0, 0.0, 0.0]);
+        assert!(frames(&[], 4, 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "hop")]
+    fn zero_hop_panics() {
+        frames(&[1.0], 4, 0);
+    }
+
+    #[test]
+    fn stft_tone_concentrates_in_one_bin() {
+        let sr = 16_000.0;
+        let x = tone(2000.0, sr, 16_000, 1.0);
+        let s = Stft::compute(&x, sr, 512, 256, Window::Hann);
+        let avg = s.mean_magnitude();
+        let peak = crate::peak::argmax(&avg).unwrap();
+        assert!((s.bin_to_hz(peak) - 2000.0).abs() < sr / 512.0);
+    }
+
+    #[test]
+    fn stft_dimensions() {
+        let x = vec![0.5; 1000];
+        let s = Stft::compute(&x, 8000.0, 256, 128, Window::Hamming);
+        assert_eq!(s.n_fft, 256);
+        assert_eq!(s.bins[0].len(), 129);
+        assert_eq!(s.n_frames(), frames(&x, 256, 128).len());
+        assert_eq!(s.magnitudes().len(), s.n_frames());
+    }
+
+    #[test]
+    fn empty_signal_yields_no_frames() {
+        let s = Stft::compute(&[], 8000.0, 256, 128, Window::Hann);
+        assert_eq!(s.n_frames(), 0);
+        assert!(s.mean_magnitude().is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! Fig. 12 — F1-score per wake word (12 values each): no significant
+//! differences across the three wake words.
+
+use crate::context::Context;
+use crate::exp::{main_grid, mean_std_pct};
+use crate::report::ExperimentResult;
+use ht_speech::WakeWord;
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Returns an error when any two wake words differ by more than 5 points of
+/// mean F1.
+pub fn run(ctx: &Context) -> Result<ExperimentResult, String> {
+    let cells = main_grid(ctx)?;
+    let paper = [
+        (WakeWord::HeyAssistant, "95.92%"),
+        (WakeWord::Computer, "96.40%"),
+        (WakeWord::Amazon, "96.39%"),
+    ];
+    let mut res = ExperimentResult::new(
+        "fig12",
+        "Fig. 12: F1-score for different wake words",
+        "no significant difference across the three wake words",
+    );
+    let mut means = Vec::new();
+    for (word, paper_f1) in paper {
+        let vals: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.word == word)
+            .map(|c| c.f1)
+            .collect();
+        let m = ht_dsp::stats::mean(&vals);
+        res.push_row(
+            word.name(),
+            format!("mean F1 {paper_f1}"),
+            format!("{} over {} cells", mean_std_pct(&vals), vals.len()),
+            Some(m),
+        );
+        means.push(m);
+    }
+    let spread = ht_dsp::stats::max(&means) - ht_dsp::stats::min(&means);
+    if spread > 0.05 {
+        return Err(format!("wake-word spread too large: {spread:.3}"));
+    }
+    res.note("12 F1 values per word: 2 sessions × 3 devices × 2 rooms.");
+    Ok(res)
+}

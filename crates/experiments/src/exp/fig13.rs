@@ -1,0 +1,49 @@
+//! Fig. 13 — F1-score per device: D1 ≥ D2 ≥ D3 (larger apertures hear
+//! lower frequencies and longer delays).
+
+use crate::context::Context;
+use crate::exp::{main_grid, mean_std_pct};
+use crate::report::ExperimentResult;
+use ht_acoustics::array::Device;
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Returns an error when D3 beats D1 by a clear margin (ordering broken).
+pub fn run(ctx: &Context) -> Result<ExperimentResult, String> {
+    let cells = main_grid(ctx)?;
+    let paper = [
+        (Device::D1, "97.47%"),
+        (Device::D2, "96.26%"),
+        (Device::D3, "94.99%"),
+    ];
+    let mut res = ExperimentResult::new(
+        "fig13",
+        "Fig. 13: F1-score for different devices",
+        "D1 (8.5 cm aperture) ≥ D2 (9 cm, the default) ≥ D3 (6.5 cm)",
+    );
+    let mut means = Vec::new();
+    for (device, paper_f1) in paper {
+        let vals: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.device == device)
+            .map(|c| c.f1)
+            .collect();
+        let m = ht_dsp::stats::mean(&vals);
+        res.push_row(
+            format!("{device:?} ({})", device.name()),
+            format!("mean F1 {paper_f1}"),
+            format!("{} over {} cells", mean_std_pct(&vals), vals.len()),
+            Some(m),
+        );
+        means.push(m);
+    }
+    // The headline ordering: the smallest-aperture device (D3) must not be
+    // the best.
+    if means[2] > means[0] + 0.01 && means[2] > means[1] + 0.01 {
+        return Err(format!("D3 unexpectedly best: {means:?}"));
+    }
+    res.note("12 F1 values per device: 2 sessions × 3 wake words × 2 rooms.");
+    Ok(res)
+}

@@ -1,0 +1,70 @@
+//! Fig. 5 — the same utterance spoken at 0° vs 180°: the forward capture
+//! has a higher received magnitude, and its high/low frequency balance is
+//! less distorted (Insights 1 and 2).
+
+use crate::context::Context;
+use crate::report::ExperimentResult;
+use ht_datagen::CaptureSpec;
+use ht_dsp::spectrum::{hlbr, Spectrum};
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Returns an error when forward is not louder / brighter than backward.
+pub fn run(_ctx: &Context) -> Result<ExperimentResult, String> {
+    let fs = ht_acoustics::SAMPLE_RATE;
+    let forward = CaptureSpec::baseline(0xF150);
+    let backward = CaptureSpec {
+        angle_deg: 180.0,
+        ..forward
+    };
+    let fch = forward.render().map_err(|e| e.to_string())?;
+    let bch = backward.render().map_err(|e| e.to_string())?;
+    let f_rms = ht_dsp::signal::rms(&fch[0]);
+    let b_rms = ht_dsp::signal::rms(&bch[0]);
+    let f_hlbr = hlbr(&Spectrum::of(&fch[0], fs).map_err(|e| e.to_string())?);
+    let b_hlbr = hlbr(&Spectrum::of(&bch[0], fs).map_err(|e| e.to_string())?);
+
+    let mut res = ExperimentResult::new(
+        "fig5",
+        "Fig. 5: utterance at 0° vs 180° (same loudness)",
+        "forward capture is louder and keeps a higher high/low band ratio",
+    );
+    res.push_row(
+        "received RMS, 0°",
+        "higher magnitude in forward direction",
+        format!("{f_rms:.5}"),
+        Some(f_rms),
+    );
+    res.push_row(
+        "received RMS, 180°",
+        "lower magnitude",
+        format!("{b_rms:.5}"),
+        Some(b_rms),
+    );
+    res.push_row(
+        "HLBR, 0°",
+        "less high/low distortion when facing",
+        format!("{f_hlbr:.3}"),
+        Some(f_hlbr),
+    );
+    res.push_row(
+        "HLBR, 180°",
+        "more distortion when not facing",
+        format!("{b_hlbr:.3}"),
+        Some(b_hlbr),
+    );
+    if f_rms <= b_rms {
+        return Err(format!(
+            "forward ({f_rms}) not louder than backward ({b_rms})"
+        ));
+    }
+    if f_hlbr <= b_hlbr {
+        return Err(format!(
+            "forward HLBR ({f_hlbr}) not above backward ({b_hlbr})"
+        ));
+    }
+    res.note("Rendered at M3 (3 m, mid line) on D2 in the lab at 70 dB SPL.");
+    Ok(res)
+}

@@ -1,0 +1,138 @@
+//! §IV-A1 — distinguishing human vs. mechanical speakers:
+//!
+//! 1. train "wav2vec2-mini" on the ASVspoof-sim corpus (acc ≈ 98.5 %,
+//!    EER ≈ 3–4 % in the paper),
+//! 2. test it unadapted on the paper's own 2016-sample live/replay set —
+//!    a domain gap appears (paper: 84.87 %, EER 16.50 %),
+//! 3. incrementally retrain on 20 % of the own data for 10 epochs — the gap
+//!    closes (paper: 98.68 %, EER 2.58 %).
+
+use crate::cache::Record;
+use crate::context::Context;
+use crate::report::{pct, ExperimentResult};
+use headtalk::liveness::LivenessDetector;
+use ht_ml::metrics::{accuracy, equal_error_rate};
+use ht_ml::{Classifier, Dataset};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn to_dataset(records: &[Record]) -> Result<Dataset, String> {
+    let feats: Vec<Vec<f64>> = records.iter().map(|r| r.vector.clone()).collect();
+    let labels: Vec<usize> = records
+        .iter()
+        .map(|r| usize::from(r.spec.source.is_live()))
+        .collect();
+    Dataset::from_parts(feats, labels).map_err(|e| e.to_string())
+}
+
+fn eval(det: &LivenessDetector, ds: &Dataset) -> (f64, f64) {
+    let preds = det.predict_batch(ds.features());
+    let scores: Vec<f64> = ds
+        .features()
+        .iter()
+        .map(|f| det.decision_score(f))
+        .collect();
+    (
+        accuracy(ds.labels(), &preds),
+        equal_error_rate(ds.labels(), &scores),
+    )
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Returns an error when pre-training fails to learn or adaptation fails
+/// to improve on the unadapted baseline.
+pub fn run(ctx: &Context) -> Result<ExperimentResult, String> {
+    let mut res = ExperimentResult::new(
+        "liveness",
+        "§IV-A1: human vs mechanical speaker (liveness detection)",
+        "near-perfect in-domain accuracy; a clear generalization gap on the own data; incremental retraining closes the gap (EER back to a few percent)",
+    );
+
+    // --- Stage 1: ASVspoof-sim pre-training -------------------------------
+    let asv = ctx.liveness_asvspoof();
+    let asv_ds = to_dataset(&asv)?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x11FE);
+    let mut idx: Vec<usize> = (0..asv_ds.len()).collect();
+    idx.shuffle(&mut rng);
+    let n = idx.len();
+    let (tr_end, val_end) = (n * 6 / 10, n * 8 / 10);
+    let in_split = |i: usize, lo: usize, hi: usize| idx[lo..hi].contains(&i);
+    let train = asv_ds.filter_indices(|i| in_split(i, 0, tr_end));
+    let val = asv_ds.filter_indices(|i| in_split(i, tr_end, val_end));
+    let test = asv_ds.filter_indices(|i| in_split(i, val_end, n));
+
+    // The paper fine-tunes a *pretrained* wav2vec2 for 20 epochs; our
+    // wav2vec2-mini trains from scratch, so it gets a longer schedule.
+    let mut det = LivenessDetector::fit(&train, 60, 0x11FE).map_err(|e| e.to_string())?;
+    let (val_acc, val_eer) = eval(&det, &val);
+    let (test_acc, test_eer) = eval(&det, &test);
+    res.push_row(
+        "ASVspoof-sim validation",
+        "98.56% (EER 3.36%)",
+        format!("{} (EER {})", pct(val_acc), pct(val_eer)),
+        Some(val_acc),
+    );
+    res.push_row(
+        "ASVspoof-sim test",
+        "98.52% (EER 3.90%)",
+        format!("{} (EER {})", pct(test_acc), pct(test_eer)),
+        Some(test_acc),
+    );
+    if test_acc < 0.85 {
+        return Err(format!("pre-training failed: {}", pct(test_acc)));
+    }
+
+    // --- Stage 2: unadapted transfer to the own data ----------------------
+    let own = ctx.liveness_own();
+    let own_ds = to_dataset(&own)?;
+    let (own_acc, own_eer) = eval(&det, &own_ds);
+    res.push_row(
+        "own data, unadapted",
+        "84.87% (EER 16.50%)",
+        format!(
+            "{} (EER {}) over {} samples",
+            pct(own_acc),
+            pct(own_eer),
+            own_ds.len()
+        ),
+        Some(own_acc),
+    );
+
+    // --- Stage 3: incremental retraining (20/20/60 split, 10 epochs) ------
+    let mut idx2: Vec<usize> = (0..own_ds.len()).collect();
+    idx2.shuffle(&mut rng);
+    let n2 = idx2.len();
+    let (a, b) = (n2 * 2 / 10, n2 * 4 / 10);
+    let own_train = own_ds.filter_indices(|i| idx2[..a].contains(&i));
+    let own_val = own_ds.filter_indices(|i| idx2[a..b].contains(&i));
+    let own_test = own_ds.filter_indices(|i| idx2[b..].contains(&i));
+    det.adapt(&own_train, 10).map_err(|e| e.to_string())?;
+    let (aval_acc, aval_eer) = eval(&det, &own_val);
+    let (atest_acc, atest_eer) = eval(&det, &own_test);
+    res.push_row(
+        "own data, adapted (validation)",
+        "98.61% (EER 1.76%)",
+        format!("{} (EER {})", pct(aval_acc), pct(aval_eer)),
+        Some(aval_acc),
+    );
+    res.push_row(
+        "own data, adapted (test)",
+        "98.68% (EER 2.58%)",
+        format!("{} (EER {})", pct(atest_acc), pct(atest_eer)),
+        Some(atest_acc),
+    );
+
+    if atest_acc + 0.01 < own_acc {
+        return Err(format!(
+            "adaptation hurt: {} -> {}",
+            pct(own_acc),
+            pct(atest_acc)
+        ));
+    }
+    res.note("Pre-training corpus is deliberately domain-shifted (home acoustics, no Sony-class replay device) to mirror the ASVspoof-to-own-data gap.");
+    res.note("Adaptation: 20% of the own data, 10 epochs, exactly the §IV-A1 protocol.");
+    Ok(res)
+}

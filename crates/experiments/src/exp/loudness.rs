@@ -1,0 +1,46 @@
+//! §IV-B12 — speech loudness: the 70 dB-trained model tested at 60 dB and
+//! 80 dB; louder speech helps.
+
+use crate::context::Context;
+use crate::exp::{default_model, evaluate};
+use crate::report::{pct, ExperimentResult};
+use headtalk::facing::FacingDefinition;
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Returns an error when 60 dB outperforms 80 dB by a clear margin.
+pub fn run(ctx: &Context) -> Result<ExperimentResult, String> {
+    let det = default_model(ctx)?;
+    let def = FacingDefinition::Definition4;
+    let records = ctx.dataset6();
+    let mut res = ExperimentResult::new(
+        "loudness",
+        "§IV-B12: impact of speech loudness (trained at 70 dB)",
+        "80 dB speech is classified at least as well as 60 dB (stronger signal, clearer facing cues)",
+    );
+    let mut accs = Vec::new();
+    for (spl, paper_acc) in [(60.0, "93.33%"), (80.0, "95.83%")] {
+        let c = evaluate(&det, &records, def, |s| s.loudness_spl == spl);
+        if c.total() == 0 {
+            return Err(format!("{spl} dB: empty evaluation set"));
+        }
+        let acc = c.accuracy();
+        res.push_row(
+            format!("{spl} dB SPL"),
+            paper_acc,
+            format!("{} ({} samples)", pct(acc), c.total()),
+            Some(acc),
+        );
+        accs.push(acc);
+    }
+    if accs[0] > accs[1] + 0.03 {
+        return Err(format!(
+            "60 dB ({}) clearly beats 80 dB ({})",
+            pct(accs[0]),
+            pct(accs[1])
+        ));
+    }
+    Ok(res)
+}

@@ -1,0 +1,170 @@
+//! One module per reproduced table/figure, plus shared evaluation helpers.
+
+pub mod ablation;
+pub mod ambient;
+pub mod crossenv;
+pub mod distance;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod liveness;
+pub mod loudness;
+pub mod models;
+pub mod objects;
+pub mod placement;
+pub mod runtime;
+pub mod sitting;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+use crate::cache::Record;
+use crate::context::Context;
+use headtalk::facing::FacingDefinition;
+use headtalk::orientation::{ModelKind, OrientationDetector};
+use ht_acoustics::array::Device;
+use ht_datagen::placements::RoomKind;
+use ht_datagen::CaptureSpec;
+use ht_ml::metrics::Confusion;
+use ht_ml::{Classifier, Dataset};
+use ht_speech::WakeWord;
+
+/// The default evaluation setting: D2, lab, "Computer" (§IV-A: "by default,
+/// the utterance 'Computer' and device D2 are used").
+pub(crate) fn is_default_setting(s: &CaptureSpec) -> bool {
+    s.room == RoomKind::Lab && s.device == Device::D2 && s.wake_word == WakeWord::Computer
+}
+
+/// Trains an orientation detector on the records passing `filter`, labeled
+/// under `def`.
+pub(crate) fn train(
+    records: &[Record],
+    def: FacingDefinition,
+    filter: impl Fn(&CaptureSpec) -> bool,
+    kind: ModelKind,
+) -> Result<OrientationDetector, String> {
+    let mut feats = Vec::new();
+    let mut labels = Vec::new();
+    for r in records.iter().filter(|r| filter(&r.spec)) {
+        if let Some(l) = def.label(r.spec.angle_deg) {
+            feats.push(r.vector.clone());
+            labels.push(l);
+        }
+    }
+    if feats.is_empty() {
+        return Err("no training samples after filtering".into());
+    }
+    let ds = Dataset::from_parts(feats, labels).map_err(|e| e.to_string())?;
+    OrientationDetector::fit(&ds, kind, 7).map_err(|e| e.to_string())
+}
+
+/// Evaluates a detector on records passing `filter`, labeled under `def`.
+/// Returns the confusion matrix (empty when nothing matched).
+pub(crate) fn evaluate(
+    det: &OrientationDetector,
+    records: &[Record],
+    def: FacingDefinition,
+    filter: impl Fn(&CaptureSpec) -> bool,
+) -> Confusion {
+    let mut labels = Vec::new();
+    let mut preds = Vec::new();
+    for r in records.iter().filter(|r| filter(&r.spec)) {
+        if let Some(l) = def.label(r.spec.angle_deg) {
+            labels.push(l);
+            preds.push(det.predict(&r.vector));
+        }
+    }
+    Confusion::from_predictions(&labels, &preds)
+}
+
+/// The evaluation of one (device, room, wake-word, test-session) cell of
+/// the paper's 36-value sensitivity grid.
+#[derive(Debug, Clone)]
+#[allow(dead_code)] // test_session/accuracy are kept for debugging dumps
+pub(crate) struct GridCell {
+    pub device: Device,
+    pub room: RoomKind,
+    pub word: WakeWord,
+    pub test_session: u32,
+    pub accuracy: f64,
+    pub f1: f64,
+    /// Accuracy restricted to each distance (1, 3, 5 m).
+    pub per_distance: [f64; 3],
+}
+
+/// Computes the full 36-cell grid (2 sessions × 3 devices × 2 rooms ×
+/// 3 wake words) used by the distance / wake-word / device / environment
+/// analyses (§IV-B2–B5). Each cell trains on the opposite session of the
+/// same setting under Definition-4.
+pub(crate) fn main_grid(ctx: &Context) -> Result<Vec<GridCell>, String> {
+    let records = ctx.dataset1();
+    let def = FacingDefinition::Definition4;
+    let mut cells = Vec::with_capacity(36);
+    for device in Device::ALL {
+        for room in RoomKind::ALL {
+            for word in WakeWord::ALL {
+                for test_session in 0..2u32 {
+                    let train_session = 1 - test_session;
+                    let setting = |s: &CaptureSpec| {
+                        s.device == device && s.room == room && s.wake_word == word
+                    };
+                    let det = train(
+                        &records,
+                        def,
+                        |s| setting(s) && s.session == train_session,
+                        ModelKind::Svm,
+                    )?;
+                    let overall = evaluate(&det, &records, def, |s| {
+                        setting(s) && s.session == test_session
+                    });
+                    let mut per_distance = [0.0; 3];
+                    for (k, d) in [1.0, 3.0, 5.0].into_iter().enumerate() {
+                        let c = evaluate(&det, &records, def, |s| {
+                            setting(s) && s.session == test_session && s.location.distance_m == d
+                        });
+                        per_distance[k] = c.accuracy();
+                    }
+                    cells.push(GridCell {
+                        device,
+                        room,
+                        word,
+                        test_session,
+                        accuracy: overall.accuracy(),
+                        f1: overall.f1(),
+                        per_distance,
+                    });
+                }
+            }
+        }
+    }
+    Ok(cells)
+}
+
+/// Trains the paper's "Section IV-A2 model" used by the sensitivity
+/// experiments: Definition-4, D2, lab, "Computer", both sessions.
+pub(crate) fn default_model(ctx: &Context) -> Result<OrientationDetector, String> {
+    let records = ctx.dataset1();
+    train(
+        &records,
+        FacingDefinition::Definition4,
+        is_default_setting,
+        ModelKind::Svm,
+    )
+}
+
+/// Mean ± std formatted like the paper ("98.38 ± 2.41 %").
+pub(crate) fn mean_std_pct(values: &[f64]) -> String {
+    format!(
+        "{:.2} ± {:.2}%",
+        100.0 * ht_dsp::stats::mean(values),
+        100.0 * ht_dsp::stats::std_dev(values)
+    )
+}

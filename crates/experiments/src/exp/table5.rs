@@ -1,0 +1,76 @@
+//! Table V + §V — the user study: survey tallies, recomputed takeaways and
+//! SUS aggregates (see `headtalk::userstudy` for why only the analysis is
+//! reproduced).
+
+use crate::context::Context;
+use crate::report::ExperimentResult;
+use headtalk::userstudy;
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Returns an error if the recomputed takeaways drift from §V.
+pub fn run(_ctx: &Context) -> Result<ExperimentResult, String> {
+    let mut res = ExperimentResult::new(
+        "table5",
+        "Table V + SUS: user study (N = 20)",
+        "takeaway percentages recompute exactly from the encoded tallies; SUS means clear the 68-point benchmark with HeadTalk above the mute button",
+    );
+    for q in userstudy::table_v() {
+        let tally: Vec<String> = q
+            .responses
+            .iter()
+            .map(|(l, c)| format!("{l} ({c})"))
+            .collect();
+        res.push_row(q.question, "", tally.join(", "), None);
+    }
+    let t = userstudy::takeaways();
+    let checks = [
+        (
+            "owners facing the VA often",
+            t.owners_face_often,
+            10.0 / 15.0,
+        ),
+        ("rated easy to use", t.easy_to_use, 0.95),
+        ("would deploy", t.would_deploy, 0.70),
+        (
+            "better than existing controls",
+            t.better_than_existing,
+            0.70,
+        ),
+    ];
+    for (label, got, expected) in checks {
+        if (got - expected).abs() > 1e-9 {
+            return Err(format!("{label}: {got} != paper {expected}"));
+        }
+        res.push_row(
+            label,
+            format!("{:.2}%", expected * 100.0),
+            format!("{:.2}%", got * 100.0),
+            Some(got),
+        );
+    }
+    res.push_row(
+        "SUS: HeadTalk",
+        "77.38 ± 6.26 (95% CI)",
+        format!(
+            "{:.2} ± {:.2} (paper-reported; scorer property-tested)",
+            userstudy::PAPER_SUS_HEADTALK.0,
+            userstudy::PAPER_SUS_HEADTALK.1
+        ),
+        Some(userstudy::PAPER_SUS_HEADTALK.0),
+    );
+    res.push_row(
+        "SUS: mute button",
+        "74.75 ± 8.12 (95% CI)",
+        format!(
+            "{:.2} ± {:.2} (paper-reported)",
+            userstudy::PAPER_SUS_MUTE_BUTTON.0,
+            userstudy::PAPER_SUS_MUTE_BUTTON.1
+        ),
+        Some(userstudy::PAPER_SUS_MUTE_BUTTON.0),
+    );
+    res.note("Human-subject responses cannot be simulated; the scoring pipeline (SUS rule, CI computation, tally arithmetic) is reproduced and tested instead.");
+    Ok(res)
+}

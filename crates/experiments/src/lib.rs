@@ -1,0 +1,89 @@
+//! # ht-experiments — the reproduction harness
+//!
+//! One module per table/figure of the paper's evaluation (§IV–§V). Each
+//! experiment renders (or loads from the on-disk cache) the simulated
+//! dataset it needs, trains the models with the paper's protocol, and
+//! returns a [`report::ExperimentResult`] with paper-vs-measured rows.
+//!
+//! Run everything through the `headtalk-repro` binary:
+//!
+//! ```text
+//! headtalk-repro all            # every experiment, full sample counts
+//! headtalk-repro table3 fig10   # selected experiments
+//! headtalk-repro --list
+//! HT_SCALE=4 headtalk-repro all # keep every 4th sample (quick pass)
+//! ```
+
+pub mod cache;
+pub mod context;
+pub mod exp;
+pub mod report;
+
+pub use context::Context;
+pub use report::{ExperimentResult, Row};
+
+/// All experiment ids in presentation order.
+pub const EXPERIMENT_IDS: &[&str] = &[
+    "fig3",
+    "fig5",
+    "fig6",
+    "table2",
+    "liveness",
+    "models",
+    "table3",
+    "fig10",
+    "fig11",
+    "distance",
+    "fig12",
+    "fig13",
+    "fig14",
+    "table4",
+    "placement",
+    "crossenv",
+    "fig15",
+    "ambient",
+    "sitting",
+    "loudness",
+    "objects",
+    "fig16",
+    "ablation",
+    "runtime",
+    "table5",
+];
+
+/// Runs one experiment by id.
+///
+/// # Errors
+///
+/// Returns an error string for unknown ids or failed runs.
+pub fn run_experiment(id: &str, ctx: &Context) -> Result<ExperimentResult, String> {
+    let result = match id {
+        "fig3" => exp::fig3::run(ctx),
+        "fig5" => exp::fig5::run(ctx),
+        "fig6" => exp::fig6::run(ctx),
+        "table2" => exp::table2::run(ctx),
+        "liveness" => exp::liveness::run(ctx),
+        "models" => exp::models::run(ctx),
+        "ablation" => exp::ablation::run(ctx),
+        "table3" => exp::table3::run(ctx),
+        "fig10" => exp::fig10::run(ctx),
+        "fig11" => exp::fig11::run(ctx),
+        "distance" => exp::distance::run(ctx),
+        "fig12" => exp::fig12::run(ctx),
+        "fig13" => exp::fig13::run(ctx),
+        "fig14" => exp::fig14::run(ctx),
+        "table4" => exp::table4::run(ctx),
+        "placement" => exp::placement::run(ctx),
+        "crossenv" => exp::crossenv::run(ctx),
+        "fig15" => exp::fig15::run(ctx),
+        "ambient" => exp::ambient::run(ctx),
+        "sitting" => exp::sitting::run(ctx),
+        "loudness" => exp::loudness::run(ctx),
+        "objects" => exp::objects::run(ctx),
+        "fig16" => exp::fig16::run(ctx),
+        "runtime" => exp::runtime::run(ctx),
+        "table5" => exp::table5::run(ctx),
+        _ => return Err(format!("unknown experiment `{id}`")),
+    };
+    result.map_err(|e| format!("experiment `{id}` failed: {e}"))
+}

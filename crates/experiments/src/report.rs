@@ -1,0 +1,164 @@
+//! Experiment result types and rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// One paper-vs-measured row of an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Row label (a condition: an angle, a device, a definition, …).
+    pub label: String,
+    /// What the paper reports for this condition (free-form, often "96.95%
+    /// accuracy"). Empty when the paper has no directly comparable number.
+    pub paper: String,
+    /// What this reproduction measured.
+    pub measured: String,
+    /// Optional numeric value backing `measured` (for regression checks).
+    pub value: Option<f64>,
+}
+
+impl Row {
+    /// Builds a row.
+    pub fn new(
+        label: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        value: Option<f64>,
+    ) -> Row {
+        Row {
+            label: label.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            value,
+        }
+    }
+}
+
+/// The result of one reproduced table/figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id (`table3`, `fig10`, …).
+    pub id: String,
+    /// Human-readable title (paper artifact).
+    pub title: String,
+    /// Shape expectations this run should satisfy (for EXPERIMENTS.md).
+    pub expectation: String,
+    /// The paper-vs-measured rows.
+    pub rows: Vec<Row>,
+    /// Free-form notes (protocol details, sample counts, …).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Builds an empty result to be filled with rows.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        expectation: impl Into<String>,
+    ) -> ExperimentResult {
+        ExperimentResult {
+            id: id.into(),
+            title: title.into(),
+            expectation: expectation.into(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(
+        &mut self,
+        label: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        value: Option<f64>,
+    ) {
+        self.rows.push(Row::new(label, paper, measured, value));
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+
+    /// Renders as a markdown section (used for stdout and EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("*Expected shape:* {}\n\n", self.expectation));
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(["condition".len()])
+            .max()
+            .unwrap_or(10);
+        let paper_w = self
+            .rows
+            .iter()
+            .map(|r| r.paper.len())
+            .chain(["paper".len()])
+            .max()
+            .unwrap_or(10);
+        out.push_str(&format!(
+            "| {:label_w$} | {:paper_w$} | measured |\n",
+            "condition", "paper"
+        ));
+        out.push_str(&format!(
+            "|-{:-<label_w$}-|-{:-<paper_w$}-|----------|\n",
+            "", ""
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "| {:label_w$} | {:paper_w$} | {} |\n",
+                r.label, r.paper, r.measured
+            ));
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("- {n}\n"));
+            }
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_contains_all_rows() {
+        let mut r = ExperimentResult::new("t", "Title", "x beats y");
+        r.push_row("a", "90%", "91%", Some(0.91));
+        r.push_row("b", "80%", "79%", Some(0.79));
+        r.note("protocol note");
+        let md = r.to_markdown();
+        assert!(md.contains("## t — Title"));
+        assert!(md.contains("| a"));
+        assert!(md.contains("| 90%"));
+        assert!(md.contains("91%"));
+        assert!(md.contains("protocol note"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.9695), "96.95%");
+        assert_eq!(pct(1.0), "100.00%");
+    }
+
+    #[test]
+    fn result_serializes() {
+        let mut r = ExperimentResult::new("id", "T", "E");
+        r.push_row("x", "", "1", Some(1.0));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

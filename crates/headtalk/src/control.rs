@@ -1,0 +1,234 @@
+//! The privacy-control state machine of Fig. 1.
+//!
+//! A VA runs in one of three modes:
+//!
+//! * **Normal** — the stock behaviour: any detected wake word opens a cloud
+//!   session;
+//! * **Mute** — the physical mute button: microphones disabled, nothing is
+//!   ever forwarded (and the VA loses its voice functionality entirely);
+//! * **HeadTalk** — the paper's contribution: a wake word is accepted only
+//!   when spoken by a live human facing the device. A rejected wake word
+//!   leaves the device *soft-muted*: the microphones stay local, but device
+//!   functions (music, news) keep running. Once a session is accepted, the
+//!   user "does not need to continuously face the device for the remaining
+//!   session" (§I).
+
+use serde::{Deserialize, Serialize};
+
+/// The privacy mode the VA is operating in (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum VaMode {
+    /// Stock always-listening behaviour.
+    #[default]
+    Normal,
+    /// Physical mute: microphones off.
+    Mute,
+    /// HeadTalk privacy control active.
+    HeadTalk,
+}
+
+/// Events driving the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VaEvent {
+    /// The local wake-word engine fired; `live` and `facing` are the
+    /// HeadTalk pipeline's verdicts for this utterance.
+    WakeDetected {
+        /// Liveness verdict (human vs. mechanical speaker).
+        live: bool,
+        /// Orientation verdict (facing vs. not).
+        facing: bool,
+    },
+    /// Voice command "Alexa, enter HeadTalk mode".
+    EnterHeadTalkMode,
+    /// Leave HeadTalk mode back to normal operation.
+    ExitHeadTalkMode,
+    /// Physical mute button pressed.
+    MuteButton,
+    /// Physical mute button pressed again (unmute).
+    UnmuteButton,
+    /// The active cloud session ended (command completed / timeout).
+    SessionEnded,
+}
+
+/// What the VA does in response to an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VaResponse {
+    /// Audio following the wake word is recorded and forwarded to the cloud.
+    SessionOpened,
+    /// Wake word ignored; microphones stay local (soft mute). Device
+    /// functions (music, news) keep running.
+    SoftMuted,
+    /// Microphones are physically off; nothing was processed.
+    HardMuted,
+    /// Mode changed (or no session-related action).
+    ModeChanged,
+    /// Session closed.
+    SessionClosed,
+}
+
+impl VaResponse {
+    /// `true` when this response means audio left the device.
+    pub fn audio_forwarded_to_cloud(self) -> bool {
+        self == VaResponse::SessionOpened
+    }
+}
+
+/// The privacy-control state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PrivacyController {
+    mode: VaMode,
+    session_active: bool,
+}
+
+impl PrivacyController {
+    /// A controller in [`VaMode::Normal`] with no active session.
+    pub fn new() -> PrivacyController {
+        PrivacyController::default()
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> VaMode {
+        self.mode
+    }
+
+    /// `true` while an accepted session is open (subsequent audio is
+    /// forwarded without re-checking orientation).
+    pub fn session_active(&self) -> bool {
+        self.session_active
+    }
+
+    /// Processes one event and returns the VA's externally visible action.
+    pub fn handle(&mut self, event: VaEvent) -> VaResponse {
+        match event {
+            VaEvent::MuteButton => {
+                self.mode = VaMode::Mute;
+                self.session_active = false;
+                VaResponse::ModeChanged
+            }
+            VaEvent::UnmuteButton => {
+                if self.mode == VaMode::Mute {
+                    self.mode = VaMode::Normal;
+                }
+                VaResponse::ModeChanged
+            }
+            VaEvent::EnterHeadTalkMode => {
+                if self.mode != VaMode::Mute {
+                    self.mode = VaMode::HeadTalk;
+                }
+                VaResponse::ModeChanged
+            }
+            VaEvent::ExitHeadTalkMode => {
+                if self.mode == VaMode::HeadTalk {
+                    self.mode = VaMode::Normal;
+                }
+                VaResponse::ModeChanged
+            }
+            VaEvent::SessionEnded => {
+                self.session_active = false;
+                VaResponse::SessionClosed
+            }
+            VaEvent::WakeDetected { live, facing } => match self.mode {
+                VaMode::Mute => VaResponse::HardMuted,
+                VaMode::Normal => {
+                    self.session_active = true;
+                    VaResponse::SessionOpened
+                }
+                VaMode::HeadTalk => {
+                    if self.session_active {
+                        // Mid-session audio is already being forwarded; the
+                        // user need not keep facing the device (§I).
+                        return VaResponse::SessionOpened;
+                    }
+                    if live && facing {
+                        self.session_active = true;
+                        VaResponse::SessionOpened
+                    } else {
+                        VaResponse::SoftMuted
+                    }
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wake(live: bool, facing: bool) -> VaEvent {
+        VaEvent::WakeDetected { live, facing }
+    }
+
+    #[test]
+    fn normal_mode_accepts_everything() {
+        let mut va = PrivacyController::new();
+        assert_eq!(va.mode(), VaMode::Normal);
+        let r = va.handle(wake(false, false)); // even a replay!
+        assert!(r.audio_forwarded_to_cloud());
+    }
+
+    #[test]
+    fn headtalk_mode_requires_live_and_facing() {
+        let mut va = PrivacyController::new();
+        va.handle(VaEvent::EnterHeadTalkMode);
+        assert_eq!(va.handle(wake(false, true)), VaResponse::SoftMuted);
+        assert_eq!(va.handle(wake(true, false)), VaResponse::SoftMuted);
+        assert_eq!(va.handle(wake(false, false)), VaResponse::SoftMuted);
+        assert!(!va.session_active());
+        assert_eq!(va.handle(wake(true, true)), VaResponse::SessionOpened);
+        assert!(va.session_active());
+    }
+
+    #[test]
+    fn session_persists_without_facing() {
+        // §I: once accepted, the user does not need to keep facing the VA.
+        let mut va = PrivacyController::new();
+        va.handle(VaEvent::EnterHeadTalkMode);
+        va.handle(wake(true, true));
+        let r = va.handle(wake(true, false));
+        assert!(r.audio_forwarded_to_cloud());
+        va.handle(VaEvent::SessionEnded);
+        assert!(!va.session_active());
+        assert_eq!(va.handle(wake(true, false)), VaResponse::SoftMuted);
+    }
+
+    #[test]
+    fn hard_mute_blocks_everything_and_clears_sessions() {
+        let mut va = PrivacyController::new();
+        va.handle(wake(true, true));
+        assert!(va.session_active());
+        va.handle(VaEvent::MuteButton);
+        assert_eq!(va.mode(), VaMode::Mute);
+        assert!(!va.session_active());
+        assert_eq!(va.handle(wake(true, true)), VaResponse::HardMuted);
+        // HeadTalk cannot be entered while hard-muted.
+        va.handle(VaEvent::EnterHeadTalkMode);
+        assert_eq!(va.mode(), VaMode::Mute);
+        va.handle(VaEvent::UnmuteButton);
+        assert_eq!(va.mode(), VaMode::Normal);
+    }
+
+    #[test]
+    fn mode_transitions_round_trip() {
+        let mut va = PrivacyController::new();
+        va.handle(VaEvent::EnterHeadTalkMode);
+        assert_eq!(va.mode(), VaMode::HeadTalk);
+        va.handle(VaEvent::ExitHeadTalkMode);
+        assert_eq!(va.mode(), VaMode::Normal);
+        // Exit is a no-op outside HeadTalk mode.
+        va.handle(VaEvent::ExitHeadTalkMode);
+        assert_eq!(va.mode(), VaMode::Normal);
+    }
+
+    #[test]
+    fn soft_mute_keeps_device_functional() {
+        // Soft mute is observable as "no cloud forwarding" rather than
+        // HardMuted: the device itself keeps running.
+        let mut va = PrivacyController::new();
+        va.handle(VaEvent::EnterHeadTalkMode);
+        let r = va.handle(wake(true, false));
+        assert_eq!(r, VaResponse::SoftMuted);
+        assert_ne!(r, VaResponse::HardMuted);
+        assert!(!r.audio_forwarded_to_cloud());
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the HeadTalk pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible HeadTalk routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeadTalkError {
+    /// A DSP primitive failed.
+    Dsp(ht_dsp::DspError),
+    /// A machine-learning component failed.
+    Ml(ht_ml::MlError),
+    /// Invalid pipeline input (wrong channel count, empty audio, …).
+    InvalidInput(String),
+    /// A component was used before it was trained.
+    NotTrained(&'static str),
+}
+
+impl fmt::Display for HeadTalkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeadTalkError::Dsp(e) => write!(f, "dsp error: {e}"),
+            HeadTalkError::Ml(e) => write!(f, "ml error: {e}"),
+            HeadTalkError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            HeadTalkError::NotTrained(c) => write!(f, "component not trained: {c}"),
+        }
+    }
+}
+
+impl Error for HeadTalkError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HeadTalkError::Dsp(e) => Some(e),
+            HeadTalkError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ht_dsp::DspError> for HeadTalkError {
+    fn from(e: ht_dsp::DspError) -> Self {
+        HeadTalkError::Dsp(e)
+    }
+}
+
+impl From<ht_ml::MlError> for HeadTalkError {
+    fn from(e: ht_ml::MlError) -> Self {
+        HeadTalkError::Ml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e: HeadTalkError = ht_dsp::DspError::param("x", "bad").into();
+        assert!(e.to_string().contains("dsp error"));
+        assert!(e.source().is_some());
+        let e = HeadTalkError::NotTrained("liveness");
+        assert!(e.to_string().contains("liveness"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,180 @@
+//! Facing zones and training-label definitions.
+//!
+//! §III-B1 defines, from the human field of view and speech directivity
+//! (Fig. 4b), a **facing zone** of −30°…30°, a **blind zone** of
+//! 30°…90° on either side, and a **non-facing zone** beyond ±90°.
+//! §IV-A2 / Table III then evaluates four ways of turning the collected
+//! angles into binary training labels, differing in which borderline angles
+//! are excluded; Definition-4 wins and is the paper's default.
+
+use serde::{Deserialize, Serialize};
+
+/// The ground-truth zone of a speaker orientation angle (Fig. 4b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FacingZone {
+    /// |angle| ≤ 30°: the speaker is facing the device.
+    Facing,
+    /// 30° < |angle| < 90°: the "blind zone" — a soft boundary.
+    Blind,
+    /// |angle| ≥ 90°: clearly not facing.
+    NonFacing,
+}
+
+/// Classifies an orientation angle (degrees, any range) into its zone.
+///
+/// ```
+/// use headtalk::facing::{zone_of, FacingZone};
+///
+/// assert_eq!(zone_of(0.0), FacingZone::Facing);
+/// assert_eq!(zone_of(-30.0), FacingZone::Facing);
+/// assert_eq!(zone_of(45.0), FacingZone::Blind);
+/// assert_eq!(zone_of(180.0), FacingZone::NonFacing);
+/// ```
+pub fn zone_of(angle_deg: f64) -> FacingZone {
+    let a = ht_acoustics::geometry::wrap_angle_deg(angle_deg).abs();
+    // Boundaries carry the same 0.02° float-noise tolerance that the label
+    // grid matching uses, so a grid angle of exactly 30° (or one representing
+    // it after arithmetic) can never be labeled facing while falling in the
+    // blind zone.
+    if a <= 30.02 {
+        FacingZone::Facing
+    } else if a < 89.98 {
+        FacingZone::Blind
+    } else {
+        FacingZone::NonFacing
+    }
+}
+
+/// The four training-label definitions of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FacingDefinition {
+    /// Facing {0, ±15, ±30, ±45}; non-facing {±60, ±75, ±90, ±135, 180}.
+    Definition1,
+    /// Facing {0, ±15, ±30}; non-facing {±60, ±75, ±90, ±135, 180}.
+    Definition2,
+    /// Facing {0, ±15, ±30}; non-facing {±75, ±90, ±135, 180}.
+    Definition3,
+    /// Facing {0, ±15, ±30}; non-facing {±90, ±135, 180} — the paper's
+    /// best-performing definition, used for all further evaluation.
+    Definition4,
+}
+
+impl FacingDefinition {
+    /// All definitions, Table III order.
+    pub const ALL: [FacingDefinition; 4] = [
+        FacingDefinition::Definition1,
+        FacingDefinition::Definition2,
+        FacingDefinition::Definition3,
+        FacingDefinition::Definition4,
+    ];
+
+    /// The display name used in Table III.
+    pub fn name(self) -> &'static str {
+        match self {
+            FacingDefinition::Definition1 => "Definition-1",
+            FacingDefinition::Definition2 => "Definition-2",
+            FacingDefinition::Definition3 => "Definition-3",
+            FacingDefinition::Definition4 => "Definition-4",
+        }
+    }
+
+    /// Training label for a collected angle: `Some(1)` facing, `Some(0)`
+    /// non-facing, or `None` when the angle is excluded from training under
+    /// this definition.
+    ///
+    /// Angles are matched against the collection grid with a 0.01°
+    /// float-noise tolerance (dataset specs carry exact grid angles; human
+    /// placement error lives in the renderer, not in the labels).
+    pub fn label(self, angle_deg: f64) -> Option<usize> {
+        let a = ht_acoustics::geometry::wrap_angle_deg(angle_deg).abs();
+        let is = |v: f64| (a - v).abs() < 0.01;
+        let facing_set: &[f64] = match self {
+            FacingDefinition::Definition1 => &[0.0, 15.0, 30.0, 45.0],
+            _ => &[0.0, 15.0, 30.0],
+        };
+        let nonfacing_set: &[f64] = match self {
+            FacingDefinition::Definition1 | FacingDefinition::Definition2 => {
+                &[60.0, 75.0, 90.0, 135.0, 180.0]
+            }
+            FacingDefinition::Definition3 => &[75.0, 90.0, 135.0, 180.0],
+            FacingDefinition::Definition4 => &[90.0, 135.0, 180.0],
+        };
+        if facing_set.iter().any(|&v| is(v)) {
+            Some(1)
+        } else if nonfacing_set.iter().any(|&v| is(v)) {
+            Some(0)
+        } else {
+            None
+        }
+    }
+
+    /// The *evaluation* ground truth for an angle: facing zone counts as
+    /// positive, everything else negative. (Borderline angles excluded from
+    /// training still get evaluated in Fig. 10.)
+    pub fn ground_truth(angle_deg: f64) -> usize {
+        usize::from(zone_of(angle_deg) == FacingZone::Facing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zones_match_fig4() {
+        assert_eq!(zone_of(15.0), FacingZone::Facing);
+        assert_eq!(zone_of(30.0), FacingZone::Facing);
+        assert_eq!(zone_of(-29.9), FacingZone::Facing);
+        assert_eq!(zone_of(31.0), FacingZone::Blind);
+        assert_eq!(zone_of(-75.0), FacingZone::Blind);
+        assert_eq!(zone_of(90.0), FacingZone::NonFacing);
+        assert_eq!(zone_of(135.0), FacingZone::NonFacing);
+        assert_eq!(zone_of(180.0), FacingZone::NonFacing);
+        // Angles wrap.
+        assert_eq!(zone_of(350.0), FacingZone::Facing);
+        assert_eq!(zone_of(-350.0), FacingZone::Facing);
+    }
+
+    #[test]
+    fn definition1_includes_45_as_facing() {
+        assert_eq!(FacingDefinition::Definition1.label(45.0), Some(1));
+        assert_eq!(FacingDefinition::Definition2.label(45.0), None);
+        assert_eq!(FacingDefinition::Definition4.label(-45.0), None);
+    }
+
+    #[test]
+    fn definition4_excludes_all_borderline_angles() {
+        let d4 = FacingDefinition::Definition4;
+        for a in [45.0, -45.0, 60.0, -60.0, 75.0, -75.0] {
+            assert_eq!(d4.label(a), None, "angle {a}");
+        }
+        for a in [0.0, 15.0, -15.0, 30.0, -30.0] {
+            assert_eq!(d4.label(a), Some(1), "angle {a}");
+        }
+        for a in [90.0, -90.0, 135.0, -135.0, 180.0] {
+            assert_eq!(d4.label(a), Some(0), "angle {a}");
+        }
+    }
+
+    #[test]
+    fn definition2_and_3_differ_at_60() {
+        assert_eq!(FacingDefinition::Definition2.label(60.0), Some(0));
+        assert_eq!(FacingDefinition::Definition3.label(60.0), None);
+        assert_eq!(FacingDefinition::Definition3.label(75.0), Some(0));
+        assert_eq!(FacingDefinition::Definition4.label(75.0), None);
+    }
+
+    #[test]
+    fn ground_truth_follows_the_facing_zone() {
+        assert_eq!(FacingDefinition::ground_truth(0.0), 1);
+        assert_eq!(FacingDefinition::ground_truth(30.0), 1);
+        assert_eq!(FacingDefinition::ground_truth(45.0), 0);
+        assert_eq!(FacingDefinition::ground_truth(180.0), 0);
+    }
+
+    #[test]
+    fn names_are_table_iii_style() {
+        assert_eq!(FacingDefinition::Definition4.name(), "Definition-4");
+        assert_eq!(FacingDefinition::ALL.len(), 4);
+    }
+}

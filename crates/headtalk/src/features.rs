@@ -1,0 +1,162 @@
+//! Orientation feature extraction (§III-B3).
+//!
+//! From a denoised multichannel capture the extractor produces one fixed-
+//! width feature vector composed of:
+//!
+//! * **Speech reverberation** features — the weighted SRP-PHAT curve's top
+//!   peaks and statistical summary, plus for every microphone pair the full
+//!   GCC-PHAT lag window, its TDoA, and its statistical summary (kurtosis,
+//!   skewness, max, MAD, std; §III-B3);
+//! * **Speech directivity** features — the high/low band ratio (HLBR) and
+//!   per-chunk (mean, RMS, std) statistics of the 100–400 Hz low band split
+//!   into 20 chunks.
+
+use crate::config::PipelineConfig;
+use crate::HeadTalkError;
+use ht_dsp::spectrum::{hlbr, low_band_chunk_stats, Spectrum};
+use ht_dsp::srp::srp_phat;
+use ht_dsp::stats::feature_summary;
+
+/// Computes the width of the feature vector for `n_channels` microphones
+/// under a configuration (feature vectors are fixed-width per device).
+pub fn feature_width(n_channels: usize, config: &PipelineConfig) -> usize {
+    let pairs = n_channels * (n_channels - 1) / 2;
+    let window = 2 * config.max_lag + 1;
+    // SRP: top peaks + 5 summary stats.
+    let srp = config.srp_peaks + 5;
+    // Per pair: GCC window + TDoA + 5 summary stats.
+    let gcc = pairs * (window + 1 + 5);
+    // Directivity: HLBR + chunks × (mean, rms, std).
+    let directivity = 1 + 3 * config.low_band_chunks;
+    srp + gcc + directivity
+}
+
+/// Extracts the §III-B3 feature vector from denoised channels.
+///
+/// # Errors
+///
+/// Returns [`HeadTalkError::InvalidInput`] for fewer than two channels and
+/// propagates DSP errors for malformed audio.
+pub fn extract(channels: &[Vec<f64>], config: &PipelineConfig) -> Result<Vec<f64>, HeadTalkError> {
+    if channels.len() < 2 {
+        return Err(HeadTalkError::InvalidInput(format!(
+            "orientation features need at least 2 channels, got {}",
+            channels.len()
+        )));
+    }
+    let refs: Vec<&[f64]> = channels.iter().map(|c| c.as_slice()).collect();
+    let analysis = srp_phat(&refs, config.max_lag)?;
+
+    let mut features = Vec::with_capacity(feature_width(channels.len(), config));
+
+    // SRP features: ranked top peak values + summary statistics.
+    features.extend(analysis.top_peaks(config.srp_peaks));
+    features.extend(feature_summary(&analysis.srp.values));
+
+    // Pairwise GCC features.
+    for gcc in &analysis.gccs {
+        features.extend(gcc.values.iter().copied());
+        features.push(gcc.peak_lag_interpolated());
+        features.extend(feature_summary(&gcc.values));
+    }
+
+    // Directivity features on the channel average (a crude beamformed-to-
+    // broadside reference signal).
+    let len = channels[0].len();
+    let mut avg = vec![0.0; len];
+    for c in channels {
+        for (a, v) in avg.iter_mut().zip(c.iter()) {
+            *a += v;
+        }
+    }
+    let n = channels.len() as f64;
+    for a in &mut avg {
+        *a /= n;
+    }
+    let spec = Spectrum::of(&avg, config.sample_rate)?;
+    features.push(hlbr(&spec));
+    for (mean, rms, std) in low_band_chunk_stats(&spec, config.low_band_chunks) {
+        features.push(mean);
+        features.push(rms);
+        features.push(std);
+    }
+
+    debug_assert_eq!(features.len(), feature_width(channels.len(), config));
+    Ok(features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ht_dsp::signal::fractional_delay;
+    use rand::SeedableRng;
+
+    fn test_channels(n: usize, len: usize) -> Vec<Vec<f64>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let base = ht_dsp::rng::white_noise(&mut rng, len);
+        (0..n)
+            .map(|k| fractional_delay(&base, k as f64 * 1.5, 16))
+            .collect()
+    }
+
+    #[test]
+    fn width_formula_matches_extraction() {
+        let cfg = PipelineConfig::default();
+        for n in [2usize, 4, 6] {
+            let ch = test_channels(n, 2048);
+            let f = extract(&ch, &cfg).unwrap();
+            assert_eq!(f.len(), feature_width(n, &cfg), "{n} channels");
+        }
+    }
+
+    #[test]
+    fn paper_gcc_vector_width_for_d2() {
+        // §III-B3: for D2 (4 selected mics, ±13 lag) the GCC+TDoA feature
+        // is 6×27 + 6 = 168 values.
+        let cfg = PipelineConfig::default(); // max_lag 13
+        let pairs = 6;
+        let window = 27;
+        let gcc_part = pairs * (window + 1); // + TDoA
+        assert_eq!(gcc_part, 168);
+        // The full width adds SRP and directivity features on top.
+        assert!(feature_width(4, &cfg) > gcc_part);
+    }
+
+    #[test]
+    fn features_are_finite() {
+        let cfg = PipelineConfig::default();
+        let ch = test_channels(4, 4096);
+        let f = extract(&ch, &cfg).unwrap();
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn single_channel_is_rejected() {
+        let cfg = PipelineConfig::default();
+        let ch = test_channels(1, 1024);
+        assert!(extract(&ch, &cfg).is_err());
+    }
+
+    #[test]
+    fn tdoa_features_reflect_geometry() {
+        // Channels delayed by 1.5 samples each: pair (0,1) TDoA ≈ -1.5.
+        let cfg = PipelineConfig::default();
+        let ch = test_channels(2, 4096);
+        let f = extract(&ch, &cfg).unwrap();
+        // Layout: srp_peaks (3) + srp stats (5) + gcc window (27) + tdoa.
+        let tdoa_idx = 3 + 5 + 27;
+        assert!(
+            (f[tdoa_idx] + 1.5).abs() < 0.3,
+            "TDoA feature {} should be ≈ -1.5",
+            f[tdoa_idx]
+        );
+    }
+
+    #[test]
+    fn silence_produces_finite_features() {
+        let cfg = PipelineConfig::default();
+        let ch = vec![vec![0.0; 1024], vec![0.0; 1024]];
+        let f = extract(&ch, &cfg).unwrap();
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

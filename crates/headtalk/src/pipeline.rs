@@ -1,0 +1,237 @@
+//! The end-to-end HeadTalk pipeline (Fig. 2): preprocessing → liveness →
+//! orientation → accept/soft-mute decision.
+
+use crate::config::PipelineConfig;
+use crate::features;
+use crate::liveness::{prepare_input, LivenessDetector, LIVE_HUMAN};
+use crate::orientation::OrientationDetector;
+use crate::preprocess::Preprocessor;
+use crate::HeadTalkError;
+use ht_ml::Classifier;
+use serde::{Deserialize, Serialize};
+
+/// The pipeline's verdict on one wake-word capture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WakeDecision {
+    /// Liveness verdict: `true` = live human.
+    pub live: bool,
+    /// Liveness class-1 probability.
+    pub live_probability: f64,
+    /// Orientation verdict: `true` = facing the device. Only meaningful
+    /// when `live` (the paper rejects mechanical sources before checking
+    /// orientation), but always computed for diagnostics.
+    pub facing: bool,
+    /// Orientation decision score (positive = facing).
+    pub facing_score: f64,
+}
+
+impl WakeDecision {
+    /// The overall accept decision (Fig. 2): the command is forwarded to
+    /// the cloud only when the source is a live human *and* facing.
+    pub fn accepted(&self) -> bool {
+        self.live && self.facing
+    }
+}
+
+/// The assembled HeadTalk system: preprocessor + liveness detector +
+/// orientation detector.
+#[derive(Debug, Clone)]
+pub struct HeadTalk {
+    config: PipelineConfig,
+    preprocessor: Preprocessor,
+    liveness: LivenessDetector,
+    orientation: OrientationDetector,
+}
+
+impl HeadTalk {
+    /// Assembles a pipeline from trained components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeadTalkError::Dsp`] for an invalid preprocessing
+    /// configuration.
+    pub fn new(
+        config: PipelineConfig,
+        liveness: LivenessDetector,
+        orientation: OrientationDetector,
+    ) -> Result<HeadTalk, HeadTalkError> {
+        let preprocessor = Preprocessor::new(&config)?;
+        Ok(HeadTalk {
+            config,
+            preprocessor,
+            liveness,
+            orientation,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Processes one multichannel wake-word capture (raw 48 kHz channels)
+    /// and returns the accept/soft-mute decision.
+    ///
+    /// Liveness runs on a single channel (the paper: "we needed one channel
+    /// of audio data to detect liveliness and 4-channel audio data to detect
+    /// speaker orientation", §IV-B15); orientation runs on all channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeadTalkError::InvalidInput`] for empty or mismatched
+    /// captures.
+    pub fn process_wake(&self, channels: &[Vec<f64>]) -> Result<WakeDecision, HeadTalkError> {
+        let denoised = self.preprocessor.denoise_channels(channels)?;
+
+        // Liveness on channel 0.
+        let prepared = prepare_input(&denoised[0], self.liveness.input_len())?;
+        let live_probability = self.liveness.live_probability(&prepared);
+        let live = self.liveness.predict(&prepared) == LIVE_HUMAN;
+
+        // Orientation on the full array.
+        let fv = features::extract(&denoised, &self.config)?;
+        let facing_score = self.orientation.decision_score(&fv);
+        let facing = self.orientation.is_facing(&fv);
+
+        Ok(WakeDecision {
+            live,
+            live_probability,
+            facing,
+            facing_score,
+        })
+    }
+
+    /// Extracts the orientation feature vector from a raw capture (used by
+    /// the dataset builders so training and inference share one code path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing and feature-extraction errors.
+    pub fn orientation_features(
+        config: &PipelineConfig,
+        channels: &[Vec<f64>],
+    ) -> Result<Vec<f64>, HeadTalkError> {
+        let pre = Preprocessor::new(config)?;
+        let denoised = pre.denoise_channels(channels)?;
+        features::extract(&denoised, config)
+    }
+
+    /// Prepares the liveness input from a raw capture (shared by training
+    /// and inference).
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing errors.
+    pub fn liveness_input(
+        config: &PipelineConfig,
+        channels: &[Vec<f64>],
+    ) -> Result<Vec<f64>, HeadTalkError> {
+        let pre = Preprocessor::new(config)?;
+        let denoised = pre.denoise_channels(channels)?;
+        prepare_input(&denoised[0], config.liveness_input_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orientation::ModelKind;
+    use ht_ml::dataset::Dataset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds a tiny but end-to-end-valid pipeline: the models are trained
+    /// on trivially separable synthetic data just to exercise the plumbing.
+    fn tiny_pipeline() -> HeadTalk {
+        let config = PipelineConfig {
+            liveness_input_len: 512,
+            ..PipelineConfig::default()
+        };
+
+        // Liveness training data at the prepared-input width.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut live_ds = Dataset::new(512);
+        for _ in 0..10 {
+            let mut fast: Vec<f64> = (0..512).map(|t| (t as f64 * 2.5).sin()).collect();
+            for v in fast.iter_mut() {
+                *v += 0.05 * ht_dsp::rng::gaussian(&mut rng);
+            }
+            ht_dsp::signal::normalize_zscore(&mut fast);
+            live_ds.push(fast, 1).unwrap();
+            let mut slow: Vec<f64> = (0..512).map(|t| (t as f64 * 0.05).sin()).collect();
+            for v in slow.iter_mut() {
+                *v += 0.05 * ht_dsp::rng::gaussian(&mut rng);
+            }
+            ht_dsp::signal::normalize_zscore(&mut slow);
+            live_ds.push(slow, 0).unwrap();
+        }
+        let liveness = LivenessDetector::fit(&live_ds, 8, 2).unwrap();
+
+        // Orientation training data at the real feature width for 2 chans.
+        let width = crate::features::feature_width(2, &config);
+        let mut orient_ds = Dataset::new(width);
+        for i in 0..10 {
+            let mut f = vec![0.0; width];
+            f[0] = 1.0 + i as f64 * 0.01;
+            orient_ds.push(f, 1).unwrap();
+            let mut f = vec![0.0; width];
+            f[0] = -1.0 - i as f64 * 0.01;
+            orient_ds.push(f, 0).unwrap();
+        }
+        let orientation = OrientationDetector::fit(&orient_ds, ModelKind::Knn, 3).unwrap();
+
+        HeadTalk::new(config, liveness, orientation).unwrap()
+    }
+
+    #[test]
+    fn pipeline_produces_a_complete_decision() {
+        let ht = tiny_pipeline();
+        let mut rng = StdRng::seed_from_u64(4);
+        let ch0 = ht_dsp::rng::white_noise(&mut rng, 4800);
+        let ch1 = ht_dsp::signal::fractional_delay(&ch0, 2.0, 16);
+        let d = ht.process_wake(&[ch0, ch1]).unwrap();
+        assert!((0.0..=1.0).contains(&d.live_probability));
+        assert!(d.facing_score.is_finite());
+        assert_eq!(d.accepted(), d.live && d.facing);
+    }
+
+    #[test]
+    fn empty_capture_is_rejected() {
+        let ht = tiny_pipeline();
+        assert!(ht.process_wake(&[]).is_err());
+        assert!(ht.process_wake(&[vec![], vec![]]).is_err());
+    }
+
+    #[test]
+    fn decision_requires_both_conditions() {
+        let both = WakeDecision {
+            live: true,
+            live_probability: 0.9,
+            facing: true,
+            facing_score: 1.0,
+        };
+        assert!(both.accepted());
+        for (live, facing) in [(true, false), (false, true), (false, false)] {
+            let d = WakeDecision {
+                live,
+                facing,
+                live_probability: 0.5,
+                facing_score: 0.0,
+            };
+            assert!(!d.accepted());
+        }
+    }
+
+    #[test]
+    fn helper_extractors_share_the_inference_path() {
+        let config = PipelineConfig::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let ch0 = ht_dsp::rng::white_noise(&mut rng, 4800);
+        let ch1 = ht_dsp::signal::fractional_delay(&ch0, 1.0, 16);
+        let capture = vec![ch0, ch1];
+        let fv = HeadTalk::orientation_features(&config, &capture).unwrap();
+        assert_eq!(fv.len(), crate::features::feature_width(2, &config));
+        let li = HeadTalk::liveness_input(&config, &capture).unwrap();
+        assert_eq!(li.len(), config.liveness_input_len);
+    }
+}

@@ -1,0 +1,214 @@
+//! User-study analysis (§V): the SUS (System Usability Scale) scorer, the
+//! encoded Table V survey responses, and the paper's reported aggregates.
+//!
+//! A human-subjects study cannot be simulated honestly, so this module
+//! reproduces the *analysis*: the SUS scoring rule (Brooke 1996), the exact
+//! response tallies the paper reports in Table V (from which the takeaway
+//! percentages are recomputed), and the reported SUS confidence intervals.
+
+use serde::{Deserialize, Serialize};
+
+/// One participant's answers to the 10 SUS items, each in `1..=5`
+/// (1 = strong disagreement, 5 = strong agreement).
+pub type SusResponse = [u8; 10];
+
+/// Computes the SUS score (0–100) for one response.
+///
+/// Odd-numbered items (1-indexed: 1, 3, 5, 7, 9 — the positively-phrased
+/// ones) contribute `answer − 1`; even items contribute `5 − answer`; the
+/// sum is scaled by 2.5 (Brooke 1996).
+///
+/// # Panics
+///
+/// Panics if any answer is outside `1..=5`.
+pub fn sus_score(response: &SusResponse) -> f64 {
+    let mut total = 0i32;
+    for (i, &a) in response.iter().enumerate() {
+        assert!((1..=5).contains(&a), "SUS answers must be in 1..=5");
+        let a = a as i32;
+        total += if i % 2 == 0 { a - 1 } else { 5 - a };
+    }
+    total as f64 * 2.5
+}
+
+/// Mean SUS score and 95 % confidence half-width for a set of responses.
+pub fn sus_summary(responses: &[SusResponse]) -> (f64, f64) {
+    let scores: Vec<f64> = responses.iter().map(sus_score).collect();
+    ht_dsp::stats::mean_ci95(&scores)
+}
+
+/// The SUS benchmark: scores above 68 are considered above average
+/// (Brooke 1996 / §V).
+pub const SUS_AVERAGE_THRESHOLD: f64 = 68.0;
+
+/// One Table V question with its response option labels and counts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SurveyQuestion {
+    /// The question as asked.
+    pub question: &'static str,
+    /// `(option label, respondent count)` pairs.
+    pub responses: Vec<(&'static str, usize)>,
+}
+
+impl SurveyQuestion {
+    /// Total respondents for this question.
+    pub fn total(&self) -> usize {
+        self.responses.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Fraction of respondents choosing any of the named options.
+    pub fn fraction_of(&self, options: &[&str]) -> f64 {
+        let hit: usize = self
+            .responses
+            .iter()
+            .filter(|(label, _)| options.contains(label))
+            .map(|(_, c)| c)
+            .sum();
+        hit as f64 / self.total() as f64
+    }
+}
+
+/// The five Table V questions with the paper's exact response counts.
+pub fn table_v() -> Vec<SurveyQuestion> {
+    vec![
+        SurveyQuestion {
+            question: "How many home voice assistants do you have at home?",
+            responses: vec![("0", 5), ("1", 12), ("2", 2), ("above 2", 1)],
+        },
+        SurveyQuestion {
+            question: "How often do you face the VA when you are interacting with the VA?",
+            responses: vec![
+                ("N/A", 5),
+                ("Very less", 1),
+                ("Less", 4),
+                ("Often", 6),
+                ("Very often", 4),
+            ],
+        },
+        SurveyQuestion {
+            question: "How easy was it to use HeadTalk compared with existing privacy controls?",
+            responses: vec![
+                ("Extremely easy", 10),
+                ("Somewhat easy", 9),
+                ("Neither easy nor difficult", 0),
+                ("Somewhat difficult", 1),
+                ("Extremely difficult", 0),
+            ],
+        },
+        SurveyQuestion {
+            question: "Would you deploy HeadTalk on your voice assistant?",
+            responses: vec![
+                ("Definitely yes", 7),
+                ("Probably yes", 7),
+                ("Might or might not", 5),
+                ("Probably not", 0),
+                ("Definitely not", 1),
+            ],
+        },
+        SurveyQuestion {
+            question: "Compare HeadTalk with the existing privacy control.",
+            responses: vec![
+                ("Much Better", 9),
+                ("Somewhat better", 5),
+                ("About the same", 5),
+                ("Somewhat worse", 0),
+                ("Much worse", 1),
+            ],
+        },
+    ]
+}
+
+/// The paper's reported SUS aggregates (§V), as `(mean, 95 % CI
+/// half-width)`.
+pub const PAPER_SUS_HEADTALK: (f64, f64) = (77.38, 6.26);
+/// SUS for the existing privacy control (physical mute button).
+pub const PAPER_SUS_MUTE_BUTTON: (f64, f64) = (74.75, 8.12);
+
+/// The §V takeaways recomputed from the Table V counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Takeaways {
+    /// Fraction of VA owners who recall facing the device often/very often.
+    pub owners_face_often: f64,
+    /// Fraction rating HeadTalk extremely/somewhat easy.
+    pub easy_to_use: f64,
+    /// Fraction who would probably/definitely deploy it.
+    pub would_deploy: f64,
+    /// Fraction rating it better than existing controls.
+    pub better_than_existing: f64,
+}
+
+/// Computes the takeaways from [`table_v`].
+pub fn takeaways() -> Takeaways {
+    let t = table_v();
+    // Question 2 restricted to VA owners (total minus the 5 N/A).
+    let face = &t[1];
+    let owners = (face.total() - 5) as f64;
+    let often = face.fraction_of(&["Often", "Very often"]) * face.total() as f64;
+    Takeaways {
+        owners_face_often: often / owners,
+        easy_to_use: t[2].fraction_of(&["Extremely easy", "Somewhat easy"]),
+        would_deploy: t[3].fraction_of(&["Definitely yes", "Probably yes"]),
+        better_than_existing: t[4].fraction_of(&["Much Better", "Somewhat better"]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sus_extremes() {
+        // Best possible answers: odd items 5, even items 1 -> 100.
+        let best: SusResponse = [5, 1, 5, 1, 5, 1, 5, 1, 5, 1];
+        assert_eq!(sus_score(&best), 100.0);
+        let worst: SusResponse = [1, 5, 1, 5, 1, 5, 1, 5, 1, 5];
+        assert_eq!(sus_score(&worst), 0.0);
+        // All-neutral answers land at 50.
+        assert_eq!(sus_score(&[3; 10]), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=5")]
+    fn sus_rejects_out_of_range() {
+        sus_score(&[0, 1, 1, 1, 1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn sus_summary_is_mean_and_ci() {
+        let rs = [[5, 1, 5, 1, 5, 1, 5, 1, 5, 1], [3; 10]];
+        let (mean, ci) = sus_summary(&rs);
+        assert_eq!(mean, 75.0);
+        assert!(ci > 0.0);
+    }
+
+    #[test]
+    fn table_v_has_twenty_participants_per_question() {
+        for q in table_v() {
+            assert_eq!(q.total(), 20, "{}", q.question);
+        }
+    }
+
+    #[test]
+    fn takeaways_match_the_paper() {
+        let t = takeaways();
+        // §V: 66.67% (10/15) owners face the VA; 95% find it easy; 70%
+        // would deploy; ~70% say it is better.
+        assert!((t.owners_face_often - 10.0 / 15.0).abs() < 1e-9);
+        assert!((t.easy_to_use - 0.95).abs() < 1e-9);
+        assert!((t.would_deploy - 0.70).abs() < 1e-9);
+        assert!((t.better_than_existing - 0.70).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_sus_scores_clear_the_benchmark() {
+        assert!(PAPER_SUS_HEADTALK.0 > SUS_AVERAGE_THRESHOLD);
+        assert!(PAPER_SUS_MUTE_BUTTON.0 > SUS_AVERAGE_THRESHOLD);
+        assert!(PAPER_SUS_HEADTALK.0 > PAPER_SUS_MUTE_BUTTON.0);
+    }
+
+    #[test]
+    fn fraction_of_unknown_option_is_zero() {
+        let q = &table_v()[0];
+        assert_eq!(q.fraction_of(&["nonexistent"]), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! K-fold cross-validation with stratification.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One cross-validation fold: the indices held out for testing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    test_indices: Vec<usize>,
+}
+
+impl Fold {
+    /// The held-out indices.
+    pub fn test_indices(&self) -> &[usize] {
+        &self.test_indices
+    }
+
+    /// Materializes `(train, test)` datasets for this fold.
+    pub fn split(&self, ds: &Dataset) -> (Dataset, Dataset) {
+        let test_set: std::collections::HashSet<usize> =
+            self.test_indices.iter().copied().collect();
+        (
+            ds.filter_indices(|i| !test_set.contains(&i)),
+            ds.filter_indices(|i| test_set.contains(&i)),
+        )
+    }
+}
+
+/// Stratified `k`-fold split: every fold receives a proportional share of
+/// each class (the paper's 10-fold CV protocol, §IV-A and §IV-B14).
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > ds.len()`.
+pub fn stratified_folds<R: Rng + ?Sized>(ds: &Dataset, k: usize, rng: &mut R) -> Vec<Fold> {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(k <= ds.len(), "more folds than samples");
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for class in ds.classes() {
+        let mut members: Vec<usize> = (0..ds.len()).filter(|&i| ds.labels()[i] == class).collect();
+        members.shuffle(rng);
+        for (pos, idx) in members.into_iter().enumerate() {
+            folds[pos % k].push(idx);
+        }
+    }
+    folds
+        .into_iter()
+        .map(|test_indices| Fold { test_indices })
+        .collect()
+}
+
+/// Leave-one-group-out folds: `groups[i]` assigns each sample to a group
+/// (e.g. a participant in the Fig. 16 cross-user experiment); each fold
+/// holds out one whole group.
+///
+/// # Panics
+///
+/// Panics if `groups.len() != ds.len()`.
+pub fn leave_one_group_out(ds: &Dataset, groups: &[usize]) -> Vec<Fold> {
+    assert_eq!(groups.len(), ds.len(), "one group id per sample");
+    let mut distinct: Vec<usize> = groups.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    distinct
+        .into_iter()
+        .map(|g| Fold {
+            test_indices: (0..ds.len()).filter(|&i| groups[i] == g).collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Dataset {
+        let feats: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        Dataset::from_parts(feats, labels).unwrap()
+    }
+
+    #[test]
+    fn folds_partition_the_dataset() {
+        let ds = toy(20);
+        let mut rng = StdRng::seed_from_u64(1);
+        let folds = stratified_folds(&ds, 5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flat_map(|f| f.test_indices.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let ds = toy(20);
+        let mut rng = StdRng::seed_from_u64(2);
+        for fold in stratified_folds(&ds, 5, &mut rng) {
+            let (_, test) = fold.split(&ds);
+            assert_eq!(test.class_counts(), vec![(0, 2), (1, 2)]);
+        }
+    }
+
+    #[test]
+    fn split_keeps_all_samples() {
+        let ds = toy(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let folds = stratified_folds(&ds, 2, &mut rng);
+        let (tr, te) = folds[0].split(&ds);
+        assert_eq!(tr.len() + te.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "folds")]
+    fn too_many_folds_panics() {
+        let ds = toy(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        stratified_folds(&ds, 5, &mut rng);
+    }
+
+    #[test]
+    fn leave_one_group_out_holds_whole_groups() {
+        let ds = toy(9);
+        let groups = vec![0, 0, 0, 1, 1, 1, 2, 2, 2];
+        let folds = leave_one_group_out(&ds, &groups);
+        assert_eq!(folds.len(), 3);
+        assert_eq!(folds[1].test_indices(), &[3, 4, 5]);
+        let (tr, te) = folds[1].split(&ds);
+        assert_eq!(te.len(), 3);
+        assert_eq!(tr.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "group id")]
+    fn group_length_mismatch_panics() {
+        let ds = toy(4);
+        leave_one_group_out(&ds, &[0, 1]);
+    }
+}

@@ -1,0 +1,349 @@
+//! Feature-matrix dataset containers and standardization.
+
+use crate::MlError;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A labeled dataset: row-major feature matrix plus integer class labels.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    dim: usize,
+}
+
+impl Dataset {
+    /// Creates an empty dataset whose samples will have `dim` features.
+    pub fn new(dim: usize) -> Dataset {
+        Dataset {
+            features: Vec::new(),
+            labels: Vec::new(),
+            dim,
+        }
+    }
+
+    /// Builds a dataset from parallel feature/label vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidData`] on length mismatch, empty input, or
+    /// ragged feature rows.
+    pub fn from_parts(features: Vec<Vec<f64>>, labels: Vec<usize>) -> Result<Dataset, MlError> {
+        if features.len() != labels.len() {
+            return Err(MlError::InvalidData(format!(
+                "{} feature rows but {} labels",
+                features.len(),
+                labels.len()
+            )));
+        }
+        if features.is_empty() {
+            return Err(MlError::InvalidData("empty dataset".into()));
+        }
+        let dim = features[0].len();
+        if features.iter().any(|f| f.len() != dim) {
+            return Err(MlError::InvalidData("ragged feature rows".into()));
+        }
+        Ok(Dataset {
+            features,
+            labels,
+            dim,
+        })
+    }
+
+    /// Appends one sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidData`] if the feature width differs from
+    /// the dataset's dimensionality.
+    pub fn push(&mut self, features: Vec<f64>, label: usize) -> Result<(), MlError> {
+        if features.len() != self.dim {
+            return Err(MlError::InvalidData(format!(
+                "expected {} features, got {}",
+                self.dim,
+                features.len()
+            )));
+        }
+        self.features.push(features);
+        self.labels.push(label);
+        Ok(())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// `true` if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The feature rows.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// One sample.
+    pub fn sample(&self, i: usize) -> (&[f64], usize) {
+        (&self.features[i], self.labels[i])
+    }
+
+    /// The distinct labels present, sorted ascending.
+    pub fn classes(&self) -> Vec<usize> {
+        let mut c: Vec<usize> = self.labels.clone();
+        c.sort_unstable();
+        c.dedup();
+        c
+    }
+
+    /// Count of samples per class, as `(label, count)` sorted by label.
+    pub fn class_counts(&self) -> Vec<(usize, usize)> {
+        self.classes()
+            .into_iter()
+            .map(|c| (c, self.labels.iter().filter(|&&l| l == c).count()))
+            .collect()
+    }
+
+    /// A new dataset keeping only samples whose index satisfies `keep`.
+    pub fn filter_indices(&self, keep: impl Fn(usize) -> bool) -> Dataset {
+        let mut out = Dataset::new(self.dim);
+        for i in 0..self.len() {
+            if keep(i) {
+                out.features.push(self.features[i].clone());
+                out.labels.push(self.labels[i]);
+            }
+        }
+        out
+    }
+
+    /// Merges another dataset into this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidData`] on dimensionality mismatch.
+    pub fn extend(&mut self, other: &Dataset) -> Result<(), MlError> {
+        if other.dim != self.dim {
+            return Err(MlError::InvalidData(format!(
+                "cannot merge dim {} into dim {}",
+                other.dim, self.dim
+            )));
+        }
+        self.features.extend(other.features.iter().cloned());
+        self.labels.extend(other.labels.iter().copied());
+        Ok(())
+    }
+
+    /// Randomly splits into `(train, test)` with `train_fraction` of the
+    /// samples in the training part, shuffled by `rng`.
+    pub fn split<R: Rng + ?Sized>(&self, train_fraction: f64, rng: &mut R) -> (Dataset, Dataset) {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        let n_train = (self.len() as f64 * train_fraction).round() as usize;
+        let train_set: std::collections::HashSet<usize> =
+            idx[..n_train.min(self.len())].iter().copied().collect();
+        (
+            self.filter_indices(|i| train_set.contains(&i)),
+            self.filter_indices(|i| !train_set.contains(&i)),
+        )
+    }
+
+    /// Draws `n` samples per class (without replacement) into a training
+    /// set; everything else becomes the test set. Used by the training-size
+    /// sweep of Fig. 11.
+    pub fn split_per_class<R: Rng + ?Sized>(
+        &self,
+        n_per_class: usize,
+        rng: &mut R,
+    ) -> (Dataset, Dataset) {
+        let mut chosen = std::collections::HashSet::new();
+        for class in self.classes() {
+            let mut members: Vec<usize> = (0..self.len())
+                .filter(|&i| self.labels[i] == class)
+                .collect();
+            members.shuffle(rng);
+            for &i in members.iter().take(n_per_class) {
+                chosen.insert(i);
+            }
+        }
+        (
+            self.filter_indices(|i| chosen.contains(&i)),
+            self.filter_indices(|i| !chosen.contains(&i)),
+        )
+    }
+}
+
+/// Per-feature standardization (zero mean, unit variance), fit on training
+/// data and applied to both splits — required for RBF-kernel SVMs and the
+/// neural network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits the scaler on a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidData`] for an empty dataset.
+    pub fn fit(ds: &Dataset) -> Result<Standardizer, MlError> {
+        if ds.is_empty() {
+            return Err(MlError::InvalidData(
+                "cannot fit scaler on empty data".into(),
+            ));
+        }
+        let n = ds.len() as f64;
+        let dim = ds.dim();
+        let mut means = vec![0.0; dim];
+        for row in ds.features() {
+            for (m, v) in means.iter_mut().zip(row.iter()) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; dim];
+        for row in ds.features() {
+            for ((s, v), m) in stds.iter_mut().zip(row.iter()).zip(means.iter()) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant feature: leave centered but unscaled
+            }
+        }
+        Ok(Standardizer { means, stds })
+    }
+
+    /// Transforms one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width differs from the fitted dimensionality.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.means.len(), "feature width mismatch");
+        x.iter()
+            .zip(self.means.iter())
+            .zip(self.stds.iter())
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Transforms a whole dataset (labels preserved).
+    pub fn transform_dataset(&self, ds: &Dataset) -> Dataset {
+        let feats = ds.features().iter().map(|f| self.transform(f)).collect();
+        Dataset::from_parts(feats, ds.labels().to_vec()).expect("same shape as input")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let feats = vec![
+            vec![0.0, 10.0],
+            vec![1.0, 20.0],
+            vec![2.0, 30.0],
+            vec![3.0, 40.0],
+        ];
+        Dataset::from_parts(feats, vec![0, 0, 1, 1]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shapes() {
+        assert!(Dataset::from_parts(vec![vec![1.0]], vec![0, 1]).is_err());
+        assert!(Dataset::from_parts(vec![], vec![]).is_err());
+        assert!(Dataset::from_parts(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]).is_err());
+        let mut ds = Dataset::new(2);
+        assert!(ds.push(vec![1.0], 0).is_err());
+        assert!(ds.push(vec![1.0, 2.0], 0).is_ok());
+    }
+
+    #[test]
+    fn class_bookkeeping() {
+        let ds = toy();
+        assert_eq!(ds.classes(), vec![0, 1]);
+        assert_eq!(ds.class_counts(), vec![(0, 2), (1, 2)]);
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds.dim(), 2);
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let ds = toy();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (tr, te) = ds.split(0.5, &mut rng);
+        assert_eq!(tr.len() + te.len(), ds.len());
+        assert_eq!(tr.len(), 2);
+    }
+
+    #[test]
+    fn split_per_class_is_balanced() {
+        let ds = toy();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (tr, te) = ds.split_per_class(1, &mut rng);
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.class_counts(), vec![(0, 1), (1, 1)]);
+        assert_eq!(te.len(), 2);
+    }
+
+    #[test]
+    fn split_per_class_caps_at_available() {
+        let ds = toy();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (tr, te) = ds.split_per_class(100, &mut rng);
+        assert_eq!(tr.len(), 4);
+        assert!(te.is_empty());
+    }
+
+    #[test]
+    fn standardizer_zeroes_mean_and_unit_variance() {
+        let ds = toy();
+        let sc = Standardizer::fit(&ds).unwrap();
+        let t = sc.transform_dataset(&ds);
+        for d in 0..2 {
+            let col: Vec<f64> = t.features().iter().map(|f| f[d]).collect();
+            assert!(ht_dsp::stats::mean(&col).abs() < 1e-12);
+            assert!((ht_dsp::stats::variance(&col) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn standardizer_handles_constant_features() {
+        let feats = vec![vec![5.0, 1.0], vec![5.0, 2.0]];
+        let ds = Dataset::from_parts(feats, vec![0, 1]).unwrap();
+        let sc = Standardizer::fit(&ds).unwrap();
+        let t = sc.transform(&[5.0, 1.5]);
+        assert_eq!(t[0], 0.0);
+        assert!(t.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn extend_checks_dimensions() {
+        let mut a = toy();
+        let b = toy();
+        assert!(a.extend(&b).is_ok());
+        assert_eq!(a.len(), 8);
+        let c = Dataset::from_parts(vec![vec![1.0]], vec![0]).unwrap();
+        assert!(a.extend(&c).is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type for the ML substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible ML routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// Feature vectors with inconsistent dimensionality, empty datasets, …
+    InvalidData(String),
+    /// A hyperparameter outside its valid domain.
+    InvalidParameter(String),
+    /// Training could not proceed (e.g. a single-class dataset for a
+    /// binary model).
+    Degenerate(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::InvalidData(m) => write!(f, "invalid data: {m}"),
+            MlError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            MlError::Degenerate(m) => write!(f, "degenerate training set: {m}"),
+        }
+    }
+}
+
+impl Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MlError::InvalidData("x".into())
+            .to_string()
+            .contains("invalid data"));
+        assert!(MlError::Degenerate("y".into())
+            .to_string()
+            .contains("degenerate"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<MlError>();
+    }
+}

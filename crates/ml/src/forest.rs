@@ -1,0 +1,195 @@
+//! Random forest: bagged decision trees with feature subsampling.
+//!
+//! The paper "uses the Bagging algorithm for the RF classifier … and
+//! empirically settles on the number of trees as 200" (§IV-A).
+
+use crate::dataset::Dataset;
+use crate::tree::{DecisionTree, TreeParams};
+use crate::{Classifier, MlError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Random-forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of bagged trees (the paper settles on 200).
+    pub n_trees: usize,
+    /// Per-tree parameters. `max_features = None` here selects √dim
+    /// automatically.
+    pub tree: TreeParams,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 200,
+            tree: TreeParams {
+                max_splits: 32,
+                min_samples_split: 2,
+                max_features: None,
+            },
+        }
+    }
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Trains by bootstrap aggregation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidParameter`] for zero trees and
+    /// [`MlError::InvalidData`] for an empty dataset.
+    pub fn fit<R: Rng + ?Sized>(
+        ds: &Dataset,
+        params: &ForestParams,
+        rng: &mut R,
+    ) -> Result<RandomForest, MlError> {
+        if params.n_trees == 0 {
+            return Err(MlError::InvalidParameter(
+                "n_trees must be at least 1".into(),
+            ));
+        }
+        if ds.is_empty() {
+            return Err(MlError::InvalidData("empty training set".into()));
+        }
+        let mut tree_params = params.tree;
+        if tree_params.max_features.is_none() {
+            tree_params.max_features = Some(((ds.dim() as f64).sqrt().ceil() as usize).max(1));
+        }
+        let n = ds.len();
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for _ in 0..params.n_trees {
+            // Bootstrap sample with replacement.
+            let mut boot = Dataset::new(ds.dim());
+            for _ in 0..n {
+                let i = rng.gen_range(0..n);
+                let (f, l) = ds.sample(i);
+                boot.push(f.to_vec(), l).expect("same dimensionality");
+            }
+            trees.push(DecisionTree::fit(&boot, &tree_params, rng)?);
+        }
+        Ok(RandomForest { trees })
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn predict(&self, x: &[f64]) -> usize {
+        let mut votes = std::collections::HashMap::new();
+        for t in &self.trees {
+            *votes.entry(t.predict(x)).or_insert(0usize) += 1;
+        }
+        votes
+            .into_iter()
+            .max_by_key(|&(_, c)| c)
+            .map(|(l, _)| l)
+            .unwrap_or(0)
+    }
+
+    fn decision_score(&self, x: &[f64]) -> f64 {
+        // Mean of the trees' leaf-purity scores.
+        self.trees.iter().map(|t| t.decision_score(x)).sum::<f64>() / self.trees.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn noisy_blobs(n_per: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new(4);
+        for _ in 0..n_per {
+            // Two informative features, two pure-noise features.
+            ds.push(
+                vec![
+                    1.5 + 0.7 * ht_dsp::rng::gaussian(&mut rng),
+                    1.5 + 0.7 * ht_dsp::rng::gaussian(&mut rng),
+                    ht_dsp::rng::gaussian(&mut rng),
+                    ht_dsp::rng::gaussian(&mut rng),
+                ],
+                1,
+            )
+            .unwrap();
+            ds.push(
+                vec![
+                    -1.5 + 0.7 * ht_dsp::rng::gaussian(&mut rng),
+                    -1.5 + 0.7 * ht_dsp::rng::gaussian(&mut rng),
+                    ht_dsp::rng::gaussian(&mut rng),
+                    ht_dsp::rng::gaussian(&mut rng),
+                ],
+                0,
+            )
+            .unwrap();
+        }
+        ds
+    }
+
+    fn small_params(n_trees: usize) -> ForestParams {
+        ForestParams {
+            n_trees,
+            ..ForestParams::default()
+        }
+    }
+
+    #[test]
+    fn forest_classifies_noisy_blobs() {
+        let train = noisy_blobs(60, 1);
+        let test = noisy_blobs(60, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let rf = RandomForest::fit(&train, &small_params(25), &mut rng).unwrap();
+        let acc = crate::metrics::accuracy(test.labels(), &rf.predict_batch(test.features()));
+        assert!(acc > 0.93, "accuracy {acc}");
+    }
+
+    #[test]
+    fn more_trees_do_not_hurt() {
+        let train = noisy_blobs(40, 4);
+        let test = noisy_blobs(40, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let one = RandomForest::fit(&train, &small_params(1), &mut rng).unwrap();
+        let many = RandomForest::fit(&train, &small_params(30), &mut rng).unwrap();
+        let acc1 = crate::metrics::accuracy(test.labels(), &one.predict_batch(test.features()));
+        let acc30 = crate::metrics::accuracy(test.labels(), &many.predict_batch(test.features()));
+        assert!(acc30 >= acc1 - 0.05, "1 tree {acc1}, 30 trees {acc30}");
+        assert_eq!(many.n_trees(), 30);
+    }
+
+    #[test]
+    fn scores_track_class_one_confidence() {
+        let train = noisy_blobs(50, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let rf = RandomForest::fit(&train, &small_params(15), &mut rng).unwrap();
+        assert!(rf.decision_score(&[2.0, 2.0, 0.0, 0.0]) > 0.5);
+        assert!(rf.decision_score(&[-2.0, -2.0, 0.0, 0.0]) < -0.5);
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let ds = noisy_blobs(5, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        assert!(RandomForest::fit(&ds, &small_params(0), &mut rng).is_err());
+        let empty = Dataset::new(2);
+        assert!(RandomForest::fit(&empty, &small_params(3), &mut rng).is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let ds = noisy_blobs(20, 11);
+        let a = RandomForest::fit(&ds, &small_params(5), &mut StdRng::seed_from_u64(12)).unwrap();
+        let b = RandomForest::fit(&ds, &small_params(5), &mut StdRng::seed_from_u64(12)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,139 @@
+//! k-nearest-neighbours classifier.
+//!
+//! The paper's kNN baseline uses k = 3 (§IV-A).
+
+use crate::dataset::Dataset;
+use crate::{Classifier, MlError};
+use serde::{Deserialize, Serialize};
+
+/// A fitted (memorized) kNN model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Knn {
+    data: Dataset,
+    k: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl Knn {
+    /// "Trains" (memorizes) the dataset with neighbourhood size `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidParameter`] for `k == 0` and
+    /// [`MlError::InvalidData`] for an empty dataset.
+    pub fn fit(ds: &Dataset, k: usize) -> Result<Knn, MlError> {
+        if k == 0 {
+            return Err(MlError::InvalidParameter("k must be at least 1".into()));
+        }
+        if ds.is_empty() {
+            return Err(MlError::InvalidData("empty training set".into()));
+        }
+        Ok(Knn {
+            data: ds.clone(),
+            k: k.min(ds.len()),
+        })
+    }
+
+    /// The neighbourhood size in effect.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    fn neighbours(&self, x: &[f64]) -> Vec<(f64, usize)> {
+        let mut d: Vec<(f64, usize)> = self
+            .data
+            .features()
+            .iter()
+            .zip(self.data.labels().iter())
+            .map(|(f, &l)| (sq_dist(f, x), l))
+            .collect();
+        d.sort_by(|a, b| a.0.total_cmp(&b.0));
+        d.truncate(self.k);
+        d
+    }
+}
+
+impl Classifier for Knn {
+    fn predict(&self, x: &[f64]) -> usize {
+        let nb = self.neighbours(x);
+        let mut votes = std::collections::HashMap::new();
+        for (_, l) in &nb {
+            *votes.entry(*l).or_insert(0usize) += 1;
+        }
+        // Ties break toward the nearest neighbour's label.
+        let max_votes = votes.values().copied().max().unwrap_or(0);
+        nb.iter()
+            .find(|(_, l)| votes[l] == max_votes)
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn decision_score(&self, x: &[f64]) -> f64 {
+        let nb = self.neighbours(x);
+        let ones = nb.iter().filter(|(_, l)| *l == 1).count() as f64;
+        ones / nb.len().max(1) as f64 * 2.0 - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Dataset {
+        let mut ds = Dataset::new(2);
+        for i in 0..10 {
+            let v = i as f64;
+            ds.push(vec![v, 0.0], usize::from(v >= 5.0)).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn nearest_neighbour_wins() {
+        let knn = Knn::fit(&grid(), 1).unwrap();
+        assert_eq!(knn.predict(&[0.2, 0.0]), 0);
+        assert_eq!(knn.predict(&[8.7, 0.0]), 1);
+    }
+
+    #[test]
+    fn k_three_majority_votes() {
+        let knn = Knn::fit(&grid(), 3).unwrap();
+        // At x = 4.6, neighbours are 5 (label 1), 4 (0), 6 (1) -> class 1.
+        assert_eq!(knn.predict(&[4.6, 0.0]), 1);
+        // At x = 4.4, neighbours are 4 (0), 5 (1), 3 (0) -> class 0.
+        assert_eq!(knn.predict(&[4.4, 0.0]), 0);
+    }
+
+    #[test]
+    fn k_is_clamped_to_dataset_size() {
+        let knn = Knn::fit(&grid(), 100).unwrap();
+        assert_eq!(knn.k(), 10);
+    }
+
+    #[test]
+    fn scores_are_vote_fractions() {
+        let knn = Knn::fit(&grid(), 3).unwrap();
+        assert!((knn.decision_score(&[9.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!((knn.decision_score(&[0.0, 0.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_breaks_toward_nearest() {
+        // k=2 with one neighbour of each class: the closer one decides.
+        let mut ds = Dataset::new(1);
+        ds.push(vec![0.0], 0).unwrap();
+        ds.push(vec![1.0], 1).unwrap();
+        let knn = Knn::fit(&ds, 2).unwrap();
+        assert_eq!(knn.predict(&[0.1]), 0);
+        assert_eq!(knn.predict(&[0.9]), 1);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(Knn::fit(&grid(), 0).is_err());
+        assert!(Knn::fit(&Dataset::new(2), 3).is_err());
+    }
+}

@@ -1,0 +1,281 @@
+//! Evaluation metrics: the paper reports accuracy, precision, recall,
+//! F1-score, true-positive rate (TPR), false-acceptance rate (FAR),
+//! false-rejection rate (FRR) and equal error rate (EER) (§IV-A).
+//!
+//! Binary convention throughout the reproduction: class **1** is the
+//! "positive" class (facing / live-human), class **0** is negative
+//! (non-facing / replayed).
+
+use serde::{Deserialize, Serialize};
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Confusion {
+    /// True positives (label 1 predicted 1).
+    pub tp: usize,
+    /// False positives (label 0 predicted 1).
+    pub fp: usize,
+    /// True negatives (label 0 predicted 0).
+    pub tn: usize,
+    /// False negatives (label 1 predicted 0).
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tallies predictions against labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn from_predictions(labels: &[usize], predictions: &[usize]) -> Confusion {
+        assert_eq!(labels.len(), predictions.len(), "length mismatch");
+        let mut c = Confusion::default();
+        for (&l, &p) in labels.iter().zip(predictions.iter()) {
+            match (l, p) {
+                (1, 1) => c.tp += 1,
+                (0, 1) => c.fp += 1,
+                (0, 0) => c.tn += 1,
+                (1, 0) => c.fn_ += 1,
+                _ => panic!("binary metrics expect labels in {{0, 1}}, got ({l}, {p})"),
+            }
+        }
+        c
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Overall accuracy (0 for an empty matrix).
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / self.total() as f64
+        }
+    }
+
+    /// Precision for the positive class (0 when nothing was predicted
+    /// positive).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall / true-positive rate (0 when there are no positives).
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// TPR — alias for [`Confusion::recall`].
+    pub fn tpr(&self) -> f64 {
+        self.recall()
+    }
+
+    /// False-acceptance rate: fraction of negatives accepted as positive
+    /// (a non-facing command wrongly accepted — the paper wants this low).
+    pub fn far(&self) -> f64 {
+        let denom = self.fp + self.tn;
+        if denom == 0 {
+            0.0
+        } else {
+            self.fp as f64 / denom as f64
+        }
+    }
+
+    /// False-rejection rate: fraction of positives rejected (a facing
+    /// command wrongly muted).
+    pub fn frr(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.fn_ as f64 / denom as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall; 0 when undefined).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Plain accuracy over arbitrary (multi-class) label sets.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn accuracy(labels: &[usize], predictions: &[usize]) -> f64 {
+    assert_eq!(labels.len(), predictions.len(), "length mismatch");
+    assert!(!labels.is_empty(), "empty evaluation set");
+    let hits = labels
+        .iter()
+        .zip(predictions.iter())
+        .filter(|(l, p)| l == p)
+        .count();
+    hits as f64 / labels.len() as f64
+}
+
+/// Equal error rate from continuous scores: the operating point where FAR
+/// equals FRR. `scores[i]` is the class-1 score of sample `i`; `labels[i]`
+/// in `{0, 1}`. Returns a rate in `[0, 1]`.
+///
+/// Sweeps every distinct score as a threshold and linearly interpolates the
+/// FAR/FRR crossing.
+///
+/// # Panics
+///
+/// Panics on length mismatch, or when either class is absent.
+pub fn equal_error_rate(labels: &[usize], scores: &[f64]) -> f64 {
+    assert_eq!(labels.len(), scores.len(), "length mismatch");
+    let positives: Vec<f64> = labels
+        .iter()
+        .zip(scores)
+        .filter(|(l, _)| **l == 1)
+        .map(|(_, s)| *s)
+        .collect();
+    let negatives: Vec<f64> = labels
+        .iter()
+        .zip(scores)
+        .filter(|(l, _)| **l == 0)
+        .map(|(_, s)| *s)
+        .collect();
+    assert!(
+        !positives.is_empty() && !negatives.is_empty(),
+        "EER needs both classes"
+    );
+
+    // Candidate thresholds: all scores, sorted.
+    let mut thresholds: Vec<f64> = scores.to_vec();
+    thresholds.sort_by(f64::total_cmp);
+    thresholds.dedup();
+
+    let mut prev: Option<(f64, f64)> = None; // (far, frr)
+    for &t in &thresholds {
+        // Accept when score >= t.
+        let far = negatives.iter().filter(|&&s| s >= t).count() as f64 / negatives.len() as f64;
+        let frr = positives.iter().filter(|&&s| s < t).count() as f64 / positives.len() as f64;
+        if frr >= far {
+            // Crossed over: interpolate with the previous point if any.
+            return match prev {
+                Some((pfar, pfrr)) => {
+                    let d_prev = (pfar - pfrr).abs();
+                    let d_cur = (far - frr).abs();
+                    if d_prev + d_cur == 0.0 {
+                        (far + frr) / 2.0
+                    } else {
+                        let w = d_prev / (d_prev + d_cur);
+                        let far_x = pfar + w * (far - pfar);
+                        let frr_x = pfrr + w * (frr - pfrr);
+                        (far_x + frr_x) / 2.0
+                    }
+                }
+                None => (far + frr) / 2.0,
+            };
+        }
+        prev = Some((far, frr));
+    }
+    // FRR never reached FAR: everything accepted at the loosest threshold.
+    match prev {
+        Some((far, frr)) => (far + frr) / 2.0,
+        None => 0.5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let labels = [1, 1, 0, 0, 1, 0];
+        let preds = [1, 0, 0, 1, 1, 0];
+        let c = Confusion::from_predictions(&labels, &preds);
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (2, 1, 2, 1));
+        assert!((c.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.far() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.frr() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_and_degenerate_cases() {
+        let c = Confusion::from_predictions(&[1, 0], &[1, 0]);
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.far(), 0.0);
+        assert_eq!(c.frr(), 0.0);
+        let empty = Confusion::default();
+        assert_eq!(empty.accuracy(), 0.0);
+        assert_eq!(empty.f1(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary metrics")]
+    fn non_binary_labels_panic() {
+        Confusion::from_predictions(&[2], &[1]);
+    }
+
+    #[test]
+    fn accuracy_multiclass() {
+        assert!((accuracy(&[0, 1, 2, 2], &[0, 1, 2, 1]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eer_of_perfect_separation_is_zero() {
+        let labels = [1, 1, 1, 0, 0, 0];
+        let scores = [0.9, 0.8, 0.7, 0.3, 0.2, 0.1];
+        assert!(equal_error_rate(&labels, &scores) < 1e-9);
+    }
+
+    #[test]
+    fn eer_of_random_scores_is_half() {
+        // Interleaved scores: every threshold misclassifies half of each.
+        let labels = [1, 0, 1, 0, 1, 0, 1, 0];
+        let scores = [0.8, 0.8, 0.6, 0.6, 0.4, 0.4, 0.2, 0.2];
+        let eer = equal_error_rate(&labels, &scores);
+        assert!((eer - 0.5).abs() < 0.13, "eer {eer}");
+    }
+
+    #[test]
+    fn eer_with_one_overlap() {
+        // One negative scores above one positive -> EER 1/4 with 4 of each.
+        let labels = [1, 1, 1, 1, 0, 0, 0, 0];
+        let scores = [0.9, 0.8, 0.7, 0.35, 0.4, 0.3, 0.2, 0.1];
+        let eer = equal_error_rate(&labels, &scores);
+        assert!((eer - 0.25).abs() < 0.01, "eer {eer}");
+    }
+
+    #[test]
+    fn eer_is_symmetric_under_score_shift() {
+        let labels = [1, 1, 0, 0, 1, 0];
+        let scores = [2.0, 1.5, 1.6, 0.5, 0.4, 0.3];
+        let shifted: Vec<f64> = scores.iter().map(|s| s + 10.0).collect();
+        let a = equal_error_rate(&labels, &scores);
+        let b = equal_error_rate(&labels, &shifted);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn eer_requires_both_classes() {
+        equal_error_rate(&[1, 1], &[0.5, 0.6]);
+    }
+}

@@ -1,0 +1,290 @@
+//! Minority up-sampling: SMOTE (Chawla et al. 2002) and ADASYN (He et al.
+//! 2008).
+//!
+//! The cross-user experiment (§IV-B14) has imbalanced classes — facing
+//! orientations are the minority — and the paper compares SMOTE against
+//! ADASYN, selecting ADASYN "for its superior performance".
+
+use crate::dataset::Dataset;
+use crate::MlError;
+use rand::Rng;
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Indices of the `k` nearest neighbours of `x` among `pool` (excluding an
+/// optional `skip` index into `pool`).
+fn knn_indices(pool: &[&[f64]], x: &[f64], k: usize, skip: Option<usize>) -> Vec<usize> {
+    let mut d: Vec<(f64, usize)> = pool
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != skip)
+        .map(|(i, p)| (sq_dist(p, x), i))
+        .collect();
+    d.sort_by(|a, b| a.0.total_cmp(&b.0));
+    d.truncate(k);
+    d.into_iter().map(|(_, i)| i).collect()
+}
+
+fn interpolate<R: Rng + ?Sized>(rng: &mut R, a: &[f64], b: &[f64]) -> Vec<f64> {
+    let t: f64 = rng.gen();
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| x + t * (y - x))
+        .collect()
+}
+
+fn minority_class(ds: &Dataset) -> Result<(usize, usize), MlError> {
+    let counts = ds.class_counts();
+    if counts.len() != 2 {
+        return Err(MlError::InvalidData(format!(
+            "up-sampling expects a binary dataset, found {} classes",
+            counts.len()
+        )));
+    }
+    let (minority, min_count) = counts
+        .iter()
+        .min_by_key(|(_, c)| *c)
+        .copied()
+        .expect("two classes present");
+    let (_, max_count) = counts
+        .iter()
+        .max_by_key(|(_, c)| *c)
+        .copied()
+        .expect("two classes present");
+    if min_count < 2 {
+        return Err(MlError::Degenerate(
+            "minority class needs at least 2 samples to interpolate".into(),
+        ));
+    }
+    Ok((minority, max_count - min_count))
+}
+
+/// SMOTE: synthesizes minority samples by interpolating between each
+/// minority sample and one of its `k` nearest minority neighbours, until the
+/// classes are balanced. Returns a new dataset containing the original
+/// samples plus the synthetic ones.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidData`] for non-binary data and
+/// [`MlError::Degenerate`] when the minority class has fewer than 2 samples.
+pub fn smote<R: Rng + ?Sized>(ds: &Dataset, k: usize, rng: &mut R) -> Result<Dataset, MlError> {
+    let (minority, deficit) = minority_class(ds)?;
+    let minority_rows: Vec<&[f64]> = ds
+        .features()
+        .iter()
+        .zip(ds.labels())
+        .filter(|(_, &l)| l == minority)
+        .map(|(f, _)| f.as_slice())
+        .collect();
+    let k = k.min(minority_rows.len() - 1).max(1);
+
+    let mut out = ds.clone();
+    for gen_i in 0..deficit {
+        let base = gen_i % minority_rows.len();
+        let neighbours = knn_indices(&minority_rows, minority_rows[base], k, Some(base));
+        let pick = neighbours[rng.gen_range(0..neighbours.len())];
+        let synth = interpolate(rng, minority_rows[base], minority_rows[pick]);
+        out.push(synth, minority)?;
+    }
+    Ok(out)
+}
+
+/// ADASYN: like SMOTE but adaptively generates *more* synthetic samples
+/// around minority points whose neighbourhoods are dominated by the majority
+/// class (the hard-to-learn regions).
+///
+/// # Errors
+///
+/// Same conditions as [`smote`].
+pub fn adasyn<R: Rng + ?Sized>(ds: &Dataset, k: usize, rng: &mut R) -> Result<Dataset, MlError> {
+    let (minority, deficit) = minority_class(ds)?;
+    if deficit == 0 {
+        return Ok(ds.clone());
+    }
+    let minority_rows: Vec<&[f64]> = ds
+        .features()
+        .iter()
+        .zip(ds.labels())
+        .filter(|(_, &l)| l == minority)
+        .map(|(f, _)| f.as_slice())
+        .collect();
+    let all_rows: Vec<&[f64]> = ds.features().iter().map(|f| f.as_slice()).collect();
+    let k_all = k.min(all_rows.len() - 1).max(1);
+    let k_min = k.min(minority_rows.len() - 1).max(1);
+
+    // Hardness ratio r_i: fraction of majority samples among the k nearest
+    // neighbours (searched over the whole dataset).
+    let mut hardness = Vec::with_capacity(minority_rows.len());
+    for (mi, row) in minority_rows.iter().enumerate() {
+        // Map this minority row back to its global index to exclude itself.
+        let global = ds
+            .features()
+            .iter()
+            .position(|f| std::ptr::eq(f.as_slice().as_ptr(), row.as_ptr()))
+            .unwrap_or(mi);
+        let nb = knn_indices(&all_rows, row, k_all, Some(global));
+        let majority_nb = nb.iter().filter(|&&i| ds.labels()[i] != minority).count();
+        hardness.push(majority_nb as f64 / k_all as f64);
+    }
+    let total: f64 = hardness.iter().sum();
+    // Degenerate: perfectly separated data — fall back to uniform SMOTE.
+    if total <= 0.0 {
+        return smote(ds, k, rng);
+    }
+
+    // Allocate the deficit proportionally to hardness.
+    let mut quotas: Vec<usize> = hardness
+        .iter()
+        .map(|h| ((h / total) * deficit as f64).round() as usize)
+        .collect();
+    // Fix rounding drift.
+    let n_quotas = quotas.len();
+    let mut allocated: usize = quotas.iter().sum();
+    let mut i = 0usize;
+    while allocated < deficit {
+        quotas[i % n_quotas] += 1;
+        allocated += 1;
+        i += 1;
+    }
+    while allocated > deficit {
+        if quotas[i % n_quotas] > 0 {
+            quotas[i % n_quotas] -= 1;
+            allocated -= 1;
+        }
+        i += 1;
+    }
+
+    let mut out = ds.clone();
+    for (base, &q) in quotas.iter().enumerate() {
+        let neighbours = knn_indices(&minority_rows, minority_rows[base], k_min, Some(base));
+        for _ in 0..q {
+            let pick = neighbours[rng.gen_range(0..neighbours.len())];
+            let synth = interpolate(rng, minority_rows[base], minority_rows[pick]);
+            out.push(synth, minority)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// 4 minority (class 1) vs 12 majority (class 0) samples.
+    fn imbalanced(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new(2);
+        for _ in 0..4 {
+            ds.push(
+                vec![
+                    2.0 + 0.3 * ht_dsp::rng::gaussian(&mut rng),
+                    2.0 + 0.3 * ht_dsp::rng::gaussian(&mut rng),
+                ],
+                1,
+            )
+            .unwrap();
+        }
+        for _ in 0..12 {
+            ds.push(
+                vec![
+                    -1.0 + 1.0 * ht_dsp::rng::gaussian(&mut rng),
+                    -1.0 + 1.0 * ht_dsp::rng::gaussian(&mut rng),
+                ],
+                0,
+            )
+            .unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn smote_balances_classes() {
+        let ds = imbalanced(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let up = smote(&ds, 3, &mut rng).unwrap();
+        assert_eq!(up.class_counts(), vec![(0, 12), (1, 12)]);
+        // Originals preserved.
+        assert_eq!(&up.features()[..16], ds.features());
+    }
+
+    #[test]
+    fn adasyn_balances_classes() {
+        let ds = imbalanced(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let up = adasyn(&ds, 3, &mut rng).unwrap();
+        assert_eq!(up.class_counts(), vec![(0, 12), (1, 12)]);
+    }
+
+    #[test]
+    fn synthetic_samples_lie_in_the_minority_hull() {
+        let ds = imbalanced(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let up = smote(&ds, 3, &mut rng).unwrap();
+        // Minority cluster is around (2, 2) with sd 0.3: synthetic points
+        // must stay nearby (interpolation cannot leave the convex hull).
+        for i in ds.len()..up.len() {
+            let (f, l) = up.sample(i);
+            assert_eq!(l, 1);
+            assert!(f[0] > 0.5 && f[1] > 0.5, "synthetic point {f:?} escaped");
+        }
+    }
+
+    #[test]
+    fn adasyn_focuses_on_boundary_points() {
+        // Construct minority points: three deep inside their cluster and one
+        // close to the majority; the boundary point should receive the most
+        // synthetic neighbours.
+        let mut ds = Dataset::new(1);
+        for v in [10.0, 10.2, 10.4] {
+            ds.push(vec![v], 1).unwrap();
+        }
+        ds.push(vec![1.0], 1).unwrap(); // boundary minority point
+        for v in [0.0, 0.2, 0.4, 0.6, 0.8, -0.2, -0.4, -0.6, -0.8, -1.0] {
+            ds.push(vec![v], 0).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let up = adasyn(&ds, 3, &mut rng).unwrap();
+        // Count synthetic points near the boundary (x < 6) vs deep (x > 6).
+        let synth = &up.features()[ds.len()..];
+        let near_boundary = synth.iter().filter(|f| f[0] < 6.0).count();
+        let deep = synth.len() - near_boundary;
+        assert!(
+            near_boundary >= deep,
+            "boundary {near_boundary} vs deep {deep}"
+        );
+    }
+
+    #[test]
+    fn balanced_input_is_returned_unchanged_by_adasyn() {
+        let mut ds = Dataset::new(1);
+        for v in [0.0, 1.0] {
+            ds.push(vec![v], 0).unwrap();
+            ds.push(vec![v + 5.0], 1).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(8);
+        let up = adasyn(&ds, 1, &mut rng).unwrap();
+        assert_eq!(up.len(), ds.len());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Single minority sample.
+        let mut ds = Dataset::new(1);
+        ds.push(vec![0.0], 1).unwrap();
+        ds.push(vec![1.0], 0).unwrap();
+        ds.push(vec![2.0], 0).unwrap();
+        assert!(smote(&ds, 3, &mut rng).is_err());
+        // Three classes.
+        let mut multi = Dataset::new(1);
+        for (v, l) in [(0.0, 0), (1.0, 1), (2.0, 2)] {
+            multi.push(vec![v], l).unwrap();
+        }
+        assert!(adasyn(&multi, 3, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,335 @@
+//! A CART-style decision tree with Gini impurity.
+//!
+//! The paper's DT baseline uses "the maximum number of splits as 5"
+//! (§IV-A); [`TreeParams::max_splits`] reproduces that control.
+
+use crate::dataset::Dataset;
+use crate::{Classifier, MlError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Decision-tree hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum number of internal split nodes (the paper's DT uses 5).
+    pub max_splits: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of random features to consider per split (`None` = all);
+    /// used by the random forest.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_splits: 5,
+            min_samples_split: 2,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        label: usize,
+        /// Fraction of class-1 samples at this leaf (the decision score).
+        p1: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A trained decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    n_splits: usize,
+}
+
+fn gini(labels: &[usize], indices: &[usize]) -> f64 {
+    if indices.is_empty() {
+        return 0.0;
+    }
+    let mut counts = std::collections::HashMap::new();
+    for &i in indices {
+        *counts.entry(labels[i]).or_insert(0usize) += 1;
+    }
+    let n = indices.len() as f64;
+    1.0 - counts
+        .values()
+        .map(|&c| (c as f64 / n).powi(2))
+        .sum::<f64>()
+}
+
+fn majority(labels: &[usize], indices: &[usize]) -> (usize, f64) {
+    let mut counts = std::collections::HashMap::new();
+    for &i in indices {
+        *counts.entry(labels[i]).or_insert(0usize) += 1;
+    }
+    let label = counts
+        .iter()
+        .max_by_key(|(_, &c)| c)
+        .map(|(&l, _)| l)
+        .unwrap_or(0);
+    let ones = counts.get(&1).copied().unwrap_or(0) as f64;
+    (label, ones / indices.len().max(1) as f64)
+}
+
+struct Builder<'a> {
+    ds: &'a Dataset,
+    params: TreeParams,
+    splits_used: usize,
+    feature_pool: Vec<usize>,
+}
+
+impl Builder<'_> {
+    fn best_split<R: Rng + ?Sized>(
+        &mut self,
+        indices: &[usize],
+        rng: &mut R,
+    ) -> Option<(usize, f64, Vec<usize>, Vec<usize>)> {
+        let labels = self.ds.labels();
+        let parent_gini = gini(labels, indices);
+        if parent_gini == 0.0 {
+            return None;
+        }
+        // Feature subsample for forests.
+        let features: Vec<usize> = match self.params.max_features {
+            Some(k) if k < self.feature_pool.len() => {
+                use rand::seq::SliceRandom;
+                let mut pool = self.feature_pool.clone();
+                pool.shuffle(rng);
+                pool.truncate(k);
+                pool
+            }
+            _ => self.feature_pool.clone(),
+        };
+
+        let mut best: Option<(f64, usize, f64)> = None; // (weighted gini, feat, thr)
+        for &f in &features {
+            let mut vals: Vec<f64> = indices.iter().map(|&i| self.ds.features()[i][f]).collect();
+            vals.sort_by(f64::total_cmp);
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            for w in vals.windows(2) {
+                let thr = (w[0] + w[1]) / 2.0;
+                let (mut left, mut right) = (Vec::new(), Vec::new());
+                for &i in indices {
+                    if self.ds.features()[i][f] <= thr {
+                        left.push(i);
+                    } else {
+                        right.push(i);
+                    }
+                }
+                if left.is_empty() || right.is_empty() {
+                    continue;
+                }
+                let n = indices.len() as f64;
+                let weighted = gini(labels, &left) * left.len() as f64 / n
+                    + gini(labels, &right) * right.len() as f64 / n;
+                if best.map(|(b, _, _)| weighted < b).unwrap_or(true) {
+                    best = Some((weighted, f, thr));
+                }
+            }
+        }
+        let (weighted, f, thr) = best?;
+        if weighted >= parent_gini - 1e-12 {
+            return None; // no impurity reduction
+        }
+        let (mut left, mut right) = (Vec::new(), Vec::new());
+        for &i in indices {
+            if self.ds.features()[i][f] <= thr {
+                left.push(i);
+            } else {
+                right.push(i);
+            }
+        }
+        Some((f, thr, left, right))
+    }
+
+    fn build<R: Rng + ?Sized>(&mut self, indices: &[usize], rng: &mut R) -> Node {
+        let labels = self.ds.labels();
+        if indices.len() < self.params.min_samples_split
+            || self.splits_used >= self.params.max_splits
+        {
+            let (label, p1) = majority(labels, indices);
+            return Node::Leaf { label, p1 };
+        }
+        match self.best_split(indices, rng) {
+            Some((feature, threshold, left, right)) => {
+                self.splits_used += 1;
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(self.build(&left, rng)),
+                    right: Box::new(self.build(&right, rng)),
+                }
+            }
+            None => {
+                let (label, p1) = majority(labels, indices);
+                Node::Leaf { label, p1 }
+            }
+        }
+    }
+}
+
+impl DecisionTree {
+    /// Trains a tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidData`] for an empty dataset.
+    pub fn fit<R: Rng + ?Sized>(
+        ds: &Dataset,
+        params: &TreeParams,
+        rng: &mut R,
+    ) -> Result<DecisionTree, MlError> {
+        if ds.is_empty() {
+            return Err(MlError::InvalidData("empty training set".into()));
+        }
+        let indices: Vec<usize> = (0..ds.len()).collect();
+        let mut builder = Builder {
+            ds,
+            params: *params,
+            splits_used: 0,
+            feature_pool: (0..ds.dim()).collect(),
+        };
+        let root = builder.build(&indices, rng);
+        Ok(DecisionTree {
+            root,
+            n_splits: builder.splits_used,
+        })
+    }
+
+    /// Number of internal split nodes actually used.
+    pub fn n_splits(&self) -> usize {
+        self.n_splits
+    }
+
+    fn walk(&self, x: &[f64]) -> (&usize, f64) {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label, p1 } => return (label, *p1),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict(&self, x: &[f64]) -> usize {
+        *self.walk(x).0
+    }
+
+    fn decision_score(&self, x: &[f64]) -> f64 {
+        // Map leaf class-1 probability to a signed score.
+        self.walk(x).1 * 2.0 - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn steps() -> Dataset {
+        // 1-D threshold problem: x > 0.5 -> class 1.
+        let feats: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
+        let labels: Vec<usize> = (0..40)
+            .map(|i| usize::from(i as f64 / 40.0 > 0.5))
+            .collect();
+        Dataset::from_parts(feats, labels).unwrap()
+    }
+
+    #[test]
+    fn learns_a_threshold() {
+        let ds = steps();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = DecisionTree::fit(&ds, &TreeParams::default(), &mut rng).unwrap();
+        assert_eq!(tree.predict(&[0.9]), 1);
+        assert_eq!(tree.predict(&[0.1]), 0);
+        assert!(tree.n_splits() >= 1);
+    }
+
+    #[test]
+    fn respects_max_splits() {
+        // A 2-D checkerboard needs many splits; cap at 1 and count.
+        let mut ds = Dataset::new(2);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let x: f64 = rng.gen::<f64>() * 4.0;
+            let y: f64 = rng.gen::<f64>() * 4.0;
+            let label = ((x as usize) + (y as usize)) % 2;
+            ds.push(vec![x, y], label).unwrap();
+        }
+        let params = TreeParams {
+            max_splits: 1,
+            ..TreeParams::default()
+        };
+        let tree = DecisionTree::fit(&ds, &params, &mut rng).unwrap();
+        assert!(tree.n_splits() <= 1);
+    }
+
+    #[test]
+    fn pure_dataset_is_a_single_leaf() {
+        let feats = vec![vec![1.0], vec![2.0]];
+        let ds = Dataset::from_parts(feats, vec![1, 1]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let tree = DecisionTree::fit(&ds, &TreeParams::default(), &mut rng).unwrap();
+        assert_eq!(tree.n_splits(), 0);
+        assert_eq!(tree.predict(&[5.0]), 1);
+    }
+
+    #[test]
+    fn decision_scores_reflect_leaf_purity() {
+        let ds = steps();
+        let mut rng = StdRng::seed_from_u64(4);
+        let tree = DecisionTree::fit(&ds, &TreeParams::default(), &mut rng).unwrap();
+        assert!(tree.decision_score(&[0.9]) > 0.0);
+        assert!(tree.decision_score(&[0.1]) < 0.0);
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let ds = Dataset::new(1);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(DecisionTree::fit(&ds, &TreeParams::default(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn multiclass_labels_are_supported() {
+        let feats: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..30).map(|i| i / 10).collect();
+        let ds = Dataset::from_parts(feats, labels).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let params = TreeParams {
+            max_splits: 10,
+            ..TreeParams::default()
+        };
+        let tree = DecisionTree::fit(&ds, &params, &mut rng).unwrap();
+        assert_eq!(tree.predict(&[5.0]), 0);
+        assert_eq!(tree.predict(&[15.0]), 1);
+        assert_eq!(tree.predict(&[25.0]), 2);
+    }
+}

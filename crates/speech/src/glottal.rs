@@ -1,0 +1,177 @@
+//! Glottal excitation: a Rosenberg-style pulse train with jitter, shimmer
+//! and aspiration noise.
+//!
+//! The pulse train supplies the harmonic structure of voiced speech
+//! (100 Hz – 4 kHz, Fig. 3's low band); the aspiration noise supplies the
+//! breathy high-frequency energy above 4 kHz that distinguishes live speech
+//! from replays.
+
+use crate::voice::VoiceProfile;
+use rand::Rng;
+
+/// One Rosenberg glottal pulse, sampled over `period` samples with an open
+/// quotient of 0.6 and a speed quotient of 2.0 (rising 40%, falling 20%,
+/// closed 40%).
+fn rosenberg_pulse(period: usize) -> Vec<f64> {
+    let open = (period as f64 * 0.6) as usize;
+    let rise = (open as f64 * 2.0 / 3.0) as usize;
+    (0..period)
+        .map(|n| {
+            if n < rise {
+                // Rising phase: half-cosine ramp.
+                0.5 * (1.0 - (std::f64::consts::PI * n as f64 / rise.max(1) as f64).cos())
+            } else if n < open {
+                // Falling phase: quarter-cosine.
+                let t = (n - rise) as f64 / (open - rise).max(1) as f64;
+                (std::f64::consts::FRAC_PI_2 * t).cos()
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Generates `n` samples of glottal excitation for a voice at `f0_hz`
+/// multiplied by `pitch_contour(t)` (t in `[0, 1]` across the output).
+///
+/// The returned excitation has a harmonic voiced component plus aspiration
+/// noise scaled by `aspiration` and the profile's brightness.
+pub fn excitation<R: Rng + ?Sized>(
+    rng: &mut R,
+    profile: &VoiceProfile,
+    n: usize,
+    sample_rate: f64,
+    aspiration: f64,
+    pitch_contour: impl Fn(f64) -> f64,
+) -> Vec<f64> {
+    let mut out = vec![0.0; n];
+    if n == 0 {
+        return out;
+    }
+    let mut pos = 0usize;
+    while pos < n {
+        let t = pos as f64 / n as f64;
+        let f0 = (profile.f0_hz * pitch_contour(t)).clamp(50.0, 500.0);
+        // Jitter perturbs each period; shimmer perturbs each amplitude.
+        let f0_jittered = f0 * (1.0 + profile.jitter * ht_dsp::rng::gaussian(rng));
+        let period = (sample_rate / f0_jittered.max(50.0)).round().max(8.0) as usize;
+        let amp = 1.0 + profile.shimmer * ht_dsp::rng::gaussian(rng);
+        let pulse = rosenberg_pulse(period);
+        for (k, &p) in pulse.iter().enumerate() {
+            if pos + k >= n {
+                break;
+            }
+            out[pos + k] += amp * p;
+        }
+        pos += period;
+    }
+
+    // Differentiate: radiation at the lips behaves like a +6 dB/oct
+    // high-pass, and the derivative of the glottal flow is the standard
+    // excitation waveform.
+    let mut prev = 0.0;
+    for v in out.iter_mut() {
+        let d = *v - prev;
+        prev = *v;
+        *v = d;
+    }
+
+    // Aspiration: breath noise through the glottis, high-pass tinted,
+    // amplitude modulated by the voicing cycle (approximated by |signal|).
+    if aspiration > 0.0 {
+        let noise = ht_dsp::rng::white_noise(rng, n);
+        let hp = ht_dsp::filter::Butterworth::highpass(2, 2_000.0, sample_rate)
+            .expect("static corner is valid");
+        let shaped = hp.filter(&noise);
+        let level = aspiration * profile.brightness * 0.05;
+        for (o, s) in out.iter_mut().zip(shaped.iter()) {
+            *o += level * s;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ht_dsp::spectrum::Spectrum;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const FS: f64 = 48_000.0;
+
+    fn flat(_t: f64) -> f64 {
+        1.0
+    }
+
+    #[test]
+    fn excitation_has_harmonic_structure() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = VoiceProfile::adult_male();
+        p.jitter = 0.0;
+        p.shimmer = 0.0;
+        let x = excitation(&mut rng, &p, 24_000, FS, 0.0, flat);
+        let s = Spectrum::of(&x, FS).unwrap();
+        // Energy at the first harmonics dominates energy between them.
+        let h1 = s.band_energy(110.0, 130.0);
+        let gap = s.band_energy(150.0, 170.0);
+        assert!(h1 > 3.0 * gap, "h1 {h1} vs gap {gap}");
+    }
+
+    #[test]
+    fn pitch_contour_moves_the_fundamental() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = VoiceProfile::adult_male();
+        p.jitter = 0.0;
+        let hi = excitation(&mut rng, &p, 24_000, FS, 0.0, |_| 1.5);
+        let s = Spectrum::of(&hi, FS).unwrap();
+        // Fundamental near 180 Hz, not 120 Hz.
+        assert!(s.band_energy(170.0, 190.0) > s.band_energy(110.0, 130.0));
+    }
+
+    #[test]
+    fn aspiration_adds_high_frequency_energy() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = VoiceProfile::adult_male();
+        let dry = excitation(&mut StdRng::seed_from_u64(3), &p, 24_000, FS, 0.0, flat);
+        let breathy = excitation(&mut rng, &p, 24_000, FS, 1.0, flat);
+        let hf = |x: &[f64]| Spectrum::of(x, FS).unwrap().band_energy(5_000.0, 12_000.0);
+        assert!(hf(&breathy) > 2.0 * hf(&dry));
+    }
+
+    #[test]
+    fn brightness_scales_aspiration() {
+        let p_dull = VoiceProfile {
+            brightness: 0.5,
+            ..VoiceProfile::adult_male()
+        };
+        let p_bright = VoiceProfile {
+            brightness: 2.0,
+            ..VoiceProfile::adult_male()
+        };
+        let hf = |p: &VoiceProfile| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let x = excitation(&mut rng, p, 24_000, FS, 1.0, flat);
+            Spectrum::of(&x, FS).unwrap().band_energy(5_000.0, 12_000.0)
+        };
+        assert!(hf(&p_bright) > 2.0 * hf(&p_dull));
+    }
+
+    #[test]
+    fn rosenberg_pulse_shape() {
+        let p = rosenberg_pulse(100);
+        assert_eq!(p.len(), 100);
+        // Non-negative, peaks inside the open phase, closed phase is zero.
+        assert!(p.iter().all(|&v| v >= 0.0));
+        assert!(p[90] == 0.0);
+        let peak = ht_dsp::peak::argmax(&p).unwrap();
+        assert!(peak > 10 && peak < 60, "peak at {peak}");
+    }
+
+    #[test]
+    fn empty_request_is_empty() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = VoiceProfile::adult_male();
+        assert!(excitation(&mut rng, &p, 0, FS, 1.0, flat).is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! # ht-speech — synthetic speech substrate
+//!
+//! The paper's data is human speech recorded live plus the same utterances
+//! replayed through loudspeakers. This crate synthesizes the stand-ins
+//! (see `DESIGN.md` for the substitution argument):
+//!
+//! * [`voice`] — per-speaker voice profiles (pitch, formant scaling,
+//!   brightness, timing), randomizable for multi-user experiments,
+//! * [`glottal`] — the glottal excitation source (Rosenberg-style pulse
+//!   train with jitter/shimmer and aspiration noise),
+//! * [`formant`] — formant resonator filters,
+//! * [`phoneme`] — a small phoneme inventory (vowels, fricatives, plosives,
+//!   nasals) sufficient for the three wake words,
+//! * [`utterance`] — wake-word synthesis ("Computer", "Amazon",
+//!   "Hey Assistant!"),
+//! * [`replay`] — loudspeaker playback models (Sony SRS-X5-class high-end
+//!   speaker, Galaxy-S21-class phone) that reproduce the spectral signature
+//!   replay attacks leave behind (Fig. 3: missing/flattened high-frequency
+//!   detail).
+//!
+//! # Example
+//!
+//! ```
+//! use ht_speech::utterance::WakeWord;
+//! use ht_speech::voice::VoiceProfile;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let voice = VoiceProfile::adult_male();
+//! let audio = WakeWord::Computer.synthesize(&voice, &mut rng, 48_000.0);
+//! assert!(audio.len() > 10_000); // a few hundred ms at 48 kHz
+//! ```
+
+pub mod formant;
+pub mod glottal;
+pub mod phoneme;
+pub mod replay;
+pub mod utterance;
+pub mod voice;
+
+pub use replay::SpeakerModel;
+pub use utterance::WakeWord;
+pub use voice::VoiceProfile;

@@ -1,0 +1,435 @@
+//! A small phoneme inventory sufficient for the paper's three wake words.
+//!
+//! Each phoneme knows how to synthesize itself for a given voice profile.
+//! Vowels and nasals are voiced (glottal excitation through a formant bank);
+//! fricatives are shaped noise — sibilants like /s/ put their energy above
+//! 4 kHz, which is precisely the live-speech high-frequency content the
+//! liveness detector keys on (Fig. 3); plosives are a silence+burst.
+
+use crate::formant::{apply_formants, Formant};
+use crate::glottal::excitation;
+use crate::voice::VoiceProfile;
+use rand::Rng;
+
+/// How a phoneme is produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Manner {
+    /// Voiced vowel with a 4-formant target.
+    Vowel([Formant; 4]),
+    /// Nasal consonant (voiced, murmur-like, low first formant).
+    Nasal([Formant; 3]),
+    /// Fricative noise centered at `(center_hz, bandwidth_hz)`; `voiced`
+    /// adds a glottal component (e.g. /z/ vs /s/).
+    Fricative {
+        /// Noise band center in Hz.
+        center_hz: f64,
+        /// Noise bandwidth in Hz.
+        bandwidth_hz: f64,
+        /// Whether voicing runs under the frication.
+        voiced: bool,
+    },
+    /// Plosive: a closure (silence) then a noise burst at `burst_hz`.
+    Plosive {
+        /// Burst spectrum center in Hz.
+        burst_hz: f64,
+    },
+    /// Aspirate /h/: broadband noise through neutral vowel formants.
+    Aspirate,
+}
+
+/// One phoneme: its manner and nominal duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phoneme {
+    /// Production details.
+    pub manner: Manner,
+    /// Nominal duration in milliseconds (scaled by the voice's rate).
+    pub duration_ms: f64,
+}
+
+const fn f(freq: f64, bw: f64, amp: f64) -> Formant {
+    Formant::new(freq, bw, amp)
+}
+
+impl Phoneme {
+    /// /ə/ (schwa) — "comp-UH-ter".
+    pub const AH: Phoneme = Phoneme {
+        manner: Manner::Vowel([
+            f(620.0, 80.0, 1.0),
+            f(1200.0, 100.0, 0.5),
+            f(2550.0, 140.0, 0.25),
+            f(3500.0, 200.0, 0.1),
+        ]),
+        duration_ms: 90.0,
+    };
+    /// /æ/ — "A-mazon".
+    pub const AE: Phoneme = Phoneme {
+        manner: Manner::Vowel([
+            f(730.0, 90.0, 1.0),
+            f(1660.0, 110.0, 0.55),
+            f(2490.0, 150.0, 0.25),
+            f(3500.0, 200.0, 0.1),
+        ]),
+        duration_ms: 120.0,
+    };
+    /// /ɑ/ — "amaz-O-n".
+    pub const AA: Phoneme = Phoneme {
+        manner: Manner::Vowel([
+            f(710.0, 90.0, 1.0),
+            f(1100.0, 100.0, 0.55),
+            f(2540.0, 150.0, 0.22),
+            f(3400.0, 200.0, 0.1),
+        ]),
+        duration_ms: 110.0,
+    };
+    /// /u/ — "comp-U-ter".
+    pub const UW: Phoneme = Phoneme {
+        manner: Manner::Vowel([
+            f(300.0, 70.0, 1.0),
+            f(870.0, 90.0, 0.5),
+            f(2240.0, 140.0, 0.2),
+            f(3300.0, 200.0, 0.08),
+        ]),
+        duration_ms: 100.0,
+    };
+    /// /ɝ/ — "comput-ER".
+    pub const ER: Phoneme = Phoneme {
+        manner: Manner::Vowel([
+            f(490.0, 80.0, 1.0),
+            f(1350.0, 100.0, 0.6),
+            f(1690.0, 120.0, 0.3),
+            f(3300.0, 200.0, 0.1),
+        ]),
+        duration_ms: 130.0,
+    };
+    /// /eɪ/ — "h-EY".
+    pub const EY: Phoneme = Phoneme {
+        manner: Manner::Vowel([
+            f(480.0, 80.0, 1.0),
+            f(1900.0, 110.0, 0.6),
+            f(2550.0, 150.0, 0.3),
+            f(3500.0, 200.0, 0.1),
+        ]),
+        duration_ms: 140.0,
+    };
+    /// /ɪ/ — "ass-I-stant".
+    pub const IH: Phoneme = Phoneme {
+        manner: Manner::Vowel([
+            f(390.0, 70.0, 1.0),
+            f(1990.0, 110.0, 0.6),
+            f(2550.0, 150.0, 0.3),
+            f(3600.0, 200.0, 0.1),
+        ]),
+        duration_ms: 80.0,
+    };
+    /// /j/ glide (= short /i/) — "comp-Y-uter".
+    pub const Y: Phoneme = Phoneme {
+        manner: Manner::Vowel([
+            f(280.0, 60.0, 0.9),
+            f(2250.0, 120.0, 0.6),
+            f(2890.0, 160.0, 0.3),
+            f(3600.0, 200.0, 0.1),
+        ]),
+        duration_ms: 55.0,
+    };
+    /// /m/.
+    pub const M: Phoneme = Phoneme {
+        manner: Manner::Nasal([
+            f(250.0, 60.0, 0.8),
+            f(1000.0, 150.0, 0.15),
+            f(2200.0, 200.0, 0.08),
+        ]),
+        duration_ms: 70.0,
+    };
+    /// /n/.
+    pub const N: Phoneme = Phoneme {
+        manner: Manner::Nasal([
+            f(250.0, 60.0, 0.8),
+            f(1400.0, 150.0, 0.15),
+            f(2400.0, 200.0, 0.08),
+        ]),
+        duration_ms: 65.0,
+    };
+    /// /s/ — sibilant, energy 5–9 kHz.
+    pub const S: Phoneme = Phoneme {
+        manner: Manner::Fricative {
+            center_hz: 6500.0,
+            bandwidth_hz: 4000.0,
+            voiced: false,
+        },
+        duration_ms: 110.0,
+    };
+    /// /z/ — voiced sibilant.
+    pub const Z: Phoneme = Phoneme {
+        manner: Manner::Fricative {
+            center_hz: 6000.0,
+            bandwidth_hz: 4000.0,
+            voiced: true,
+        },
+        duration_ms: 90.0,
+    };
+    /// /h/.
+    pub const H: Phoneme = Phoneme {
+        manner: Manner::Aspirate,
+        duration_ms: 70.0,
+    };
+    /// /k/.
+    pub const K: Phoneme = Phoneme {
+        manner: Manner::Plosive { burst_hz: 3000.0 },
+        duration_ms: 75.0,
+    };
+    /// /p/.
+    pub const P: Phoneme = Phoneme {
+        manner: Manner::Plosive { burst_hz: 1200.0 },
+        duration_ms: 75.0,
+    };
+    /// /t/.
+    pub const T: Phoneme = Phoneme {
+        manner: Manner::Plosive { burst_hz: 4500.0 },
+        duration_ms: 70.0,
+    };
+
+    /// Synthesizes this phoneme for `profile` at `sample_rate`, with `pitch`
+    /// a relative multiplier on the voice's f0 (prosody).
+    ///
+    /// Segments are normalized to manner-specific RMS targets so the
+    /// phoneme classes keep realistic relative levels: vowels carry the
+    /// energy, sibilants/bursts sit 10–15 dB below them (this is what gives
+    /// the overall spectrum its Fig. 3 shape — dominant 200 Hz–4 kHz with
+    /// present-but-weaker energy above 4 kHz).
+    pub fn synthesize<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        profile: &VoiceProfile,
+        sample_rate: f64,
+        pitch: f64,
+    ) -> Vec<f64> {
+        let mut seg = self.synthesize_raw(rng, profile, sample_rate, pitch);
+        let target = match self.manner {
+            Manner::Vowel(_) => 0.10,
+            Manner::Nasal(_) => 0.05,
+            Manner::Fricative { .. } => 0.030 * profile.brightness,
+            Manner::Plosive { .. } => 0.022 * profile.brightness.sqrt(),
+            Manner::Aspirate => 0.025 * profile.brightness,
+        };
+        let rms = ht_dsp::signal::rms(&seg);
+        if rms > 0.0 {
+            let g = target / rms;
+            for v in &mut seg {
+                *v *= g;
+            }
+        }
+        seg
+    }
+
+    fn synthesize_raw<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        profile: &VoiceProfile,
+        sample_rate: f64,
+        pitch: f64,
+    ) -> Vec<f64> {
+        let n = (self.duration_ms / 1000.0 * profile.rate.recip() * sample_rate) as usize;
+        let n = n.max(16);
+        match self.manner {
+            Manner::Vowel(formants) => {
+                let exc = excitation(rng, profile, n, sample_rate, 0.4, |t| {
+                    pitch * (1.0 + 0.04 * (1.0 - 2.0 * t)) // slight declination
+                });
+                let scaled: Vec<Formant> = formants
+                    .iter()
+                    .map(|fm| fm.scaled(profile.formant_scale))
+                    .collect();
+                let mut y = apply_formants(&exc, &scaled, sample_rate);
+                envelope(&mut y, 0.15);
+                y
+            }
+            Manner::Nasal(formants) => {
+                let exc = excitation(rng, profile, n, sample_rate, 0.15, |_| pitch);
+                let scaled: Vec<Formant> = formants
+                    .iter()
+                    .map(|fm| fm.scaled(profile.formant_scale))
+                    .collect();
+                let mut y = apply_formants(&exc, &scaled, sample_rate);
+                for v in &mut y {
+                    *v *= 0.5; // nasal murmur is weaker than a vowel
+                }
+                envelope(&mut y, 0.2);
+                y
+            }
+            Manner::Fricative {
+                center_hz,
+                bandwidth_hz,
+                voiced,
+            } => {
+                let noise = ht_dsp::rng::white_noise(rng, n);
+                let lo = (center_hz - bandwidth_hz / 2.0).max(200.0);
+                let hi = (center_hz + bandwidth_hz / 2.0).min(sample_rate * 0.45);
+                let bp = ht_dsp::filter::Butterworth::bandpass(2, lo, hi, sample_rate)
+                    .expect("fricative band is valid");
+                let mut y = bp.filter(&noise);
+                let level = 0.25 * profile.brightness;
+                for v in &mut y {
+                    *v *= level;
+                }
+                if voiced {
+                    let voice_part = excitation(rng, profile, n, sample_rate, 0.1, |_| pitch);
+                    let lp = ht_dsp::filter::Butterworth::lowpass(2, 700.0, sample_rate)
+                        .expect("static corner");
+                    let low = lp.filter(&voice_part);
+                    for (o, v) in y.iter_mut().zip(low.iter()) {
+                        *o += 0.3 * v;
+                    }
+                }
+                envelope(&mut y, 0.25);
+                y
+            }
+            Manner::Plosive { burst_hz } => {
+                let mut y = vec![0.0; n];
+                let closure = n / 2;
+                let burst_len = (n - closure).min((0.02 * sample_rate) as usize).max(8);
+                let noise = ht_dsp::rng::white_noise(rng, burst_len);
+                let lo = (burst_hz * 0.5).max(200.0);
+                let hi = (burst_hz * 2.0).min(sample_rate * 0.45);
+                let bp = ht_dsp::filter::Butterworth::bandpass(2, lo, hi, sample_rate)
+                    .expect("burst band is valid");
+                let burst = bp.filter(&noise);
+                let level = 0.6 * profile.brightness.sqrt();
+                for (k, &b) in burst.iter().enumerate() {
+                    let decay = (-(k as f64) / (0.006 * sample_rate)).exp();
+                    y[closure + k] = level * b * decay;
+                }
+                y
+            }
+            Manner::Aspirate => {
+                let noise = ht_dsp::rng::white_noise(rng, n);
+                let neutral = [
+                    f(500.0, 150.0, 1.0).scaled(profile.formant_scale),
+                    f(1500.0, 200.0, 0.5).scaled(profile.formant_scale),
+                    f(2500.0, 250.0, 0.3).scaled(profile.formant_scale),
+                ];
+                let mut y = apply_formants(&noise, &neutral, sample_rate);
+                let level = 0.08 * profile.brightness;
+                for v in &mut y {
+                    *v *= level;
+                }
+                envelope(&mut y, 0.3);
+                y
+            }
+        }
+    }
+}
+
+/// Raised-cosine attack/release over the first/last `frac` of the samples.
+fn envelope(x: &mut [f64], frac: f64) {
+    let n = x.len();
+    let ramp = ((n as f64 * frac) as usize).max(1).min(n / 2);
+    for i in 0..ramp {
+        let w = 0.5 * (1.0 - (std::f64::consts::PI * i as f64 / ramp as f64).cos());
+        x[i] *= w;
+        x[n - 1 - i] *= w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ht_dsp::spectrum::Spectrum;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const FS: f64 = 48_000.0;
+
+    fn synth(p: Phoneme) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(7);
+        p.synthesize(&mut rng, &VoiceProfile::adult_male(), FS, 1.0)
+    }
+
+    #[test]
+    fn vowel_spectrum_peaks_near_first_formant() {
+        let y = synth(Phoneme::AE);
+        let s = Spectrum::of(&y, FS).unwrap();
+        assert!(s.band_energy(630.0, 830.0) > s.band_energy(3000.0, 3200.0));
+        assert!(!y.is_empty());
+    }
+
+    #[test]
+    fn sibilant_energy_is_above_4khz() {
+        let y = synth(Phoneme::S);
+        let s = Spectrum::of(&y, FS).unwrap();
+        assert!(
+            s.band_energy(4500.0, 9000.0) > 5.0 * s.band_energy(200.0, 2000.0),
+            "sibilant must be high-frequency dominated"
+        );
+    }
+
+    #[test]
+    fn voiced_fricative_has_low_frequency_voicing() {
+        let z = synth(Phoneme::Z);
+        let s_ = synth(Phoneme::S);
+        let low = |x: &[f64]| Spectrum::of(x, FS).unwrap().band_energy(80.0, 500.0);
+        assert!(low(&z) > 3.0 * low(&s_));
+    }
+
+    #[test]
+    fn plosive_starts_with_closure_silence() {
+        let y = synth(Phoneme::T);
+        let n = y.len();
+        let first_half_rms = ht_dsp::signal::rms(&y[..n / 3]);
+        let second_half_rms = ht_dsp::signal::rms(&y[n / 2..]);
+        assert!(first_half_rms < 0.05 * second_half_rms.max(1e-9));
+    }
+
+    #[test]
+    fn nasal_is_weaker_than_vowel() {
+        let v = synth(Phoneme::AH);
+        let m = synth(Phoneme::M);
+        assert!(ht_dsp::signal::rms(&m) < ht_dsp::signal::rms(&v));
+    }
+
+    #[test]
+    fn duration_scales_with_rate() {
+        let slow = VoiceProfile {
+            rate: 0.8,
+            ..VoiceProfile::adult_male()
+        };
+        let fast = VoiceProfile {
+            rate: 1.3,
+            ..VoiceProfile::adult_male()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let ys = Phoneme::AH.synthesize(&mut rng, &slow, FS, 1.0);
+        let yf = Phoneme::AH.synthesize(&mut rng, &fast, FS, 1.0);
+        assert!(ys.len() > yf.len());
+    }
+
+    #[test]
+    fn formant_scale_moves_vowel_spectrum() {
+        let male = VoiceProfile::adult_male();
+        let scaled = VoiceProfile {
+            formant_scale: 1.25,
+            ..male
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let ym = Phoneme::IH.synthesize(&mut rng, &male, FS, 1.0);
+        let yf = Phoneme::IH.synthesize(&mut rng, &scaled, FS, 1.0);
+        let centroid = |x: &[f64]| {
+            let s = Spectrum::of(x, FS).unwrap();
+            let total: f64 = s.magnitudes.iter().sum();
+            s.magnitudes
+                .iter()
+                .enumerate()
+                .map(|(k, m)| s.bin_to_hz(k) * m)
+                .sum::<f64>()
+                / total
+        };
+        assert!(centroid(&yf) > centroid(&ym));
+    }
+
+    #[test]
+    fn envelope_tapers_both_ends() {
+        let mut x = vec![1.0; 100];
+        envelope(&mut x, 0.2);
+        assert!(x[0] < 0.05 && x[99] < 0.05);
+        assert!((x[50] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,201 @@
+//! Wake-word synthesis.
+//!
+//! The paper collects three wake words (§IV "Data Collection Process"):
+//! "Hey Assistant!" (shared with the DoV dataset of Ahuja et al.),
+//! "Computer" and "Amazon" (stock Alexa wake words). Each is a phoneme
+//! sequence rendered with a voice profile; the output is peak-normalized to
+//! ±1 like the paper's preprocessing, and callers set loudness via
+//! `ht_acoustics::spl`.
+
+use crate::phoneme::Phoneme;
+use crate::voice::VoiceProfile;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The three wake words evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WakeWord {
+    /// "Computer".
+    Computer,
+    /// "Amazon".
+    Amazon,
+    /// "Hey Assistant!".
+    HeyAssistant,
+}
+
+impl WakeWord {
+    /// All wake words, in the paper's order.
+    pub const ALL: [WakeWord; 3] = [WakeWord::HeyAssistant, WakeWord::Computer, WakeWord::Amazon];
+
+    /// Display name as written in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            WakeWord::Computer => "Computer",
+            WakeWord::Amazon => "Amazon",
+            WakeWord::HeyAssistant => "Hey Assistant!",
+        }
+    }
+
+    /// The phoneme sequence, with a per-phoneme relative pitch (simple
+    /// falling prosody with stress peaks).
+    pub fn phonemes(self) -> Vec<(Phoneme, f64)> {
+        match self {
+            // /k ə m p j u t ɝ/
+            WakeWord::Computer => vec![
+                (Phoneme::K, 1.0),
+                (Phoneme::AH, 1.02),
+                (Phoneme::M, 1.0),
+                (Phoneme::P, 1.0),
+                (Phoneme::Y, 1.12),
+                (Phoneme::UW, 1.12),
+                (Phoneme::T, 1.0),
+                (Phoneme::ER, 0.92),
+            ],
+            // /æ m ə z ɑ n/
+            WakeWord::Amazon => vec![
+                (Phoneme::AE, 1.12),
+                (Phoneme::M, 1.05),
+                (Phoneme::AH, 1.0),
+                (Phoneme::Z, 1.0),
+                (Phoneme::AA, 0.98),
+                (Phoneme::N, 0.9),
+            ],
+            // /h eɪ/ + /ə s ɪ s t ə n t/
+            WakeWord::HeyAssistant => vec![
+                (Phoneme::H, 1.0),
+                (Phoneme::EY, 1.15),
+                (Phoneme::AH, 1.0),
+                (Phoneme::S, 1.0),
+                (Phoneme::IH, 1.08),
+                (Phoneme::S, 1.0),
+                (Phoneme::T, 1.0),
+                (Phoneme::AH, 0.95),
+                (Phoneme::N, 0.92),
+                (Phoneme::T, 1.0),
+            ],
+        }
+    }
+
+    /// Synthesizes one spoken instance of the wake word at `sample_rate`,
+    /// peak-normalized to ±1. Each call produces a slightly different
+    /// rendition (jitter, shimmer, burst noise are stochastic), as repeated
+    /// human utterances are.
+    pub fn synthesize<R: Rng + ?Sized>(
+        self,
+        profile: &VoiceProfile,
+        rng: &mut R,
+        sample_rate: f64,
+    ) -> Vec<f64> {
+        let gap = (0.012 * sample_rate) as usize; // short coarticulation gap
+        let mut out: Vec<f64> = Vec::new();
+        for (ph, pitch) in self.phonemes() {
+            let seg = ph.synthesize(rng, profile, sample_rate, pitch);
+            // Overlap-add with a small crossfade into the gap.
+            let overlap = gap.min(out.len()).min(seg.len());
+            let start = out.len() - overlap;
+            for (k, &v) in seg.iter().enumerate() {
+                if start + k < out.len() {
+                    out[start + k] += v;
+                } else {
+                    out.push(v);
+                }
+            }
+        }
+        ht_dsp::signal::normalize_peak(&mut out, 1.0);
+        out
+    }
+
+    /// Nominal duration in seconds for a rate-1.0 voice (sum of phoneme
+    /// durations; useful for buffer sizing).
+    pub fn nominal_duration_s(self) -> f64 {
+        self.phonemes()
+            .iter()
+            .map(|(p, _)| p.duration_ms)
+            .sum::<f64>()
+            / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ht_dsp::spectrum::Spectrum;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const FS: f64 = 48_000.0;
+
+    fn synth(w: WakeWord, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        w.synthesize(&VoiceProfile::adult_male(), &mut rng, FS)
+    }
+
+    #[test]
+    fn durations_are_wake_word_scale() {
+        for w in WakeWord::ALL {
+            let y = synth(w, 1);
+            let secs = y.len() as f64 / FS;
+            assert!((0.3..1.2).contains(&secs), "{}: {secs} s", w.name());
+            assert!((ht_dsp::signal::peak(&y) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spectrum_matches_fig3_shape() {
+        // Live human speech: dominant 200 Hz–4 kHz with exponential decay
+        // around 4 kHz, but non-trivial energy above 4 kHz.
+        let y = synth(WakeWord::Computer, 2);
+        let s = Spectrum::of(&y, FS).unwrap();
+        let low = s.band_energy(200.0, 4000.0);
+        let high = s.band_energy(4000.0, 12_000.0);
+        assert!(low > high, "low band dominates");
+        assert!(
+            high > 0.005 * low,
+            "but high band is present: ratio {}",
+            high / low
+        );
+    }
+
+    #[test]
+    fn repeated_utterances_differ_but_share_structure() {
+        let a = synth(WakeWord::Amazon, 3);
+        let b = synth(WakeWord::Amazon, 4);
+        assert_ne!(a, b);
+        // Durations agree within the jitter budget.
+        let ratio = a.len() as f64 / b.len() as f64;
+        assert!((0.9..1.1).contains(&ratio));
+    }
+
+    #[test]
+    fn wake_words_have_distinct_lengths() {
+        let c = synth(WakeWord::Computer, 5).len();
+        let h = synth(WakeWord::HeyAssistant, 5).len();
+        // "Hey Assistant!" has more phonemes than "Computer".
+        assert!(h > c);
+    }
+
+    #[test]
+    fn female_voice_has_higher_pitch() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let male = WakeWord::Amazon.synthesize(&VoiceProfile::adult_male(), &mut rng, FS);
+        let female = WakeWord::Amazon.synthesize(&VoiceProfile::adult_female(), &mut rng, FS);
+        let f0_band =
+            |x: &[f64], lo: f64, hi: f64| Spectrum::of(x, FS).unwrap().band_energy(lo, hi);
+        // Male fundamental ~120 Hz, female ~210 Hz.
+        assert!(f0_band(&male, 100.0, 140.0) > f0_band(&male, 190.0, 230.0));
+        assert!(f0_band(&female, 190.0, 230.0) > f0_band(&female, 100.0, 140.0));
+    }
+
+    #[test]
+    fn nominal_duration_matches_sum() {
+        for w in WakeWord::ALL {
+            assert!(w.nominal_duration_s() > 0.3);
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(WakeWord::HeyAssistant.name(), "Hey Assistant!");
+        assert_eq!(WakeWord::ALL.len(), 3);
+    }
+}

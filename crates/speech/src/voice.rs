@@ -1,0 +1,140 @@
+//! Per-speaker voice profiles.
+//!
+//! A profile captures the anatomy-driven parameters that vary between
+//! speakers: fundamental frequency, vocal-tract length (as a formant scale
+//! factor), spectral brightness (high-frequency energy, the liveness cue of
+//! Fig. 3), pitch jitter/shimmer, and speaking rate. The cross-user
+//! experiment (Fig. 16) draws ten distinct profiles.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The parameters of one synthetic speaker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoiceProfile {
+    /// Mean fundamental frequency in Hz (male ≈ 120, female ≈ 210).
+    pub f0_hz: f64,
+    /// Multiplier on all formant frequencies (vocal-tract length proxy;
+    /// 1.0 = reference adult male, ≈1.15 typical adult female).
+    pub formant_scale: f64,
+    /// High-frequency energy multiplier for aspiration/fricative noise
+    /// (the >4 kHz content live speech has and replays lack).
+    pub brightness: f64,
+    /// Cycle-to-cycle pitch perturbation (relative, ≈0.01).
+    pub jitter: f64,
+    /// Cycle-to-cycle amplitude perturbation (relative, ≈0.05).
+    pub shimmer: f64,
+    /// Duration multiplier (1.0 = reference speaking rate).
+    pub rate: f64,
+}
+
+impl VoiceProfile {
+    /// Reference adult male voice.
+    pub const fn adult_male() -> VoiceProfile {
+        VoiceProfile {
+            f0_hz: 120.0,
+            formant_scale: 1.0,
+            brightness: 1.0,
+            jitter: 0.012,
+            shimmer: 0.05,
+            rate: 1.0,
+        }
+    }
+
+    /// Reference adult female voice.
+    pub const fn adult_female() -> VoiceProfile {
+        VoiceProfile {
+            f0_hz: 210.0,
+            formant_scale: 1.16,
+            brightness: 1.1,
+            jitter: 0.010,
+            shimmer: 0.045,
+            rate: 1.05,
+        }
+    }
+
+    /// Draws a plausible random adult voice. `female` selects the base
+    /// anatomy; all parameters get independent perturbations.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, female: bool) -> VoiceProfile {
+        let base = if female {
+            VoiceProfile::adult_female()
+        } else {
+            VoiceProfile::adult_male()
+        };
+        let g = |rng: &mut R, sd: f64| 1.0 + sd * ht_dsp::rng::gaussian(rng);
+        VoiceProfile {
+            f0_hz: (base.f0_hz * g(rng, 0.12)).clamp(70.0, 320.0),
+            formant_scale: (base.formant_scale * g(rng, 0.05)).clamp(0.85, 1.3),
+            brightness: (base.brightness * g(rng, 0.2)).clamp(0.4, 2.0),
+            jitter: (base.jitter * g(rng, 0.3)).clamp(0.003, 0.04),
+            shimmer: (base.shimmer * g(rng, 0.3)).clamp(0.01, 0.15),
+            rate: (base.rate * g(rng, 0.1)).clamp(0.7, 1.4),
+        }
+    }
+
+    /// The ten-participant panel of the cross-user experiment (Dataset-8:
+    /// 4 male, 6 female, following the paper's demographics). Deterministic
+    /// given the seed.
+    pub fn panel(seed: u64) -> Vec<VoiceProfile> {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut panel = Vec::with_capacity(10);
+        for i in 0..10 {
+            panel.push(VoiceProfile::random(&mut rng, i >= 4));
+        }
+        panel
+    }
+}
+
+impl Default for VoiceProfile {
+    fn default() -> Self {
+        VoiceProfile::adult_male()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn presets_are_distinct_and_plausible() {
+        let m = VoiceProfile::adult_male();
+        let f = VoiceProfile::adult_female();
+        assert!(f.f0_hz > m.f0_hz);
+        assert!(f.formant_scale > m.formant_scale);
+        for v in [m, f] {
+            assert!((70.0..=320.0).contains(&v.f0_hz));
+            assert!(v.jitter > 0.0 && v.shimmer > 0.0);
+        }
+    }
+
+    #[test]
+    fn random_voices_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..50 {
+            let v = VoiceProfile::random(&mut rng, i % 2 == 0);
+            assert!((70.0..=320.0).contains(&v.f0_hz));
+            assert!((0.85..=1.3).contains(&v.formant_scale));
+            assert!((0.4..=2.0).contains(&v.brightness));
+            assert!((0.7..=1.4).contains(&v.rate));
+        }
+    }
+
+    #[test]
+    fn panel_is_deterministic_and_diverse() {
+        let a = VoiceProfile::panel(42);
+        let b = VoiceProfile::panel(42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        // All f0 values distinct (they are continuous draws).
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                assert_ne!(a[i].f0_hz, a[j].f0_hz);
+            }
+        }
+        // Different seed, different panel.
+        assert_ne!(VoiceProfile::panel(43), a);
+    }
+}

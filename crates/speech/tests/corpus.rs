@@ -1,0 +1,91 @@
+//! Corpus-level integration tests: every wake word × voice combination must
+//! produce usable, distinguishable speech.
+
+use ht_dsp::spectrum::Spectrum;
+use ht_speech::replay::SpeakerModel;
+use ht_speech::utterance::WakeWord;
+use ht_speech::voice::VoiceProfile;
+use rand::SeedableRng;
+
+const FS: f64 = 48_000.0;
+
+#[test]
+fn every_word_and_voice_synthesizes_valid_audio() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for word in WakeWord::ALL {
+        for (i, voice) in VoiceProfile::panel(7).into_iter().enumerate() {
+            let y = word.synthesize(&voice, &mut rng, FS);
+            assert!(!y.is_empty(), "{} voice {i}", word.name());
+            assert!(y.iter().all(|v| v.is_finite()));
+            assert!((ht_dsp::signal::peak(&y) - 1.0).abs() < 1e-9);
+            let secs = y.len() as f64 / FS;
+            assert!(
+                (0.25..1.5).contains(&secs),
+                "{} voice {i}: {secs} s",
+                word.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn speech_band_dominates_for_all_panel_voices() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    for voice in VoiceProfile::panel(9) {
+        let y = WakeWord::Computer.synthesize(&voice, &mut rng, FS);
+        let s = Spectrum::of(&y, FS).unwrap();
+        let speech = s.band_energy(100.0, 4_000.0);
+        let above = s.band_energy(4_000.0, 12_000.0);
+        assert!(speech > above, "speech band must dominate");
+        assert!(above > 0.0, "but HF must be present (liveness cue)");
+    }
+}
+
+#[test]
+fn replay_chain_is_consistent_across_the_panel() {
+    // Every voice's replay must lose HF relative to its own live version —
+    // otherwise liveness detection could not generalize across speakers.
+    let hf = |x: &[f64]| {
+        let s = Spectrum::of(x, FS).unwrap();
+        s.band_energy(5_000.0, 10_000.0) / s.band_energy(500.0, 3_000.0)
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    for (i, voice) in VoiceProfile::panel(11).into_iter().enumerate() {
+        let live = WakeWord::Amazon.synthesize(&voice, &mut rng, FS);
+        let replay = SpeakerModel::GalaxyS21.play(&live, &mut rng, FS);
+        assert!(
+            hf(&live) > hf(&replay),
+            "voice {i}: live {} vs replay {}",
+            hf(&live),
+            hf(&replay)
+        );
+    }
+}
+
+#[test]
+fn panel_voices_produce_distinct_audio() {
+    let panel = VoiceProfile::panel(13);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let a = WakeWord::Computer.synthesize(&panel[0], &mut rng, FS);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let b = WakeWord::Computer.synthesize(&panel[5], &mut rng, FS);
+    assert_ne!(a, b, "different voices, same RNG -> different audio");
+}
+
+#[test]
+fn male_and_female_presets_differ_in_fundamental() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let m = WakeWord::HeyAssistant.synthesize(&VoiceProfile::adult_male(), &mut rng, FS);
+    let f = WakeWord::HeyAssistant.synthesize(&VoiceProfile::adult_female(), &mut rng, FS);
+    let centroid_low = |x: &[f64]| {
+        let s = Spectrum::of(x, FS).unwrap();
+        let band = s.band(80.0, 320.0);
+        let total: f64 = band.iter().sum();
+        band.iter()
+            .enumerate()
+            .map(|(k, v)| (80.0 + k as f64 * s.bin_to_hz(1)) * v)
+            .sum::<f64>()
+            / total
+    };
+    assert!(centroid_low(&f) > centroid_low(&m));
+}

@@ -1,0 +1,67 @@
+//! Orientation survey: sweep a speaker through the paper's 14 collection
+//! angles and watch the facing classifier's verdicts — a miniature Fig. 10.
+//!
+//! ```text
+//! cargo run --release --example orientation_survey
+//! ```
+
+use headtalk::facing::{zone_of, FacingDefinition, FacingZone};
+use headtalk::orientation::{ModelKind, OrientationDetector};
+use headtalk::{HeadTalk, PipelineConfig};
+use ht_datagen::CaptureSpec;
+use ht_ml::{Classifier, Dataset};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = PipelineConfig::default();
+    let def = FacingDefinition::Definition4;
+
+    // Train on a handful of repetitions per Definition-4 angle…
+    println!("Training the orientation detector (Definition-4 labels)…");
+    let mut feats = Vec::new();
+    let mut labels = Vec::new();
+    for (i, angle) in ht_acoustics::geometry::PAPER_ANGLES_DEG
+        .into_iter()
+        .enumerate()
+    {
+        let Some(label) = def.label(angle) else {
+            continue;
+        };
+        for rep in 0..3u64 {
+            let spec = CaptureSpec {
+                angle_deg: angle,
+                seed: 500 + i as u64 * 8 + rep,
+                ..CaptureSpec::baseline(0)
+            };
+            feats.push(HeadTalk::orientation_features(&config, &spec.render()?)?);
+            labels.push(label);
+        }
+    }
+    let det = OrientationDetector::fit(&Dataset::from_parts(feats, labels)?, ModelKind::Svm, 7)?;
+
+    // …then sweep every angle with fresh captures.
+    println!("\nangle   zone        verdict      score");
+    let mut sweep: Vec<f64> = ht_acoustics::geometry::PAPER_ANGLES_DEG.to_vec();
+    sweep.extend(ht_acoustics::geometry::EXTRA_ANGLES_DEG);
+    sweep.sort_by(f64::total_cmp);
+    for (i, angle) in sweep.into_iter().enumerate() {
+        let spec = CaptureSpec {
+            angle_deg: angle,
+            seed: 7000 + i as u64,
+            ..CaptureSpec::baseline(0)
+        };
+        let fv = HeadTalk::orientation_features(&config, &spec.render()?)?;
+        let facing = det.is_facing(&fv);
+        let score = det.decision_score(&fv);
+        let zone = match zone_of(angle) {
+            FacingZone::Facing => "facing",
+            FacingZone::Blind => "borderline",
+            FacingZone::NonFacing => "non-facing",
+        };
+        println!(
+            "{angle:>6.0}° {zone:<11} {:<12} {score:+.2}",
+            if facing { "FACING" } else { "not facing" }
+        );
+    }
+    println!("\nBorderline angles (±45°…±75°) sit in the paper's \"blind zone\": the classifier is allowed to go either way there.");
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! The Fig. 1 privacy-control walkthrough: the three VA modes and the
+//! soft-mute / session semantics, driven purely through the state machine
+//! (no audio rendering, runs instantly).
+//!
+//! ```text
+//! cargo run --example privacy_control
+//! ```
+
+use headtalk::control::{PrivacyController, VaEvent, VaMode, VaResponse};
+
+fn show(va: &PrivacyController, what: &str, response: VaResponse) {
+    println!(
+        "  {what:<48} -> {response:?} (mode {:?}, session {})",
+        va.mode(),
+        if va.session_active() {
+            "open"
+        } else {
+            "closed"
+        }
+    );
+}
+
+fn main() {
+    let mut va = PrivacyController::new();
+    println!("A day with a HeadTalk-enabled voice assistant (Fig. 1):\n");
+
+    println!("Normal mode — the stock behaviour:");
+    let r = va.handle(VaEvent::WakeDetected {
+        live: false,
+        facing: false,
+    });
+    show(&va, "TV says the wake word (replay!)", r);
+    assert!(
+        r.audio_forwarded_to_cloud(),
+        "normal mode forwards everything"
+    );
+    va.handle(VaEvent::SessionEnded);
+
+    println!("\nUser: \"Alexa, enter HeadTalk mode\"");
+    va.handle(VaEvent::EnterHeadTalkMode);
+    assert_eq!(va.mode(), VaMode::HeadTalk);
+
+    println!("HeadTalk mode:");
+    let r = va.handle(VaEvent::WakeDetected {
+        live: false,
+        facing: true,
+    });
+    show(&va, "TV says the wake word again", r);
+    let r = va.handle(VaEvent::WakeDetected {
+        live: true,
+        facing: false,
+    });
+    show(&va, "user speaks while facing away", r);
+    let r = va.handle(VaEvent::WakeDetected {
+        live: true,
+        facing: true,
+    });
+    show(&va, "user turns to the device and speaks", r);
+    let r = va.handle(VaEvent::WakeDetected {
+        live: true,
+        facing: false,
+    });
+    show(&va, "follow-up command, no longer facing (same session)", r);
+    assert!(
+        r.audio_forwarded_to_cloud(),
+        "sessions persist without facing"
+    );
+    va.handle(VaEvent::SessionEnded);
+    let r = va.handle(VaEvent::WakeDetected {
+        live: true,
+        facing: false,
+    });
+    show(&va, "new command after the session ended, not facing", r);
+    assert_eq!(r, VaResponse::SoftMuted);
+
+    println!("\nMute button (hard mute):");
+    va.handle(VaEvent::MuteButton);
+    let r = va.handle(VaEvent::WakeDetected {
+        live: true,
+        facing: true,
+    });
+    show(&va, "facing user speaks while hard-muted", r);
+    assert_eq!(r, VaResponse::HardMuted);
+    va.handle(VaEvent::UnmuteButton);
+    println!("\nUnmuted; back to {:?} mode.", va.mode());
+}

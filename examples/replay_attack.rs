@@ -1,0 +1,89 @@
+//! Replay-attack demonstration: the spectral signature that betrays a
+//! loudspeaker (Fig. 3) and a liveness detector that exploits it.
+//!
+//! ```text
+//! cargo run --release --example replay_attack
+//! ```
+
+use headtalk::liveness::LivenessDetector;
+use headtalk::{HeadTalk, PipelineConfig};
+use ht_datagen::{CaptureSpec, SourceKind};
+use ht_dsp::spectrum::Spectrum;
+use ht_ml::{Classifier, Dataset};
+use ht_speech::replay::SpeakerModel;
+use ht_speech::utterance::WakeWord;
+use ht_speech::voice::VoiceProfile;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fs = ht_acoustics::SAMPLE_RATE;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let voice = VoiceProfile::adult_male();
+
+    // ── The Fig. 3 signature, dry ──────────────────────────────────────────
+    println!("Spectral fingerprints of \"Computer\" (dry waveforms):");
+    let live = WakeWord::Computer.synthesize(&voice, &mut rng, fs);
+    let sources = [
+        ("live human".to_string(), live.clone()),
+        (
+            "Sony SRS-X5 replay".into(),
+            SpeakerModel::SonySrsX5.play(&live, &mut rng, fs),
+        ),
+        (
+            "Galaxy S21 replay".into(),
+            SpeakerModel::GalaxyS21.play(&live, &mut rng, fs),
+        ),
+    ];
+    for (name, audio) in &sources {
+        let s = Spectrum::of(audio, fs)?;
+        let core = s.band_energy(200.0, 4000.0);
+        let high = s.band_energy(4000.0, 12_000.0);
+        println!(
+            "  {name:<22} >4 kHz / speech-core energy: {:.4}",
+            high / core
+        );
+    }
+
+    // ── A liveness detector trained on simulated captures ──────────────────
+    println!("\nTraining the liveness detector on in-room captures…");
+    let config = PipelineConfig::default();
+    let mut train = Dataset::new(config.liveness_input_len);
+    let mut test = Dataset::new(config.liveness_input_len);
+    for i in 0..16u64 {
+        let human = CaptureSpec::baseline(100 + i);
+        let replay = CaptureSpec {
+            source: SourceKind::Replay {
+                model: if i % 2 == 0 {
+                    SpeakerModel::SonySrsX5
+                } else {
+                    SpeakerModel::GalaxyS21
+                },
+                voice,
+            },
+            ..CaptureSpec::baseline(200 + i)
+        };
+        let target = if i < 12 { &mut train } else { &mut test };
+        target.push(HeadTalk::liveness_input(&config, &human.render()?)?, 1)?;
+        target.push(HeadTalk::liveness_input(&config, &replay.render()?)?, 0)?;
+    }
+    let det = LivenessDetector::fit(&train, 15, 7)?;
+    let preds = det.predict_batch(test.features());
+    let acc = ht_ml::metrics::accuracy(test.labels(), &preds);
+    println!(
+        "  held-out accuracy on {} captures: {:.0}%",
+        test.len(),
+        acc * 100.0
+    );
+
+    println!("\nAttack outcome:");
+    for (i, (&label, &pred)) in test.labels().iter().zip(&preds).enumerate() {
+        let truth = if label == 1 { "human " } else { "replay" };
+        let verdict = if pred == 1 {
+            "accepted as live"
+        } else {
+            "rejected as mechanical"
+        };
+        println!("  capture {i}: {truth} -> {verdict}");
+    }
+    Ok(())
+}

@@ -1,0 +1,153 @@
+//! Integration tests on the physical plausibility of the simulation
+//! substrates — the invariants the paper's insights depend on.
+
+use ht_acoustics::array::Device;
+use ht_datagen::placements::{GridLocation, RoomKind};
+use ht_datagen::{CaptureSpec, SourceKind};
+use ht_dsp::signal::rms;
+use ht_dsp::spectrum::{hlbr, Spectrum};
+use ht_speech::replay::SpeakerModel;
+use ht_speech::utterance::WakeWord;
+use ht_speech::voice::VoiceProfile;
+
+const FS: f64 = 48_000.0;
+
+#[test]
+fn received_level_decays_with_distance() {
+    // Insight: direct sound falls ~1/d. Peak amplitude tracks the direct
+    // path (whole-buffer RMS would be diluted by the reverberant tail,
+    // which does not fall off with distance).
+    let mut levels = Vec::new();
+    for d in [1.0, 3.0, 5.0] {
+        let spec = CaptureSpec {
+            location: GridLocation {
+                radial_deg: 0.0,
+                distance_m: d,
+            },
+            ..CaptureSpec::baseline(11)
+        };
+        levels.push(ht_dsp::signal::peak(&spec.render().expect("render")[0]));
+    }
+    assert!(levels[0] > levels[1] && levels[1] > levels[2], "{levels:?}");
+    // The 3-D source-to-mic distances are 1.35 m and 5.08 m (mouth at
+    // 1.65 m, device at 0.74 m), so the free-field ratio is ~3.8; early
+    // reflections overlapping the peak at 5 m shrink it further.
+    assert!(
+        levels[0] / levels[2] > 1.5,
+        "1m vs 5m peak ratio {}",
+        levels[0] / levels[2]
+    );
+}
+
+#[test]
+fn hlbr_decreases_monotonically_from_front_to_back() {
+    // Insight 2: speech directivity makes the high/low balance a monotone
+    // function of |angle| (on average).
+    let mut ratios = Vec::new();
+    for (i, angle) in [0.0, 90.0, 180.0].into_iter().enumerate() {
+        // Average a few seeds to suppress per-utterance variation.
+        let mut vals = Vec::new();
+        for rep in 0..3u64 {
+            let spec = CaptureSpec {
+                angle_deg: angle,
+                seed: 40 + i as u64 * 10 + rep,
+                ..CaptureSpec::baseline(0)
+            };
+            let ch = spec.render().expect("render");
+            vals.push(hlbr(&Spectrum::of(&ch[0], FS).expect("spectrum")));
+        }
+        ratios.push(ht_dsp::stats::mean(&vals));
+    }
+    assert!(
+        ratios[0] > ratios[1] && ratios[1] > ratios[2],
+        "HLBR not monotone: {ratios:?}"
+    );
+}
+
+#[test]
+fn home_is_noisier_than_lab() {
+    let lab = CaptureSpec::baseline(21);
+    let home = CaptureSpec {
+        room: RoomKind::Home,
+        placement: ht_datagen::placements::Placement::HomeShelf,
+        ..lab
+    };
+    // Compare the ambient floors in the first few milliseconds, before the
+    // direct sound arrives (3 m ≈ 8.8 ms of propagation).
+    let lch = lab.render().expect("render");
+    let hch = home.render().expect("render");
+    let floor = |c: &Vec<f64>| rms(&c[..300]);
+    assert!(
+        floor(&hch[0]) > 2.0 * floor(&lch[0]),
+        "home floor {} vs lab floor {}",
+        floor(&hch[0]),
+        floor(&lch[0])
+    );
+}
+
+#[test]
+fn all_devices_render_their_default_subsets() {
+    for device in Device::ALL {
+        let spec = CaptureSpec {
+            device,
+            ..CaptureSpec::baseline(31)
+        };
+        let ch = spec.render().expect("render");
+        assert_eq!(ch.len(), 4, "{device:?} default subset is 4 mics");
+        let full = spec
+            .render_mics(Some(&(0..device.channels()).collect::<Vec<_>>()))
+            .expect("render full");
+        assert_eq!(full.len(), device.channels());
+    }
+}
+
+#[test]
+fn replayed_audio_keeps_less_high_frequency_after_the_room() {
+    // The Fig. 3 liveness cue must survive room acoustics, or the liveness
+    // detector could never work on real captures.
+    let human = CaptureSpec::baseline(51);
+    let replay = CaptureSpec {
+        source: SourceKind::Replay {
+            model: SpeakerModel::GalaxyS21,
+            voice: VoiceProfile::adult_male(),
+        },
+        ..CaptureSpec::baseline(52)
+    };
+    let hf_ratio = |ch: &Vec<f64>| {
+        let s = Spectrum::of(ch, FS).expect("spectrum");
+        s.band_energy(4_500.0, 10_000.0) / s.band_energy(300.0, 3_000.0)
+    };
+    let h = hf_ratio(&human.render().expect("render")[0]);
+    let r = hf_ratio(&replay.render().expect("render")[0]);
+    assert!(h > r, "human HF ratio {h} should exceed replay {r}");
+}
+
+#[test]
+fn wake_words_have_distinct_durations_after_rendering() {
+    let computer = CaptureSpec::baseline(61);
+    let hey = CaptureSpec {
+        wake_word: WakeWord::HeyAssistant,
+        ..CaptureSpec::baseline(61)
+    };
+    let c = computer.render().expect("render");
+    let h = hey.render().expect("render");
+    assert!(h[0].len() > c[0].len(), "longer phrase renders longer");
+}
+
+#[test]
+fn session_perturbation_changes_features_but_not_geometry() {
+    let cfg = headtalk::PipelineConfig::default();
+    let s0 = CaptureSpec::baseline(71);
+    let s1 = CaptureSpec {
+        session: 1,
+        ..CaptureSpec::baseline(71)
+    };
+    let f0 = headtalk::HeadTalk::orientation_features(&cfg, &s0.render().expect("render"))
+        .expect("features");
+    let f1 = headtalk::HeadTalk::orientation_features(&cfg, &s1.render().expect("render"))
+        .expect("features");
+    assert_eq!(f0.len(), f1.len());
+    assert_ne!(f0, f1, "different sessions must differ");
+    // But both remain finite and usable.
+    assert!(f0.iter().chain(f1.iter()).all(|v| v.is_finite()));
+}
