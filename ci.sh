@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# The offline CI gate — exactly what .github/workflows/ci.yml runs.
+#
+# The workspace is hermetic (zero external crates), so every step runs with
+# --offline and must pass with no registry reachable. Run from the repo root:
+#
+#   ./ci.sh
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test"
+cargo test -q --offline --release
+
+echo "CI green"

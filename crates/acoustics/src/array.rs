@@ -11,10 +11,9 @@
 
 use crate::geometry::Vec3;
 use crate::{SAMPLE_RATE, SPEED_OF_SOUND};
-use serde::{Deserialize, Serialize};
 
 /// The three prototype devices (Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Device {
     /// miniDSP UMA-8 USB microphone array v2.0 — 7 channels.
     D1,
@@ -123,7 +122,7 @@ fn ring_position(radius: f64, k: usize, n: usize) -> Vec3 {
 }
 
 /// A device placed in world coordinates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlacedArray {
     /// Which prototype device this is.
     pub device: Device,

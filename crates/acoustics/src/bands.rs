@@ -7,7 +7,6 @@
 //! the >4 kHz liveness cues of Fig. 3.
 
 use ht_dsp::filter::{Butterworth, Sos};
-use serde::{Deserialize, Serialize};
 
 /// Center frequencies (Hz) of the octave bands used by the renderer.
 pub const BAND_CENTERS_HZ: [f64; 7] = [125.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0];
@@ -16,7 +15,7 @@ pub const BAND_CENTERS_HZ: [f64; 7] = [125.0, 250.0, 500.0, 1000.0, 2000.0, 4000
 pub const NUM_BANDS: usize = BAND_CENTERS_HZ.len();
 
 /// A per-band scalar quantity (absorption, gain, …).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BandValues(pub [f64; NUM_BANDS]);
 
 impl BandValues {

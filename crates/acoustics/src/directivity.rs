@@ -15,10 +15,9 @@
 //! frequencies diffract around the head; high frequencies barely do).
 
 use crate::bands::{BandValues, NUM_BANDS};
-use serde::{Deserialize, Serialize};
 
 /// A frequency-dependent radiation pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Directivity {
     /// Beam sharpness exponent per band (0 = omnidirectional).
     pub exponent: BandValues,
@@ -94,7 +93,7 @@ impl Directivity {
 
     /// A slightly perturbed copy — per-speaker anatomical variation for the
     /// cross-user experiments. `sd` is the relative jitter.
-    pub fn perturbed<R: rand::Rng + ?Sized>(&self, rng: &mut R, sd: f64) -> Directivity {
+    pub fn perturbed<R: ht_dsp::rng::Rng>(&self, rng: &mut R, sd: f64) -> Directivity {
         let mut e = self.exponent.0;
         let mut f = self.floor.0;
         for v in &mut e {
@@ -184,8 +183,8 @@ mod tests {
 
     #[test]
     fn perturbed_stays_valid_and_differs() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        use ht_dsp::rng::SeedableRng;
+        let mut rng = ht_dsp::rng::StdRng::seed_from_u64(11);
         let d = Directivity::human_speech();
         let p = d.perturbed(&mut rng, 0.1);
         assert_ne!(p.exponent, d.exponent);

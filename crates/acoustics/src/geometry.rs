@@ -5,12 +5,10 @@
 //! axis. A *speaker orientation* of 0° in a scene means the speaker faces the
 //! device; 180° means the speaker faces directly away — matching the paper's
 //! angle labels (Fig. 8/9: 14 angles spanning 360°).
-
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, Mul, Neg, Sub};
 
 /// A 3-D point or vector in meters.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec3 {
     /// x component (m).
     pub x: f64,

@@ -1,0 +1,59 @@
+//! JSON conversions for the acoustics types that appear in persisted
+//! artifacts (the feature cache's `CaptureSpec` sidecars).
+//!
+//! Unit enums serialize as their variant name, so the cache files stay
+//! human-readable and stable under field reordering.
+
+use crate::array::Device;
+use crate::noise::NoiseKind;
+use crate::room::Obstruction;
+use ht_dsp::impl_unit_enum_json;
+
+impl_unit_enum_json!(Device, {
+    Device::D1 => "D1",
+    Device::D2 => "D2",
+    Device::D3 => "D3",
+});
+
+impl_unit_enum_json!(NoiseKind, {
+    NoiseKind::White => "White",
+    NoiseKind::Tv => "Tv",
+    NoiseKind::RoomAmbient => "RoomAmbient",
+});
+
+impl_unit_enum_json!(Obstruction, {
+    Obstruction::None => "None",
+    Obstruction::Partial => "Partial",
+    Obstruction::Full => "Full",
+    Obstruction::Raised => "Raised",
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ht_dsp::json::{FromJson, Json, ToJson};
+
+    #[test]
+    fn unit_enums_round_trip() {
+        for d in Device::ALL {
+            assert_eq!(Device::from_json(&d.to_json()).unwrap(), d);
+        }
+        for k in [NoiseKind::White, NoiseKind::Tv, NoiseKind::RoomAmbient] {
+            assert_eq!(NoiseKind::from_json(&k.to_json()).unwrap(), k);
+        }
+        for o in [
+            Obstruction::None,
+            Obstruction::Partial,
+            Obstruction::Full,
+            Obstruction::Raised,
+        ] {
+            assert_eq!(Obstruction::from_json(&o.to_json()).unwrap(), o);
+        }
+    }
+
+    #[test]
+    fn unknown_variant_is_an_error() {
+        assert!(Device::from_json(&Json::Str("D9".into())).is_err());
+        assert!(Device::from_json(&Json::I64(1)).is_err());
+    }
+}

@@ -52,6 +52,7 @@ pub mod directivity;
 pub mod error;
 pub mod geometry;
 pub mod image_source;
+pub mod json;
 pub mod materials;
 pub mod noise;
 pub mod render;

@@ -9,11 +9,10 @@
 
 use ht_dsp::filter::Butterworth;
 use ht_dsp::rng::white_noise;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use ht_dsp::rng::Rng;
 
 /// The kinds of ambient noise used in the reproduction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NoiseKind {
     /// Flat-spectrum white noise (§IV-B10).
     White,
@@ -30,7 +29,7 @@ pub enum NoiseKind {
 /// Each microphone channel should get its own call (ambient fields are
 /// spatially diffuse, i.e. decorrelated across microphones at speech
 /// frequencies for realistic array spacings).
-pub fn generate<R: Rng + ?Sized>(
+pub fn generate<R: Rng>(
     rng: &mut R,
     kind: NoiseKind,
     n: usize,
@@ -51,7 +50,7 @@ pub fn generate<R: Rng + ?Sized>(
 
 /// Speech-shaped noise with 3–5 Hz syllabic modulation and sparse
 /// transients.
-fn tv_shape<R: Rng + ?Sized>(rng: &mut R, n: usize, sample_rate: f64) -> Vec<f64> {
+fn tv_shape<R: Rng>(rng: &mut R, n: usize, sample_rate: f64) -> Vec<f64> {
     let raw = white_noise(rng, n);
     // Speech band emphasis.
     let bp =
@@ -90,7 +89,7 @@ fn tv_shape<R: Rng + ?Sized>(rng: &mut R, n: usize, sample_rate: f64) -> Vec<f64
 }
 
 /// Low-frequency-weighted floor noise.
-fn room_shape<R: Rng + ?Sized>(rng: &mut R, n: usize, sample_rate: f64) -> Vec<f64> {
+fn room_shape<R: Rng>(rng: &mut R, n: usize, sample_rate: f64) -> Vec<f64> {
     let raw = white_noise(rng, n);
     let lp = Butterworth::lowpass(2, 400.0, sample_rate).expect("static corner is valid");
     let mut x = lp.filter(&raw);
@@ -103,7 +102,7 @@ fn room_shape<R: Rng + ?Sized>(rng: &mut R, n: usize, sample_rate: f64) -> Vec<f
 
 /// Adds `kind` noise at `spl_db` to every channel in place (independent
 /// noise per channel).
-pub fn add_to_channels<R: Rng + ?Sized>(
+pub fn add_to_channels<R: Rng>(
     rng: &mut R,
     channels: &mut [Vec<f64>],
     kind: NoiseKind,
@@ -122,9 +121,8 @@ pub fn add_to_channels<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::spl::amplitude_for_spl;
+    use ht_dsp::rng::{SeedableRng, StdRng};
     use ht_dsp::spectrum::Spectrum;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     const FS: f64 = 48_000.0;
 

@@ -18,8 +18,7 @@ use crate::geometry::{angle_between_deg, Vec3};
 use crate::image_source::image_paths;
 use crate::room::{Obstruction, Room};
 use crate::{AcousticsError, SAMPLE_RATE, SPEED_OF_SOUND};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ht_dsp::rng::{SeedableRng, StdRng};
 
 /// A sound source: position, horizontal facing direction, and radiation
 /// pattern.

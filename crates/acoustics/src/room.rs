@@ -5,11 +5,10 @@
 use crate::bands::{BandValues, NUM_BANDS};
 use crate::geometry::Vec3;
 use crate::materials::{eyring_rt60, Material};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use ht_dsp::rng::Rng;
 
 /// The six surfaces of a shoebox room.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Surface {
     /// Floor (z = 0).
     Floor,
@@ -40,7 +39,7 @@ impl Surface {
 /// Obstruction state of the device, reproducing the §IV-B13 setups
 /// (Fig. 17): unobstructed, partially blocked by nearby objects, fully
 /// blocked, or raised above the surrounding objects.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Obstruction {
     /// Open placement (default).
     #[default]
@@ -223,7 +222,7 @@ impl Room {
     /// independent multiplicative noise `(1 + sd·N(0,1))` clamped to
     /// `[0.01, 0.95]` — models day-to-day changes in furnishings/temperature
     /// for the temporal-stability experiment (§IV-B9).
-    pub fn with_perturbed_absorption<R: Rng + ?Sized>(&self, rng: &mut R, sd: f64) -> Room {
+    pub fn with_perturbed_absorption<R: Rng>(&self, rng: &mut R, sd: f64) -> Room {
         let mut room = self.clone();
         for m in &mut room.materials {
             let mut a = m.absorption.0;
@@ -241,8 +240,7 @@ impl Room {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ht_dsp::rng::{SeedableRng, StdRng};
 
     #[test]
     fn lab_and_home_match_paper_dimensions() {

@@ -7,10 +7,10 @@ use ht_acoustics::geometry::Vec3;
 use ht_acoustics::image_source::image_paths;
 use ht_acoustics::render::{RenderConfig, Scene, Source};
 use ht_acoustics::room::Room;
-use rand::SeedableRng;
+use ht_dsp::rng::SeedableRng;
 
 fn speech_like(n: usize, seed: u64) -> Vec<f64> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = ht_dsp::rng::StdRng::seed_from_u64(seed);
     let raw = ht_dsp::rng::white_noise(&mut rng, n);
     let bp = ht_dsp::filter::Butterworth::bandpass(2, 120.0, 9_000.0, 48_000.0).unwrap();
     let mut x = bp.filter(&raw);
@@ -55,9 +55,7 @@ fn bigger_room_renders_longer_impulse_tails() {
     // (6.10 m), so the rendered capture extends further past the dry signal.
     let x = speech_like(9600, 1);
     let cfg = RenderConfig::default();
-    let render_len = |room: Room| {
-        scene(room, 180.0, 2.0).render(&x, &cfg).unwrap()[0].len()
-    };
+    let render_len = |room: Room| scene(room, 180.0, 2.0).render(&x, &cfg).unwrap()[0].len();
     let lab = render_len(Room::lab());
     let home = render_len(Room::home());
     assert!(home > lab, "home render {home} vs lab {lab}");

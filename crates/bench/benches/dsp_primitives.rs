@@ -1,62 +1,58 @@
 //! Micro-benchmarks of the DSP primitives the per-wake-word latency is
 //! built from (supporting data for the §IV-B15 runtime analysis).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ht_bench::{black_box, Suite};
 use ht_dsp::filter::Butterworth;
+use ht_dsp::rng::SeedableRng;
 use ht_dsp::signal::fractional_delay;
 use ht_dsp::srp::srp_phat;
-use rand::SeedableRng;
 
 fn signal(n: usize) -> Vec<f64> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = ht_dsp::rng::StdRng::seed_from_u64(1);
     ht_dsp::rng::white_noise(&mut rng, n)
 }
 
-fn bench_fft(c: &mut Criterion) {
+fn bench_fft(s: &mut Suite) {
     let x = signal(32_768);
-    c.bench_function("fft/rfft_32768", |b| {
-        b.iter(|| ht_dsp::fft::rfft(black_box(&x)))
-    });
+    s.bench("fft/rfft_32768", || ht_dsp::fft::rfft(black_box(&x)));
     let x = signal(48_000);
-    c.bench_function("fft/rfft_48000_padded", |b| {
-        b.iter(|| ht_dsp::fft::rfft(black_box(&x)))
-    });
+    s.bench("fft/rfft_48000_padded", || ht_dsp::fft::rfft(black_box(&x)));
 }
 
-fn bench_filter(c: &mut Criterion) {
+fn bench_filter(s: &mut Suite) {
     let bp = Butterworth::headtalk_preprocess(48_000.0).unwrap();
     let x = signal(48_000);
-    c.bench_function("filter/preprocess_filtfilt_1s", |b| {
-        b.iter(|| bp.filtfilt(black_box(&x)))
+    s.bench("filter/preprocess_filtfilt_1s", || {
+        bp.filtfilt(black_box(&x))
     });
 }
 
-fn bench_gcc_srp(c: &mut Criterion) {
+fn bench_gcc_srp(s: &mut Suite) {
     let x = signal(32_768);
     let chans: Vec<Vec<f64>> = (0..4)
         .map(|k| fractional_delay(&x, k as f64 * 1.3, 16))
         .collect();
     let refs: Vec<&[f64]> = chans.iter().map(|c| c.as_slice()).collect();
-    c.bench_function("srp/gcc_phat_pair_32768", |b| {
-        b.iter(|| ht_dsp::correlate::gcc_phat(black_box(&chans[0]), black_box(&chans[1]), 13))
+    s.bench("srp/gcc_phat_pair_32768", || {
+        ht_dsp::correlate::gcc_phat(black_box(&chans[0]), black_box(&chans[1]), 13)
     });
-    c.bench_function("srp/srp_phat_4mics_32768", |b| {
-        b.iter(|| srp_phat(black_box(&refs), 13))
+    s.bench("srp/srp_phat_4mics_32768", || {
+        srp_phat(black_box(&refs), 13)
     });
 }
 
-fn bench_resample(c: &mut Criterion) {
+fn bench_resample(s: &mut Suite) {
     let x = signal(48_000);
-    c.bench_function("resample/48k_to_16k_1s", |b| {
-        b.iter(|| ht_dsp::resample::to_16k_from_48k(black_box(&x)))
+    s.bench("resample/48k_to_16k_1s", || {
+        ht_dsp::resample::to_16k_from_48k(black_box(&x))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_fft,
-    bench_filter,
-    bench_gcc_srp,
-    bench_resample
-);
-criterion_main!(benches);
+fn main() {
+    let mut s = Suite::new("dsp_primitives");
+    bench_fft(&mut s);
+    bench_filter(&mut s);
+    bench_gcc_srp(&mut s);
+    bench_resample(&mut s);
+    s.finish();
+}

@@ -1,19 +1,19 @@
 //! One benchmark per reproduced *figure*: the computational kernel behind
 //! each figure on a reduced workload (full regeneration = `headtalk-repro`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use headtalk::orientation::{ModelKind, OrientationDetector};
 use headtalk::PipelineConfig;
+use ht_bench::{black_box, Suite};
 use ht_datagen::CaptureSpec;
+use ht_dsp::rng::SeedableRng;
 use ht_ml::nn::{ConvSpec, NeuralNetConfig};
 use ht_ml::{Classifier, Dataset};
 use ht_speech::replay::SpeakerModel;
 use ht_speech::utterance::WakeWord;
 use ht_speech::voice::VoiceProfile;
-use rand::SeedableRng;
 
 fn blobs(n_per: usize, dim: usize, seed: u64) -> Dataset {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = ht_dsp::rng::StdRng::seed_from_u64(seed);
     let mut ds = Dataset::new(dim);
     for _ in 0..n_per {
         for label in [0usize, 1] {
@@ -37,104 +37,81 @@ fn blobs(n_per: usize, dim: usize, seed: u64) -> Dataset {
 }
 
 /// Fig. 3: synthesis + loudspeaker playback chains.
-fn bench_fig3(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+fn bench_fig3(s: &mut Suite) {
+    let mut rng = ht_dsp::rng::StdRng::seed_from_u64(3);
     let live = WakeWord::Computer.synthesize(&VoiceProfile::adult_male(), &mut rng, 48_000.0);
-    let mut g = c.benchmark_group("fig3");
-    g.sample_size(20);
-    g.bench_function("synthesize_computer", |b| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        b.iter(|| WakeWord::Computer.synthesize(&VoiceProfile::adult_male(), &mut rng, 48_000.0))
+    let mut syn_rng = ht_dsp::rng::StdRng::seed_from_u64(4);
+    s.bench("fig3/synthesize_computer", || {
+        WakeWord::Computer.synthesize(&VoiceProfile::adult_male(), &mut syn_rng, 48_000.0)
     });
-    g.bench_function("sony_playback_chain", |b| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        b.iter(|| SpeakerModel::SonySrsX5.play(black_box(&live), &mut rng, 48_000.0))
+    let mut play_rng = ht_dsp::rng::StdRng::seed_from_u64(5);
+    s.bench("fig3/sony_playback_chain", || {
+        SpeakerModel::SonySrsX5.play(black_box(&live), &mut play_rng, 48_000.0)
     });
-    g.finish();
 }
 
 /// Fig. 5/6: orientation-dependent rendering + SRP analysis.
-fn bench_fig5_fig6(c: &mut Criterion) {
+fn bench_fig5_fig6(s: &mut Suite) {
     let spec = CaptureSpec::baseline(0xF1_56);
     let channels = spec.render().expect("render");
     let refs: Vec<&[f64]> = channels.iter().map(|x| x.as_slice()).collect();
-    let mut g = c.benchmark_group("fig5_fig6");
-    g.sample_size(10);
-    g.bench_function("srp_analysis_of_capture", |b| {
-        b.iter(|| ht_dsp::srp::srp_phat(black_box(&refs), 13))
+    s.bench("fig5_fig6/srp_analysis_of_capture", || {
+        ht_dsp::srp::srp_phat(black_box(&refs), 13)
     });
-    g.bench_function("spectrum_and_hlbr", |b| {
-        b.iter(|| {
-            let s = ht_dsp::spectrum::Spectrum::of(black_box(&channels[0]), 48_000.0).unwrap();
-            ht_dsp::spectrum::hlbr(&s)
-        })
+    s.bench("fig5_fig6/spectrum_and_hlbr", || {
+        let sp = ht_dsp::spectrum::Spectrum::of(black_box(&channels[0]), 48_000.0).unwrap();
+        ht_dsp::spectrum::hlbr(&sp)
     });
-    g.finish();
 }
 
 /// Fig. 10/11: SVM training and per-angle prediction sweeps.
-fn bench_fig10_fig11(c: &mut Criterion) {
+fn bench_fig10_fig11(s: &mut Suite) {
     let cfg = PipelineConfig::default();
     let width = headtalk::features::feature_width(4, &cfg);
     let full = blobs(120, width, 10);
-    let mut g = c.benchmark_group("fig10_fig11");
-    g.sample_size(10);
-    g.bench_function("training_size_20_fit_and_eval", |b| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-        b.iter(|| {
-            let (train, test) = full.split_per_class(20, &mut rng);
-            let det = OrientationDetector::fit(&train, ModelKind::Svm, 7).expect("separable");
-            det.predict_batch(test.features()).len()
-        })
+    let mut rng = ht_dsp::rng::StdRng::seed_from_u64(11);
+    s.bench("fig10_fig11/training_size_20_fit_and_eval", || {
+        let (train, test) = full.split_per_class(20, &mut rng);
+        let det = OrientationDetector::fit(&train, ModelKind::Svm, 7).expect("separable");
+        det.predict_batch(test.features()).len()
     });
-    g.finish();
 }
 
 /// Fig. 12–14: one grid-cell evaluation (train one session, test the
 /// other) — the unit the wake-word/device/room box plots are built from.
-fn bench_fig12_13_14(c: &mut Criterion) {
+fn bench_fig12_13_14(s: &mut Suite) {
     let cfg = PipelineConfig::default();
     let width = headtalk::features::feature_width(4, &cfg);
     let train = blobs(90, width, 12);
     let test = blobs(90, width, 13);
-    let mut g = c.benchmark_group("fig12_13_14");
-    g.sample_size(10);
-    g.bench_function("one_grid_cell", |b| {
-        b.iter(|| {
-            let det =
-                OrientationDetector::fit(black_box(&train), ModelKind::Svm, 7).expect("separable");
-            det.predict_batch(test.features())
-        })
+    s.bench("fig12_13_14/one_grid_cell", || {
+        let det =
+            OrientationDetector::fit(black_box(&train), ModelKind::Svm, 7).expect("separable");
+        det.predict_batch(test.features())
     });
-    g.finish();
 }
 
 /// Fig. 15: one incremental-learning round (self-label + refit).
-fn bench_fig15(c: &mut Criterion) {
+fn bench_fig15(s: &mut Suite) {
     let width = 64;
     let base = blobs(60, width, 15);
     let aged = blobs(40, width, 16);
     let det = OrientationDetector::fit(&base, ModelKind::Svm, 7).expect("separable");
-    let mut g = c.benchmark_group("fig15");
-    g.sample_size(10);
-    g.bench_function("incremental_round", |b| {
-        b.iter(|| {
-            let confident = ht_ml::incremental::high_confidence_samples(&det, &aged, 0.8);
-            let take = confident.len().min(20);
-            let additions = confident.filter_indices(|i| i < take);
-            let mut train = base.clone();
-            if !additions.is_empty() {
-                train.extend(&additions).expect("same width");
-            }
-            OrientationDetector::fit(&train, ModelKind::Svm, 7).expect("separable")
-        })
+    s.bench("fig15/incremental_round", || {
+        let confident = ht_ml::incremental::high_confidence_samples(&det, &aged, 0.8);
+        let take = confident.len().min(20);
+        let additions = confident.filter_indices(|i| i < take);
+        let mut train = base.clone();
+        if !additions.is_empty() {
+            train.extend(&additions).expect("same width");
+        }
+        OrientationDetector::fit(&train, ModelKind::Svm, 7).expect("separable")
     });
-    g.finish();
 }
 
 /// Fig. 16: ADASYN up-sampling plus one leave-one-user-out fold.
-fn bench_fig16(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(16);
+fn bench_fig16(s: &mut Suite) {
+    let mut rng = ht_dsp::rng::StdRng::seed_from_u64(16);
     // Imbalanced dataset: 3 facing angles vs 5 backward.
     let mut ds = Dataset::new(32);
     for i in 0..240 {
@@ -148,22 +125,19 @@ fn bench_fig16(c: &mut Criterion) {
         )
         .expect("fixed width");
     }
-    let mut g = c.benchmark_group("fig16");
-    g.sample_size(10);
-    g.bench_function("adasyn_upsample", |b| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
-        b.iter(|| ht_ml::sampling::adasyn(black_box(&ds), 5, &mut rng).expect("binary data"))
+    let mut ada_rng = ht_dsp::rng::StdRng::seed_from_u64(17);
+    s.bench("fig16/adasyn_upsample", || {
+        ht_ml::sampling::adasyn(black_box(&ds), 5, &mut ada_rng).expect("binary data")
     });
-    g.bench_function("smote_upsample", |b| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(18);
-        b.iter(|| ht_ml::sampling::smote(black_box(&ds), 5, &mut rng).expect("binary data"))
+    let mut smote_rng = ht_dsp::rng::StdRng::seed_from_u64(18);
+    s.bench("fig16/smote_upsample", || {
+        ht_ml::sampling::smote(black_box(&ds), 5, &mut smote_rng).expect("binary data")
     });
-    g.finish();
 }
 
 /// §IV-A1 liveness: one training epoch of wav2vec2-mini on short inputs.
-fn bench_liveness(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+fn bench_liveness(s: &mut Suite) {
+    let mut rng = ht_dsp::rng::StdRng::seed_from_u64(19);
     let mut ds = Dataset::new(2048);
     for i in 0..24 {
         let fast = i % 2 == 0;
@@ -194,22 +168,19 @@ fn bench_liveness(c: &mut Criterion) {
         batch: 8,
         seed: 7,
     };
-    let mut g = c.benchmark_group("liveness");
-    g.sample_size(10);
-    g.bench_function("wav2vec2_mini_one_epoch_24x2048", |b| {
-        b.iter(|| ht_ml::nn::NeuralNet::fit(black_box(&ds), &config).expect("valid config"))
+    s.bench("liveness/wav2vec2_mini_one_epoch_24x2048", || {
+        ht_ml::nn::NeuralNet::fit(black_box(&ds), &config).expect("valid config")
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fig3,
-    bench_fig5_fig6,
-    bench_fig10_fig11,
-    bench_fig12_13_14,
-    bench_fig15,
-    bench_fig16,
-    bench_liveness
-);
-criterion_main!(benches);
+fn main() {
+    let mut s = Suite::new("figures");
+    bench_fig3(&mut s);
+    bench_fig5_fig6(&mut s);
+    bench_fig10_fig11(&mut s);
+    bench_fig12_13_14(&mut s);
+    bench_fig15(&mut s);
+    bench_fig16(&mut s);
+    bench_liveness(&mut s);
+    s.finish();
+}

@@ -2,13 +2,13 @@
 //! wake-word capture (the paper: 42 ms liveness + 136 ms orientation on an
 //! i7-2600; 527 ms on the ReSpeaker's Cortex-A7).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use headtalk::liveness::prepare_input;
 use headtalk::preprocess::Preprocessor;
 use headtalk::{HeadTalk, PipelineConfig};
+use ht_bench::{black_box, Suite};
 use ht_datagen::CaptureSpec;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline(s: &mut Suite) {
     let cfg = PipelineConfig::default();
     let capture = CaptureSpec::baseline(0xBEAC)
         .render()
@@ -16,32 +16,30 @@ fn bench_pipeline(c: &mut Criterion) {
     let pre = Preprocessor::new(&cfg).expect("preprocessor");
     let denoised = pre.denoise_channels(&capture).expect("denoise");
 
-    let mut g = c.benchmark_group("runtime_b15");
-    g.sample_size(20);
-    g.bench_function("preprocess_denoise_4ch", |b| {
-        b.iter(|| pre.denoise_channels(black_box(&capture)))
+    s.bench("runtime_b15/preprocess_denoise_4ch", || {
+        pre.denoise_channels(black_box(&capture))
     });
-    g.bench_function("liveness_input_preparation", |b| {
-        b.iter(|| prepare_input(black_box(&denoised[0]), cfg.liveness_input_len))
+    s.bench("runtime_b15/liveness_input_preparation", || {
+        prepare_input(black_box(&denoised[0]), cfg.liveness_input_len)
     });
-    g.bench_function("orientation_feature_extraction", |b| {
-        b.iter(|| headtalk::features::extract(black_box(&denoised), &cfg))
+    s.bench("runtime_b15/orientation_feature_extraction", || {
+        headtalk::features::extract(black_box(&denoised), &cfg)
     });
-    g.bench_function("full_wake_capture_to_features", |b| {
-        b.iter(|| HeadTalk::orientation_features(&cfg, black_box(&capture)))
+    s.bench("runtime_b15/full_wake_capture_to_features", || {
+        HeadTalk::orientation_features(&cfg, black_box(&capture))
     });
-    g.finish();
 }
 
-fn bench_render(c: &mut Criterion) {
+fn bench_render(s: &mut Suite) {
     // The simulator's own cost (not part of the paper's runtime; here for
     // reproduction-throughput tracking).
     let spec = CaptureSpec::baseline(0xBEAD);
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10);
-    g.bench_function("render_one_capture_d2", |b| b.iter(|| spec.render()));
-    g.finish();
+    s.bench("simulator/render_one_capture_d2", || spec.render());
 }
 
-criterion_group!(benches, bench_pipeline, bench_render);
-criterion_main!(benches);
+fn main() {
+    let mut s = Suite::new("pipeline_runtime");
+    bench_pipeline(&mut s);
+    bench_render(&mut s);
+    s.finish();
+}

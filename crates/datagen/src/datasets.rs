@@ -326,9 +326,9 @@ pub fn placement_specs(placement: Placement) -> Vec<CaptureSpec> {
 /// conditions differ from the authors' recordings — this is what produces
 /// the §IV-A1 generalization gap that incremental learning then closes.
 pub fn asvspoof_sim(n_per_class: usize, seed: u64) -> (Vec<CaptureSpec>, Vec<usize>) {
-    use rand::Rng;
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    use ht_dsp::rng::Rng;
+    use ht_dsp::rng::SeedableRng;
+    let mut rng = ht_dsp::rng::StdRng::seed_from_u64(seed);
     let mut specs = Vec::with_capacity(2 * n_per_class);
     let mut labels = Vec::with_capacity(2 * n_per_class);
     let words = WakeWord::ALL;
@@ -339,7 +339,7 @@ pub fn asvspoof_sim(n_per_class: usize, seed: u64) -> (Vec<CaptureSpec>, Vec<usi
         let voice = VoiceProfile::random(&mut rng, female);
         let location = grid[rng.gen_range(0..grid.len())];
         let angle_deg = *angles14()
-            .get(rng.gen_range(0..14))
+            .get(rng.gen_range(0..14usize))
             .expect("angle grid has 14 entries");
         let base = CaptureSpec {
             room: RoomKind::Home,

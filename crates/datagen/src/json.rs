@@ -1,0 +1,194 @@
+//! JSON conversions for [`CaptureSpec`] and its datagen-owned field types.
+//!
+//! Together with the impls in `ht-acoustics` and `ht-speech`, this lets the
+//! feature cache persist `CaptureSpec` sidecars without `serde`: a spec is
+//! an object of named fields; fieldless enums are variant-name strings; the
+//! payload-carrying [`SourceKind`] is externally tagged
+//! (`{"Human": {...}}` / `{"Replay": {...}}`).
+
+use crate::placements::{GridLocation, Placement, RoomKind};
+use crate::scenario::{CaptureSpec, Posture, SourceKind};
+use ht_dsp::impl_unit_enum_json;
+use ht_dsp::json::{field, FromJson, Json, JsonError, ToJson};
+
+impl_unit_enum_json!(RoomKind, {
+    RoomKind::Lab => "Lab",
+    RoomKind::Home => "Home",
+});
+
+impl_unit_enum_json!(Placement, {
+    Placement::LabA => "LabA",
+    Placement::LabB => "LabB",
+    Placement::LabC => "LabC",
+    Placement::HomeShelf => "HomeShelf",
+});
+
+impl_unit_enum_json!(Posture, {
+    Posture::Standing => "Standing",
+    Posture::Sitting => "Sitting",
+});
+
+impl ToJson for GridLocation {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("radial_deg", self.radial_deg)
+            .set("distance_m", self.distance_m)
+    }
+}
+
+impl FromJson for GridLocation {
+    fn from_json(v: &Json) -> Result<GridLocation, JsonError> {
+        Ok(GridLocation {
+            radial_deg: field(v, "radial_deg")?,
+            distance_m: field(v, "distance_m")?,
+        })
+    }
+}
+
+impl ToJson for SourceKind {
+    fn to_json(&self) -> Json {
+        match self {
+            SourceKind::Human { voice } => {
+                Json::obj().set("Human", Json::obj().set("voice", voice.to_json()))
+            }
+            SourceKind::Replay { model, voice } => Json::obj().set(
+                "Replay",
+                Json::obj()
+                    .set("model", model.to_json())
+                    .set("voice", voice.to_json()),
+            ),
+        }
+    }
+}
+
+impl FromJson for SourceKind {
+    fn from_json(v: &Json) -> Result<SourceKind, JsonError> {
+        if let Some(human) = v.get("Human") {
+            return Ok(SourceKind::Human {
+                voice: field(human, "voice")?,
+            });
+        }
+        if let Some(replay) = v.get("Replay") {
+            return Ok(SourceKind::Replay {
+                model: field(replay, "model")?,
+                voice: field(replay, "voice")?,
+            });
+        }
+        Err(JsonError::msg(
+            "expected a `Human` or `Replay` tagged object for SourceKind",
+        ))
+    }
+}
+
+impl ToJson for CaptureSpec {
+    fn to_json(&self) -> Json {
+        let ambient = match self.ambient {
+            Some((kind, spl)) => Json::Arr(vec![kind.to_json(), Json::F64(spl)]),
+            None => Json::Null,
+        };
+        Json::obj()
+            .set("room", self.room.to_json())
+            .set("placement", self.placement.to_json())
+            .set("device", self.device.to_json())
+            .set("location", self.location.to_json())
+            .set("angle_deg", self.angle_deg)
+            .set("wake_word", self.wake_word.to_json())
+            .set("source", self.source.to_json())
+            .set("loudness_spl", self.loudness_spl)
+            .set("ambient", ambient)
+            .set("posture", self.posture.to_json())
+            .set("obstruction", self.obstruction.to_json())
+            .set("raised", self.raised)
+            .set("session", self.session)
+            .set("temporal_drift", self.temporal_drift)
+            .set("seed", self.seed)
+    }
+}
+
+impl FromJson for CaptureSpec {
+    fn from_json(v: &Json) -> Result<CaptureSpec, JsonError> {
+        let ambient = match v.get("ambient") {
+            None | Some(Json::Null) => None,
+            Some(Json::Arr(pair)) if pair.len() == 2 => {
+                let kind = FromJson::from_json(&pair[0])
+                    .map_err(|e| JsonError::msg(format!("field `ambient`: {}", e.message)))?;
+                let spl = pair[1]
+                    .as_f64()
+                    .ok_or_else(|| JsonError::msg("field `ambient`: expected [kind, spl_db]"))?;
+                Some((kind, spl))
+            }
+            Some(_) => {
+                return Err(JsonError::msg(
+                    "field `ambient`: expected null or [kind, spl_db]",
+                ))
+            }
+        };
+        Ok(CaptureSpec {
+            room: field(v, "room")?,
+            placement: field(v, "placement")?,
+            device: field(v, "device")?,
+            location: field(v, "location")?,
+            angle_deg: field(v, "angle_deg")?,
+            wake_word: field(v, "wake_word")?,
+            source: field(v, "source")?,
+            loudness_spl: field(v, "loudness_spl")?,
+            ambient,
+            posture: field(v, "posture")?,
+            obstruction: field(v, "obstruction")?,
+            raised: field(v, "raised")?,
+            session: field(v, "session")?,
+            temporal_drift: field(v, "temporal_drift")?,
+            seed: field(v, "seed")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ht_acoustics::noise::NoiseKind;
+    use ht_speech::replay::SpeakerModel;
+    use ht_speech::voice::VoiceProfile;
+
+    #[test]
+    fn baseline_spec_round_trips() {
+        let spec = CaptureSpec::baseline(0xDEAD_BEEF_CAFE_F00D);
+        let text = spec.to_json().pretty();
+        let back = CaptureSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn replay_and_ambient_round_trip() {
+        let spec = CaptureSpec {
+            source: SourceKind::Replay {
+                model: SpeakerModel::GalaxyS21,
+                voice: VoiceProfile::adult_female(),
+            },
+            ambient: Some((NoiseKind::Tv, 45.0)),
+            posture: Posture::Sitting,
+            session: 1,
+            temporal_drift: 0.25,
+            ..CaptureSpec::baseline(7)
+        };
+        let back = CaptureSpec::from_json(&Json::parse(&spec.to_json().dump()).unwrap()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn u64_seed_survives_round_trip_exactly() {
+        let spec = CaptureSpec {
+            seed: u64::MAX - 1,
+            ..CaptureSpec::baseline(0)
+        };
+        let back = CaptureSpec::from_json(&Json::parse(&spec.to_json().dump()).unwrap()).unwrap();
+        assert_eq!(back.seed, u64::MAX - 1);
+    }
+
+    #[test]
+    fn malformed_source_is_rejected() {
+        let mut v = CaptureSpec::baseline(1).to_json();
+        v = v.set("source", Json::obj().set("Alien", Json::Null));
+        assert!(CaptureSpec::from_json(&v).is_err());
+    }
+}

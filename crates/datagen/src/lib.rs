@@ -24,6 +24,7 @@
 //! ```
 
 pub mod datasets;
+pub mod json;
 pub mod parallel;
 pub mod placements;
 pub mod scenario;

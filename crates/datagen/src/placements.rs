@@ -3,10 +3,9 @@
 
 use ht_acoustics::geometry::Vec3;
 use ht_acoustics::room::Room;
-use serde::{Deserialize, Serialize};
 
 /// The two rooms of the evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RoomKind {
     /// The 20'×14'×10' office (Fig. 8), 33 dB ambient.
     Lab,
@@ -44,7 +43,7 @@ impl RoomKind {
 }
 
 /// Device placements within a room.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Placement {
     /// Lab location A: near-wall study table, 74 cm high (the default).
     LabA,
@@ -101,7 +100,7 @@ impl Placement {
 
 /// A grid location of the speaker: radial direction (−15°/0°/+15°, labeled
 /// L/M/R in the paper) and distance (1/3/5 m).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GridLocation {
     /// Radial offset from the device's facing axis, in degrees (−15, 0, 15).
     pub radial_deg: f64,

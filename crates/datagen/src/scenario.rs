@@ -8,15 +8,13 @@ use ht_acoustics::noise::NoiseKind;
 use ht_acoustics::render::{RenderConfig, Scene, Source};
 use ht_acoustics::room::Obstruction;
 use ht_acoustics::AcousticsError;
+use ht_dsp::rng::{SeedableRng, StdRng};
 use ht_speech::replay::SpeakerModel;
 use ht_speech::utterance::WakeWord;
 use ht_speech::voice::VoiceProfile;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// Who produces the sound.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SourceKind {
     /// A live human speaker.
     Human {
@@ -47,7 +45,7 @@ impl SourceKind {
 }
 
 /// Speaker posture (§IV-B11).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Posture {
     /// Standing: mouth at ≈1.65 m.
     #[default]
@@ -67,7 +65,7 @@ impl Posture {
 }
 
 /// A complete description of one collected sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CaptureSpec {
     /// The room.
     pub room: RoomKind,

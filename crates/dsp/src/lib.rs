@@ -18,6 +18,12 @@
 //!   feature summaries, and
 //! * [peak picking](peak).
 //!
+//! Because the workspace builds fully offline with zero external crates,
+//! this crate also hosts the shared infrastructure the other crates lean
+//! on: deterministic [random number generation](rng) (SplitMix64 +
+//! xoshiro256++), a minimal [JSON](json) reader/writer for reports and
+//! caches, and a small [property-testing harness](check).
+//!
 //! # Example
 //!
 //! ```
@@ -41,12 +47,14 @@
 //! assert!(signal::rms(&tone) > 0.5);
 //! ```
 
+pub mod check;
 pub mod complex;
 pub mod convolve;
 pub mod correlate;
 pub mod error;
 pub mod fft;
 pub mod filter;
+pub mod json;
 pub mod peak;
 pub mod resample;
 pub mod rng;

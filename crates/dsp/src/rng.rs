@@ -1,52 +1,463 @@
-//! Random-signal helpers shared across the workspace: Gaussian sampling
-//! (Box–Muller, so we avoid a `rand_distr` dependency) and white-noise
-//! buffers.
+//! Deterministic pseudo-random number generation for the whole workspace.
 //!
-//! Every generator takes an explicit [`rand::Rng`] so callers control
-//! seeding; all experiments in the reproduction are deterministic given a
-//! seed.
+//! The reproduction is hermetic: no external crates, no OS entropy. This
+//! module provides the workspace's only randomness source — a seedable
+//! [`Xoshiro256pp`] generator (xoshiro256++ by Blackman & Vigna, seeded
+//! through [`SplitMix64`] as the authors recommend) behind a small [`Rng`]
+//! trait, plus the Gaussian/noise helpers built on top of it.
+//!
+//! Every generator takes an explicit [`Rng`] so callers control seeding;
+//! all experiments in the reproduction are deterministic given a seed, and
+//! the raw output streams are pinned by known-answer tests so a toolchain
+//! or refactoring change that silently alters the streams fails CI.
+//!
+//! # Example
+//!
+//! ```
+//! use ht_dsp::rng::{Rng, SeedableRng, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let z = ht_dsp::rng::gaussian(&mut rng);
+//! assert!(z.is_finite());
+//! let k = rng.gen_range(0..10usize);
+//! assert!(k < 10);
+//! ```
 
-use rand::Rng;
+/// 2^-53, the spacing of the uniform doubles produced by [`Rng::next_f64`].
+const F64_SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+
+/// A source of uniformly distributed `u64`s plus the derived sampling
+/// helpers the workspace uses (`gen`, `gen_range`, `gen_bool`).
+///
+/// Implementors only provide [`Rng::next_u64`]; everything else is derived.
+pub trait Rng {
+    /// The next uniformly distributed 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * F64_SCALE
+    }
+
+    /// A uniformly distributed value of type `T` (see [`FromRng`]).
+    fn gen<T: FromRng>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// A uniform sample from `range` (half-open integer or float range).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_f64() < p
+    }
+}
+
+impl<R: Rng> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a `u64` seed.
+///
+/// Distinct seeds give independent-looking streams; the same seed always
+/// gives the same stream (the determinism contract every experiment relies
+/// on).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from an [`Rng`].
+pub trait FromRng: Sized {
+    /// Draws one uniformly distributed value.
+    fn from_rng<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl FromRng for u64 {
+    fn from_rng<R: Rng>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for u32 {
+    fn from_rng<R: Rng>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl FromRng for f64 {
+    fn from_rng<R: Rng>(rng: &mut R) -> f64 {
+        rng.next_f64()
+    }
+}
+
+impl FromRng for f32 {
+    fn from_rng<R: Rng>(rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// Half-open ranges an [`Rng`] can sample from via [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Unbiased uniform integer in `[0, bound)` by rejection sampling
+/// (multiply-shift would bias the extreme tail for huge bounds).
+fn uniform_below<R: Rng>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    // Largest multiple of `bound` that fits in u64; values at or above it
+    // would wrap unevenly, so they are rejected (expected < 2 draws).
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, i64, i32);
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<f64> {
+    type Output = f64;
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        let (a, b) = (*self.start(), *self.end());
+        assert!(a <= b, "gen_range: empty range");
+        a + (b - a) * rng.next_f64()
+    }
+}
+
+/// In-place shuffling and uniform element choice on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+    /// Fisher–Yates shuffles the slice in place.
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    /// A uniformly chosen element, or `None` for an empty slice.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[uniform_below(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
+/// SplitMix64 (Steele, Lea & Flood; Vigna's reference implementation).
+///
+/// A tiny, fast generator with a 64-bit state whose every seed gives a
+/// full-period stream. Used directly for seed-derivation (splitting one
+/// `u64` seed into many independent sub-seeds) and to initialize
+/// [`Xoshiro256pp`] state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64::new(seed)
+    }
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna) — the workspace's general-purpose
+/// generator: 256-bit state, period 2^256 − 1, passes BigCrush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Rng for Xoshiro256pp {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256pp {
+    /// Expands `seed` into the 256-bit state with SplitMix64, per the
+    /// xoshiro authors' recommendation (an all-zero state is unreachable).
+    fn seed_from_u64(seed: u64) -> Xoshiro256pp {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256pp {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+/// The workspace's standard deterministic generator.
+///
+/// Everything seeds this by name so the underlying algorithm can be swapped
+/// in one place; it is currently [`Xoshiro256pp`].
+pub type StdRng = Xoshiro256pp;
+
+/// Derives an independent sub-seed from a base seed and a stream index.
+///
+/// Handy for giving each parallel worker / dataset record its own
+/// deterministic stream without the streams overlapping.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut sm = SplitMix64::new(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    sm.next_u64()
+}
 
 /// Draws one standard-normal sample via the Box–Muller transform.
-///
-/// # Example
-///
-/// ```
-/// use rand::SeedableRng;
-///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-/// let z = ht_dsp::rng::gaussian(&mut rng);
-/// assert!(z.is_finite());
-/// ```
-pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
     // Avoid ln(0) by sampling u1 from (0, 1].
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
+    let u1: f64 = 1.0 - rng.next_f64();
+    let u2: f64 = rng.next_f64();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 /// Draws a normal sample with the given mean and standard deviation.
-pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+pub fn normal<R: Rng>(rng: &mut R, mean: f64, sd: f64) -> f64 {
     mean + sd * gaussian(rng)
 }
 
 /// A buffer of `n` i.i.d. standard-normal samples (white Gaussian noise with
 /// unit RMS in expectation).
-pub fn white_noise<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+pub fn white_noise<R: Rng>(rng: &mut R, n: usize) -> Vec<f64> {
     (0..n).map(|_| gaussian(rng)).collect()
 }
 
 /// A buffer of `n` uniform samples in `[-1, 1)`.
-pub fn uniform_noise<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
-    (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect()
+pub fn uniform_noise<R: Rng>(rng: &mut R, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.next_f64() * 2.0 - 1.0).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+
+    // Reference vectors computed from the authors' C implementations
+    // (SplitMix64: Vigna's splitmix64.c; xoshiro256++: xoshiro256plusplus.c
+    // seeded via splitmix64).
+
+    #[test]
+    fn splitmix64_known_answer_seed_zero() {
+        let mut rng = SplitMix64::new(0);
+        let got: Vec<u64> = (0..5).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                0xE220_A839_7B1D_CDAF,
+                0x6E78_9E6A_A1B9_65F4,
+                0x06C4_5D18_8009_454F,
+                0xF88B_B8A8_724C_81EC,
+                0x1B39_896A_51A8_749B,
+            ]
+        );
+    }
+
+    #[test]
+    fn splitmix64_known_answer_published_seed() {
+        // The widely circulated test vector for seed 1234567.
+        let mut rng = SplitMix64::new(1_234_567);
+        let got: Vec<u64> = (0..5).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                6_457_827_717_110_365_317,
+                3_203_168_211_198_807_973,
+                9_817_491_932_198_370_423,
+                4_593_380_528_125_082_431,
+                16_408_922_859_458_223_821,
+            ]
+        );
+    }
+
+    #[test]
+    fn xoshiro256pp_known_answer_seed_zero() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
+        let got: Vec<u64> = (0..5).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                0x5317_5D61_490B_23DF,
+                0x61DA_6F3D_C380_D507,
+                0x5C0F_DF91_EC9A_7BFC,
+                0x02EE_BF8C_3BBE_5E1A,
+                0x7ECA_04EB_AF4A_5EEA,
+            ]
+        );
+    }
+
+    #[test]
+    fn xoshiro256pp_known_answer_seed_42() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let got: Vec<u64> = (0..5).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                15_021_278_609_987_233_951,
+                5_881_210_131_331_364_753,
+                18_149_643_915_985_481_100,
+                12_933_668_939_759_105_464,
+                14_637_574_242_682_825_331,
+            ]
+        );
+    }
+
+    #[test]
+    fn next_f64_is_unit_interval_and_deterministic() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = a.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            assert_eq!(x, b.next_f64());
+        }
+    }
+
+    #[test]
+    fn gen_range_integers_cover_and_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let k = rng.gen_range(3..10usize);
+            assert!((3..10).contains(&k));
+            seen[k - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+        // Negative integer ranges work too.
+        for _ in 0..100 {
+            let v = rng.gen_range(-5..5i32);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_float_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_choose_is_uniformish() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+
+        let items = [1, 2, 3, 4];
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            counts[*items.choose(&mut rng).unwrap() - 1] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 1600), "counts {counts:?}");
+        assert!(Vec::<i32>::new().choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn derive_seed_separates_streams() {
+        let a = derive_seed(1, 0);
+        let b = derive_seed(1, 1);
+        let c = derive_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, derive_seed(1, 0));
+    }
 
     #[test]
     fn gaussian_moments_are_standard() {
@@ -65,6 +476,15 @@ mod tests {
         let beyond_2sd = xs.iter().filter(|v| v.abs() > 2.0).count() as f64 / xs.len() as f64;
         // True mass is ~4.55%.
         assert!((beyond_2sd - 0.0455).abs() < 0.01, "tail {beyond_2sd}");
+    }
+
+    #[test]
+    fn gaussian_skew_and_kurtosis_are_normal() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let xs = white_noise(&mut rng, 100_000);
+        assert!(crate::stats::skewness(&xs).abs() < 0.03);
+        // stats::kurtosis is the raw fourth standardized moment: 3 for a normal.
+        assert!((crate::stats::kurtosis(&xs) - 3.0).abs() < 0.1);
     }
 
     #[test]

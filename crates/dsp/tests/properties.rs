@@ -1,19 +1,18 @@
-//! Property-based tests for the DSP crate's numerical invariants.
+//! Property-based tests for the DSP crate's numerical invariants, running
+//! on the in-repo `ht_dsp::check` harness (deterministic per-case seeds,
+//! `HT_CHECK_SEED=…` replay).
 #![allow(clippy::manual_range_contains)]
 
+use ht_dsp::check::property;
 use ht_dsp::filter::Butterworth;
 use ht_dsp::window::Window;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn convolution_is_linear(
-        a in prop::collection::vec(-1.0..1.0f64, 4..64),
-        b in prop::collection::vec(-1.0..1.0f64, 4..64),
-        k in prop::collection::vec(-1.0..1.0f64, 2..16),
-    ) {
+#[test]
+fn convolution_is_linear() {
+    property("convolution_is_linear").run(|g| {
+        let a = g.vec_f64(-1.0..1.0, 4..64);
+        let b = g.vec_f64(-1.0..1.0, 4..64);
+        let k = g.vec_f64(-1.0..1.0, 2..16);
         // conv(a + b, k) == conv(a, k) + conv(b, k) for equal-length a, b.
         let n = a.len().min(b.len());
         let (a, b) = (&a[..n], &b[..n]);
@@ -22,113 +21,124 @@ proptest! {
         let ca = ht_dsp::convolve::convolve_direct(a, &k);
         let cb = ht_dsp::convolve::convolve_direct(b, &k);
         for ((l, x), y) in lhs.iter().zip(ca.iter()).zip(cb.iter()) {
-            prop_assert!((l - (x + y)).abs() < 1e-9);
+            assert!((l - (x + y)).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn fft_and_direct_convolution_agree(
-        x in prop::collection::vec(-1.0..1.0f64, 8..128),
-        h in prop::collection::vec(-1.0..1.0f64, 2..32),
-    ) {
+#[test]
+fn fft_and_direct_convolution_agree() {
+    property("fft_and_direct_convolution_agree").run(|g| {
+        let x = g.vec_f64(-1.0..1.0, 8..128);
+        let h = g.vec_f64(-1.0..1.0, 2..32);
         let direct = ht_dsp::convolve::convolve_direct(&x, &h);
         let fft = ht_dsp::convolve::convolve_fft(&x, &h);
-        prop_assert_eq!(direct.len(), fft.len());
+        assert_eq!(direct.len(), fft.len());
         for (d, f) in direct.iter().zip(fft.iter()) {
-            prop_assert!((d - f).abs() < 1e-8);
+            assert!((d - f).abs() < 1e-8);
         }
-    }
+    });
+}
 
-    #[test]
-    fn decimation_preserves_dc(
-        level in -2.0..2.0f64,
-        factor in 1usize..5,
-    ) {
+#[test]
+fn decimation_preserves_dc() {
+    property("decimation_preserves_dc").run(|g| {
+        let level = g.f64_in(-2.0..2.0);
+        let factor = g.usize_in(1..5);
         // A constant signal stays (approximately) constant after the
         // anti-aliased decimator, away from the edges.
         let x = vec![level; 600];
         let y = ht_dsp::resample::decimate(&x, factor).unwrap();
         let mid = &y[y.len() / 4..y.len() * 3 / 4];
         for v in mid {
-            prop_assert!((v - level).abs() < 0.02 * level.abs().max(0.1));
+            assert!((v - level).abs() < 0.02 * level.abs().max(0.1));
         }
-    }
+    });
+}
 
-    #[test]
-    fn filters_are_stable(
-        order in 1usize..8,
-        fc in 100.0..20_000.0f64,
-        x in prop::collection::vec(-1.0..1.0f64, 32..256),
-    ) {
+#[test]
+fn filters_are_stable() {
+    property("filters_are_stable").run(|g| {
+        let order = g.usize_in(1..8);
+        let fc = g.f64_in(100.0..20_000.0);
+        let x = g.vec_f64(-1.0..1.0, 32..256);
         let f = Butterworth::lowpass(order, fc, 48_000.0).unwrap();
         let y = f.filter(&x);
         // Bounded input, bounded output: no blow-ups for any valid design.
-        prop_assert!(y.iter().all(|v| v.is_finite() && v.abs() < 100.0));
-    }
+        assert!(y.iter().all(|v| v.is_finite() && v.abs() < 100.0));
+    });
+}
 
-    #[test]
-    fn windows_never_amplify(
-        n in 1usize..512,
-    ) {
-        for w in [Window::Hann, Window::Hamming, Window::Blackman, Window::Rect] {
+#[test]
+fn windows_never_amplify() {
+    property("windows_never_amplify").run(|g| {
+        let n = g.usize_in(1..512);
+        for w in [
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+            Window::Rect,
+        ] {
             let c = w.coefficients(n);
-            prop_assert_eq!(c.len(), n);
-            prop_assert!(c.iter().all(|&v| v <= 1.0 + 1e-12 && v >= -1e-12));
+            assert_eq!(c.len(), n);
+            assert!(c.iter().all(|&v| v <= 1.0 + 1e-12 && v >= -1e-12));
         }
-    }
+    });
+}
 
-    #[test]
-    fn statistics_shift_invariance(
-        x in prop::collection::vec(-10.0..10.0f64, 3..64),
-        shift in -100.0..100.0f64,
-    ) {
+#[test]
+fn statistics_shift_invariance() {
+    property("statistics_shift_invariance").run(|g| {
+        let x = g.vec_f64(-10.0..10.0, 3..64);
+        let shift = g.f64_in(-100.0..100.0);
         let shifted: Vec<f64> = x.iter().map(|v| v + shift).collect();
-        prop_assert!((ht_dsp::stats::std_dev(&x) - ht_dsp::stats::std_dev(&shifted)).abs() < 1e-8);
-        prop_assert!((ht_dsp::stats::mad(&x) - ht_dsp::stats::mad(&shifted)).abs() < 1e-8);
-        prop_assert!(
-            (ht_dsp::stats::skewness(&x) - ht_dsp::stats::skewness(&shifted)).abs() < 1e-6
-        );
-        prop_assert!(
-            (ht_dsp::stats::kurtosis(&x) - ht_dsp::stats::kurtosis(&shifted)).abs() < 1e-6
-        );
-    }
+        assert!((ht_dsp::stats::std_dev(&x) - ht_dsp::stats::std_dev(&shifted)).abs() < 1e-8);
+        assert!((ht_dsp::stats::mad(&x) - ht_dsp::stats::mad(&shifted)).abs() < 1e-8);
+        assert!((ht_dsp::stats::skewness(&x) - ht_dsp::stats::skewness(&shifted)).abs() < 1e-6);
+        assert!((ht_dsp::stats::kurtosis(&x) - ht_dsp::stats::kurtosis(&shifted)).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn percentile_is_monotone(
-        mut x in prop::collection::vec(-10.0..10.0f64, 2..64),
-        p1 in 0.0..100.0f64,
-        p2 in 0.0..100.0f64,
-    ) {
+#[test]
+fn percentile_is_monotone() {
+    property("percentile_is_monotone").run(|g| {
+        let mut x = g.vec_f64(-10.0..10.0, 2..64);
+        let p1 = g.f64_in(0.0..100.0);
+        let p2 = g.f64_in(0.0..100.0);
         x.sort_by(f64::total_cmp);
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
-        prop_assert!(ht_dsp::stats::percentile(&x, lo) <= ht_dsp::stats::percentile(&x, hi) + 1e-12);
-    }
+        assert!(ht_dsp::stats::percentile(&x, lo) <= ht_dsp::stats::percentile(&x, hi) + 1e-12);
+    });
+}
 
-    #[test]
-    fn zscore_is_idempotent_in_distribution(
-        x in prop::collection::vec(-5.0..5.0f64, 8..128),
-    ) {
+#[test]
+fn zscore_is_idempotent_in_distribution() {
+    property("zscore_is_idempotent_in_distribution").run(|g| {
+        let x = g.vec_f64(-5.0..5.0, 8..128);
         // Skip near-constant inputs (z-scoring maps them to zero).
-        prop_assume!(ht_dsp::stats::std_dev(&x) > 1e-6);
+        if ht_dsp::stats::std_dev(&x) <= 1e-6 {
+            return;
+        }
         let mut once = x.clone();
         ht_dsp::signal::normalize_zscore(&mut once);
         let mut twice = once.clone();
         ht_dsp::signal::normalize_zscore(&mut twice);
         for (a, b) in once.iter().zip(twice.iter()) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn srp_width_is_invariant_to_channel_count(
-        n_ch in 2usize..6,
-        max_lag in 1usize..16,
-    ) {
+#[test]
+fn srp_width_is_invariant_to_channel_count() {
+    property("srp_width_is_invariant_to_channel_count").run(|g| {
+        let n_ch = g.usize_in(2..6);
+        let max_lag = g.usize_in(1..16);
         let x: Vec<f64> = (0..256).map(|k| ((k * k) as f64 * 1e-3).sin()).collect();
         let chans: Vec<Vec<f64>> = (0..n_ch).map(|_| x.clone()).collect();
         let refs: Vec<&[f64]> = chans.iter().map(|c| c.as_slice()).collect();
         let a = ht_dsp::srp::srp_phat(&refs, max_lag).unwrap();
-        prop_assert_eq!(a.srp.values.len(), 2 * max_lag + 1);
-        prop_assert_eq!(a.pairs.len(), n_ch * (n_ch - 1) / 2);
-    }
+        assert_eq!(a.srp.values.len(), 2 * max_lag + 1);
+        assert_eq!(a.pairs.len(), n_ch * (n_ch - 1) / 2);
+    });
 }

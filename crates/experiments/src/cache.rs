@@ -8,7 +8,7 @@
 //! * `<name>.f64` — all vectors concatenated as little-endian `f64`s.
 
 use ht_datagen::CaptureSpec;
-use serde::{Deserialize, Serialize};
+use ht_dsp::json::{field, FromJson, Json, JsonError, ToJson};
 use std::io::{Read, Write};
 use std::path::PathBuf;
 
@@ -21,16 +21,33 @@ pub struct Record {
     /// The extracted vector.
     pub vector: Vec<f64>,
 }
-
-#[derive(Serialize, Deserialize)]
 struct Meta {
     version: u32,
     specs: Vec<CaptureSpec>,
     widths: Vec<u32>,
 }
 
+impl ToJson for Meta {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("version", self.version)
+            .set("specs", self.specs.to_json())
+            .set("widths", self.widths.to_json())
+    }
+}
+
+impl FromJson for Meta {
+    fn from_json(v: &Json) -> Result<Meta, JsonError> {
+        Ok(Meta {
+            version: field(v, "version")?,
+            specs: field(v, "specs")?,
+            widths: field(v, "widths")?,
+        })
+    }
+}
+
 /// Bump when feature extraction or the simulator changes incompatibly.
-const CACHE_VERSION: u32 = 3;
+const CACHE_VERSION: u32 = 4;
 
 /// The cache directory (`target/ht_cache`, created on demand).
 pub fn cache_dir() -> PathBuf {
@@ -52,7 +69,8 @@ fn paths(name: &str) -> (PathBuf, PathBuf) {
 /// Loads a cache entry, or `None` when missing/outdated/corrupt.
 pub fn load(name: &str) -> Option<Vec<Record>> {
     let (meta_path, data_path) = paths(name);
-    let meta: Meta = serde_json::from_str(&std::fs::read_to_string(meta_path).ok()?).ok()?;
+    let text = std::fs::read_to_string(meta_path).ok()?;
+    let meta = Meta::from_json(&Json::parse(&text).ok()?).ok()?;
     if meta.version != CACHE_VERSION || meta.specs.len() != meta.widths.len() {
         return None;
     }
@@ -96,11 +114,7 @@ pub fn store(name: &str, records: &[Record]) -> Result<(), String> {
         specs: records.iter().map(|r| r.spec).collect(),
         widths: records.iter().map(|r| r.vector.len() as u32).collect(),
     };
-    std::fs::write(
-        &meta_path,
-        serde_json::to_string(&meta).map_err(|e| e.to_string())?,
-    )
-    .map_err(|e| e.to_string())?;
+    std::fs::write(&meta_path, meta.to_json().dump()).map_err(|e| e.to_string())?;
     let mut f = std::fs::File::create(&data_path).map_err(|e| e.to_string())?;
     let mut buf = Vec::with_capacity(records.iter().map(|r| r.vector.len() * 8).sum());
     for r in records {

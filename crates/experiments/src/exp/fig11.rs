@@ -7,10 +7,9 @@ use crate::exp::is_default_setting;
 use crate::report::{pct, ExperimentResult};
 use headtalk::facing::FacingDefinition;
 use headtalk::orientation::{ModelKind, OrientationDetector};
+use ht_dsp::rng::{SeedableRng, StdRng};
 use ht_ml::metrics::Confusion;
 use ht_ml::{Classifier, Dataset};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Runs the experiment.
 ///

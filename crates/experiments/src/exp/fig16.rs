@@ -6,12 +6,11 @@
 use crate::context::Context;
 use crate::report::{pct, ExperimentResult};
 use headtalk::orientation::{ModelKind, OrientationDetector};
+use ht_dsp::rng::{SeedableRng, StdRng};
 use ht_ml::crossval::leave_one_group_out;
 use ht_ml::metrics::Confusion;
 use ht_ml::sampling::{adasyn, smote};
 use ht_ml::{Classifier, Dataset};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// The DoV facing definition used here: 0° and ±45° facing, the rest
 /// backward (§IV-B14 — the DoV grid has no ±15°/±30°).

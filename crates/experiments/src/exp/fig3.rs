@@ -7,11 +7,11 @@
 
 use crate::context::Context;
 use crate::report::ExperimentResult;
+use ht_dsp::rng::SeedableRng;
 use ht_dsp::spectrum::Spectrum;
 use ht_speech::replay::SpeakerModel;
 use ht_speech::utterance::WakeWord;
 use ht_speech::voice::VoiceProfile;
-use rand::SeedableRng;
 
 /// Runs the experiment.
 ///
@@ -20,7 +20,7 @@ use rand::SeedableRng;
 /// Returns an error when the HF ordering (live > Sony > phone) is violated.
 pub fn run(_ctx: &Context) -> Result<ExperimentResult, String> {
     let fs = ht_acoustics::SAMPLE_RATE;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF163);
+    let mut rng = ht_dsp::rng::StdRng::seed_from_u64(0xF163);
     let live = WakeWord::Computer.synthesize(&VoiceProfile::adult_male(), &mut rng, fs);
     let sony = SpeakerModel::SonySrsX5.play(&live, &mut rng, fs);
     let phone = SpeakerModel::GalaxyS21.play(&live, &mut rng, fs);

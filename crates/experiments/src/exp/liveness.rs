@@ -11,10 +11,10 @@ use crate::cache::Record;
 use crate::context::Context;
 use crate::report::{pct, ExperimentResult};
 use headtalk::liveness::LivenessDetector;
+use ht_dsp::rng::SeedableRng;
+use ht_dsp::rng::SliceRandom;
 use ht_ml::metrics::{accuracy, equal_error_rate};
 use ht_ml::{Classifier, Dataset};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 fn to_dataset(records: &[Record]) -> Result<Dataset, String> {
     let feats: Vec<Vec<f64>> = records.iter().map(|r| r.vector.clone()).collect();
@@ -54,7 +54,7 @@ pub fn run(ctx: &Context) -> Result<ExperimentResult, String> {
     // --- Stage 1: ASVspoof-sim pre-training -------------------------------
     let asv = ctx.liveness_asvspoof();
     let asv_ds = to_dataset(&asv)?;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x11FE);
+    let mut rng = ht_dsp::rng::StdRng::seed_from_u64(0x11FE);
     let mut idx: Vec<usize> = (0..asv_ds.len()).collect();
     idx.shuffle(&mut rng);
     let n = idx.len();

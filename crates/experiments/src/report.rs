@@ -1,9 +1,9 @@
 //! Experiment result types and rendering.
 
-use serde::{Deserialize, Serialize};
+use ht_dsp::json::{field, FromJson, Json, JsonError, ToJson};
 
 /// One paper-vs-measured row of an experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Row label (a condition: an angle, a device, a definition, …).
     pub label: String,
@@ -34,7 +34,7 @@ impl Row {
 }
 
 /// The result of one reproduced table/figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentResult {
     /// Experiment id (`table3`, `fig10`, …).
     pub id: String,
@@ -124,6 +124,50 @@ impl ExperimentResult {
     }
 }
 
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("label", self.label.as_str())
+            .set("paper", self.paper.as_str())
+            .set("measured", self.measured.as_str())
+            .set("value", self.value)
+    }
+}
+
+impl FromJson for Row {
+    fn from_json(v: &Json) -> Result<Row, JsonError> {
+        Ok(Row {
+            label: field(v, "label")?,
+            paper: field(v, "paper")?,
+            measured: field(v, "measured")?,
+            value: field(v, "value")?,
+        })
+    }
+}
+
+impl ToJson for ExperimentResult {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("id", self.id.as_str())
+            .set("title", self.title.as_str())
+            .set("expectation", self.expectation.as_str())
+            .set("rows", self.rows.to_json())
+            .set("notes", self.notes.to_json())
+    }
+}
+
+impl FromJson for ExperimentResult {
+    fn from_json(v: &Json) -> Result<ExperimentResult, JsonError> {
+        Ok(ExperimentResult {
+            id: field(v, "id")?,
+            title: field(v, "title")?,
+            expectation: field(v, "expectation")?,
+            rows: field(v, "rows")?,
+            notes: field(v, "notes")?,
+        })
+    }
+}
+
 /// Formats a fraction as a percentage with two decimals.
 pub fn pct(x: f64) -> String {
     format!("{:.2}%", x * 100.0)
@@ -157,8 +201,17 @@ mod tests {
     fn result_serializes() {
         let mut r = ExperimentResult::new("id", "T", "E");
         r.push_row("x", "", "1", Some(1.0));
-        let json = serde_json::to_string(&r).unwrap();
-        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        r.push_row("y", "90%", "89%", None);
+        r.note("a note with \"quotes\"");
+        let json = r.to_json().pretty();
+        let back = ExperimentResult::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn result_json_is_deterministic() {
+        let mut r = ExperimentResult::new("id", "T", "E");
+        r.push_row("x", "", "1", Some(0.5));
+        assert_eq!(r.to_json().pretty(), r.clone().to_json().pretty());
     }
 }

@@ -1,10 +1,9 @@
 //! Pipeline configuration.
 
 use ht_acoustics::array::Device;
-use serde::{Deserialize, Serialize};
 
 /// End-to-end pipeline configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineConfig {
     /// Input sample rate in Hz (the prototype devices record at 48 kHz).
     pub sample_rate: f64,

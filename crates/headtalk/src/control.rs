@@ -13,10 +13,8 @@
 //!   user "does not need to continuously face the device for the remaining
 //!   session" (§I).
 
-use serde::{Deserialize, Serialize};
-
 /// The privacy mode the VA is operating in (Fig. 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum VaMode {
     /// Stock always-listening behaviour.
     #[default]
@@ -28,7 +26,7 @@ pub enum VaMode {
 }
 
 /// Events driving the controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VaEvent {
     /// The local wake-word engine fired; `live` and `facing` are the
     /// HeadTalk pipeline's verdicts for this utterance.
@@ -51,7 +49,7 @@ pub enum VaEvent {
 }
 
 /// What the VA does in response to an event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VaResponse {
     /// Audio following the wake word is recorded and forwarded to the cloud.
     SessionOpened,
@@ -74,7 +72,7 @@ impl VaResponse {
 }
 
 /// The privacy-control state machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PrivacyController {
     mode: VaMode,
     session_active: bool,

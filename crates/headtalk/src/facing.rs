@@ -7,10 +7,8 @@
 //! angles into binary training labels, differing in which borderline angles
 //! are excluded; Definition-4 wins and is the paper's default.
 
-use serde::{Deserialize, Serialize};
-
 /// The ground-truth zone of a speaker orientation angle (Fig. 4b).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FacingZone {
     /// |angle| ≤ 30°: the speaker is facing the device.
     Facing,
@@ -46,7 +44,7 @@ pub fn zone_of(angle_deg: f64) -> FacingZone {
 }
 
 /// The four training-label definitions of Table III.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FacingDefinition {
     /// Facing {0, ±15, ±30, ±45}; non-facing {±60, ±75, ±90, ±135, 180}.
     Definition1,

@@ -88,11 +88,11 @@ pub fn extract(channels: &[Vec<f64>], config: &PipelineConfig) -> Result<Vec<f64
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ht_dsp::rng::SeedableRng;
     use ht_dsp::signal::fractional_delay;
-    use rand::SeedableRng;
 
     fn test_channels(n: usize, len: usize) -> Vec<Vec<f64>> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = ht_dsp::rng::StdRng::seed_from_u64(1);
         let base = ht_dsp::rng::white_noise(&mut rng, len);
         (0..n)
             .map(|k| fractional_delay(&base, k as f64 * 1.5, 16))

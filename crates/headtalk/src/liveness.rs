@@ -132,9 +132,9 @@ impl Classifier for LivenessDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ht_dsp::rng::StdRng;
+    use ht_dsp::rng::{Rng, SeedableRng};
     use ht_ml::nn::{ConvSpec, NeuralNetConfig};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     /// A miniature encoder that fits the short unit-test inputs (the real
     /// `wav2vec2_mini` stack needs ≥ ~1000-sample inputs).

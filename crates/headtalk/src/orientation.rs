@@ -7,18 +7,16 @@
 //! standardization + the chosen model.
 
 use crate::HeadTalkError;
+use ht_dsp::rng::{SeedableRng, StdRng};
 use ht_ml::dataset::{Dataset, Standardizer};
 use ht_ml::forest::{ForestParams, RandomForest};
 use ht_ml::knn::Knn;
 use ht_ml::svm::{Svm, SvmParams};
 use ht_ml::tree::{DecisionTree, TreeParams};
 use ht_ml::Classifier;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// Which classifier backs the orientation detector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelKind {
     /// Support vector machine with RBF kernel (the paper's choice).
     Svm,

@@ -8,10 +8,9 @@ use crate::orientation::OrientationDetector;
 use crate::preprocess::Preprocessor;
 use crate::HeadTalkError;
 use ht_ml::Classifier;
-use serde::{Deserialize, Serialize};
 
 /// The pipeline's verdict on one wake-word capture.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WakeDecision {
     /// Liveness verdict: `true` = live human.
     pub live: bool,
@@ -136,9 +135,8 @@ impl HeadTalk {
 mod tests {
     use super::*;
     use crate::orientation::ModelKind;
+    use ht_dsp::rng::{SeedableRng, StdRng};
     use ht_ml::dataset::Dataset;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// Builds a tiny but end-to-end-valid pipeline: the models are trained
     /// on trivially separable synthetic data just to exercise the plumbing.

@@ -6,8 +6,6 @@
 //! response tallies the paper reports in Table V (from which the takeaway
 //! percentages are recomputed), and the reported SUS confidence intervals.
 
-use serde::{Deserialize, Serialize};
-
 /// One participant's answers to the 10 SUS items, each in `1..=5`
 /// (1 = strong disagreement, 5 = strong agreement).
 pub type SusResponse = [u8; 10];
@@ -42,7 +40,7 @@ pub fn sus_summary(responses: &[SusResponse]) -> (f64, f64) {
 pub const SUS_AVERAGE_THRESHOLD: f64 = 68.0;
 
 /// One Table V question with its response option labels and counts.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SurveyQuestion {
     /// The question as asked.
     pub question: &'static str,
@@ -125,7 +123,7 @@ pub const PAPER_SUS_HEADTALK: (f64, f64) = (77.38, 6.26);
 pub const PAPER_SUS_MUTE_BUTTON: (f64, f64) = (74.75, 8.12);
 
 /// The §V takeaways recomputed from the Table V counts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Takeaways {
     /// Fraction of VA owners who recall facing the device often/very often.
     pub owners_face_often: f64,

@@ -1,8 +1,8 @@
 //! K-fold cross-validation with stratification.
 
 use crate::dataset::Dataset;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use ht_dsp::rng::Rng;
+use ht_dsp::rng::SliceRandom;
 
 /// One cross-validation fold: the indices held out for testing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,7 +33,7 @@ impl Fold {
 /// # Panics
 ///
 /// Panics if `k < 2` or `k > ds.len()`.
-pub fn stratified_folds<R: Rng + ?Sized>(ds: &Dataset, k: usize, rng: &mut R) -> Vec<Fold> {
+pub fn stratified_folds<R: Rng>(ds: &Dataset, k: usize, rng: &mut R) -> Vec<Fold> {
     assert!(k >= 2, "need at least 2 folds");
     assert!(k <= ds.len(), "more folds than samples");
     let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
@@ -73,8 +73,7 @@ pub fn leave_one_group_out(ds: &Dataset, groups: &[usize]) -> Vec<Fold> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ht_dsp::rng::{SeedableRng, StdRng};
 
     fn toy(n: usize) -> Dataset {
         let feats: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();

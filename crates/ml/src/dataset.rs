@@ -1,12 +1,11 @@
 //! Feature-matrix dataset containers and standardization.
 
 use crate::MlError;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use ht_dsp::rng::Rng;
+use ht_dsp::rng::SliceRandom;
 
 /// A labeled dataset: row-major feature matrix plus integer class labels.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Dataset {
     features: Vec<Vec<f64>>,
     labels: Vec<usize>,
@@ -147,7 +146,7 @@ impl Dataset {
 
     /// Randomly splits into `(train, test)` with `train_fraction` of the
     /// samples in the training part, shuffled by `rng`.
-    pub fn split<R: Rng + ?Sized>(&self, train_fraction: f64, rng: &mut R) -> (Dataset, Dataset) {
+    pub fn split<R: Rng>(&self, train_fraction: f64, rng: &mut R) -> (Dataset, Dataset) {
         let mut idx: Vec<usize> = (0..self.len()).collect();
         idx.shuffle(rng);
         let n_train = (self.len() as f64 * train_fraction).round() as usize;
@@ -162,11 +161,7 @@ impl Dataset {
     /// Draws `n` samples per class (without replacement) into a training
     /// set; everything else becomes the test set. Used by the training-size
     /// sweep of Fig. 11.
-    pub fn split_per_class<R: Rng + ?Sized>(
-        &self,
-        n_per_class: usize,
-        rng: &mut R,
-    ) -> (Dataset, Dataset) {
+    pub fn split_per_class<R: Rng>(&self, n_per_class: usize, rng: &mut R) -> (Dataset, Dataset) {
         let mut chosen = std::collections::HashSet::new();
         for class in self.classes() {
             let mut members: Vec<usize> = (0..self.len())
@@ -187,7 +182,7 @@ impl Dataset {
 /// Per-feature standardization (zero mean, unit variance), fit on training
 /// data and applied to both splits — required for RBF-kernel SVMs and the
 /// neural network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Standardizer {
     means: Vec<f64>,
     stds: Vec<f64>,
@@ -255,8 +250,7 @@ impl Standardizer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ht_dsp::rng::{SeedableRng, StdRng};
 
     fn toy() -> Dataset {
         let feats = vec![

@@ -6,11 +6,10 @@
 use crate::dataset::Dataset;
 use crate::tree::{DecisionTree, TreeParams};
 use crate::{Classifier, MlError};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use ht_dsp::rng::Rng;
 
 /// Random-forest hyperparameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ForestParams {
     /// Number of bagged trees (the paper settles on 200).
     pub n_trees: usize,
@@ -33,7 +32,7 @@ impl Default for ForestParams {
 }
 
 /// A trained random forest.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomForest {
     trees: Vec<DecisionTree>,
 }
@@ -45,7 +44,7 @@ impl RandomForest {
     ///
     /// Returns [`MlError::InvalidParameter`] for zero trees and
     /// [`MlError::InvalidData`] for an empty dataset.
-    pub fn fit<R: Rng + ?Sized>(
+    pub fn fit<R: Rng>(
         ds: &Dataset,
         params: &ForestParams,
         rng: &mut R,
@@ -105,8 +104,7 @@ impl Classifier for RandomForest {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ht_dsp::rng::{SeedableRng, StdRng};
 
     fn noisy_blobs(n_per: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);

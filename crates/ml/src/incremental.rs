@@ -71,8 +71,7 @@ where
 mod tests {
     use super::*;
     use crate::svm::{Svm, SvmParams};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ht_dsp::rng::{SeedableRng, StdRng};
 
     fn blobs(n_per: usize, seed: u64, center: f64, spread: f64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);

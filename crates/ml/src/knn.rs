@@ -4,10 +4,9 @@
 
 use crate::dataset::Dataset;
 use crate::{Classifier, MlError};
-use serde::{Deserialize, Serialize};
 
 /// A fitted (memorized) kNN model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Knn {
     data: Dataset,
     k: usize,

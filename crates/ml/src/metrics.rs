@@ -6,10 +6,8 @@
 //! "positive" class (facing / live-human), class **0** is negative
 //! (non-facing / replayed).
 
-use serde::{Deserialize, Serialize};
-
 /// A binary confusion matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Confusion {
     /// True positives (label 1 predicted 1).
     pub tp: usize,

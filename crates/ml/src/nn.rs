@@ -10,13 +10,12 @@
 
 use crate::dataset::Dataset;
 use crate::{Classifier, MlError};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use ht_dsp::rng::SeedableRng;
+use ht_dsp::rng::SliceRandom;
+use ht_dsp::rng::StdRng;
 
 /// One convolutional stage of the feature encoder.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ConvSpec {
     /// Output channels.
     pub out_channels: usize,
@@ -27,7 +26,7 @@ pub struct ConvSpec {
 }
 
 /// Network architecture and training configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NeuralNetConfig {
     /// Convolutional encoder stages (empty = pure MLP on the raw input).
     pub conv: Vec<ConvSpec>,
@@ -87,7 +86,7 @@ impl NeuralNetConfig {
 }
 
 /// A flat parameter block with Adam state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Params {
     w: Vec<f64>,
     m: Vec<f64>,
@@ -125,7 +124,7 @@ impl Params {
 }
 
 /// A trained network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NeuralNet {
     config: NeuralNetConfig,
     /// Conv weights: per stage, flattened `[out][in][k]` plus `out` biases.
@@ -491,7 +490,7 @@ impl Classifier for NeuralNet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
+    use ht_dsp::rng::Rng;
 
     /// Binary problem on short "waveforms": class 1 = high-frequency
     /// alternation, class 0 = slow ramp. Mimics (in miniature) the spectral

@@ -7,7 +7,7 @@
 
 use crate::dataset::Dataset;
 use crate::MlError;
-use rand::Rng;
+use ht_dsp::rng::Rng;
 
 fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
@@ -27,7 +27,7 @@ fn knn_indices(pool: &[&[f64]], x: &[f64], k: usize, skip: Option<usize>) -> Vec
     d.into_iter().map(|(_, i)| i).collect()
 }
 
-fn interpolate<R: Rng + ?Sized>(rng: &mut R, a: &[f64], b: &[f64]) -> Vec<f64> {
+fn interpolate<R: Rng>(rng: &mut R, a: &[f64], b: &[f64]) -> Vec<f64> {
     let t: f64 = rng.gen();
     a.iter()
         .zip(b.iter())
@@ -70,7 +70,7 @@ fn minority_class(ds: &Dataset) -> Result<(usize, usize), MlError> {
 ///
 /// Returns [`MlError::InvalidData`] for non-binary data and
 /// [`MlError::Degenerate`] when the minority class has fewer than 2 samples.
-pub fn smote<R: Rng + ?Sized>(ds: &Dataset, k: usize, rng: &mut R) -> Result<Dataset, MlError> {
+pub fn smote<R: Rng>(ds: &Dataset, k: usize, rng: &mut R) -> Result<Dataset, MlError> {
     let (minority, deficit) = minority_class(ds)?;
     let minority_rows: Vec<&[f64]> = ds
         .features()
@@ -99,7 +99,7 @@ pub fn smote<R: Rng + ?Sized>(ds: &Dataset, k: usize, rng: &mut R) -> Result<Dat
 /// # Errors
 ///
 /// Same conditions as [`smote`].
-pub fn adasyn<R: Rng + ?Sized>(ds: &Dataset, k: usize, rng: &mut R) -> Result<Dataset, MlError> {
+pub fn adasyn<R: Rng>(ds: &Dataset, k: usize, rng: &mut R) -> Result<Dataset, MlError> {
     let (minority, deficit) = minority_class(ds)?;
     if deficit == 0 {
         return Ok(ds.clone());
@@ -172,8 +172,7 @@ pub fn adasyn<R: Rng + ?Sized>(ds: &Dataset, k: usize, rng: &mut R) -> Result<Da
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ht_dsp::rng::{SeedableRng, StdRng};
 
     /// 4 minority (class 1) vs 12 majority (class 0) samples.
     fn imbalanced(seed: u64) -> Dataset {

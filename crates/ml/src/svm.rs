@@ -7,10 +7,9 @@
 
 use crate::dataset::Dataset;
 use crate::{Classifier, MlError};
-use serde::{Deserialize, Serialize};
 
 /// RBF kernel width specification.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Gamma {
     /// `1 / (dim · var(features))` — the sklearn "scale" heuristic; a good
     /// default for standardized features.
@@ -20,7 +19,7 @@ pub enum Gamma {
 }
 
 /// SVM hyperparameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SvmParams {
     /// Soft-margin penalty C.
     pub c: f64,
@@ -44,7 +43,7 @@ impl Default for SvmParams {
 }
 
 /// A trained RBF-kernel support-vector machine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Svm {
     support_vectors: Vec<Vec<f64>>,
     /// `alpha_i * y_i` for each support vector.
@@ -274,7 +273,7 @@ impl Svm {
     ///
     /// Propagates training errors; returns [`MlError::InvalidParameter`] if
     /// `k < 2`.
-    pub fn fit_grid_search<R: rand::Rng + ?Sized>(
+    pub fn fit_grid_search<R: ht_dsp::rng::Rng>(
         ds: &Dataset,
         k: usize,
         rng: &mut R,
@@ -341,8 +340,7 @@ impl Classifier for Svm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ht_dsp::rng::{SeedableRng, StdRng};
 
     /// Two Gaussian blobs, linearly separable.
     fn blobs(n_per: usize, seed: u64, gap: f64) -> Dataset {

@@ -5,11 +5,10 @@
 
 use crate::dataset::Dataset;
 use crate::{Classifier, MlError};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use ht_dsp::rng::Rng;
 
 /// Decision-tree hyperparameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TreeParams {
     /// Maximum number of internal split nodes (the paper's DT uses 5).
     pub max_splits: usize,
@@ -30,7 +29,7 @@ impl Default for TreeParams {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 enum Node {
     Leaf {
         label: usize,
@@ -46,7 +45,7 @@ enum Node {
 }
 
 /// A trained decision tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecisionTree {
     root: Node,
     n_splits: usize,
@@ -89,7 +88,7 @@ struct Builder<'a> {
 }
 
 impl Builder<'_> {
-    fn best_split<R: Rng + ?Sized>(
+    fn best_split<R: Rng>(
         &mut self,
         indices: &[usize],
         rng: &mut R,
@@ -102,7 +101,7 @@ impl Builder<'_> {
         // Feature subsample for forests.
         let features: Vec<usize> = match self.params.max_features {
             Some(k) if k < self.feature_pool.len() => {
-                use rand::seq::SliceRandom;
+                use ht_dsp::rng::SliceRandom;
                 let mut pool = self.feature_pool.clone();
                 pool.shuffle(rng);
                 pool.truncate(k);
@@ -155,7 +154,7 @@ impl Builder<'_> {
         Some((f, thr, left, right))
     }
 
-    fn build<R: Rng + ?Sized>(&mut self, indices: &[usize], rng: &mut R) -> Node {
+    fn build<R: Rng>(&mut self, indices: &[usize], rng: &mut R) -> Node {
         let labels = self.ds.labels();
         if indices.len() < self.params.min_samples_split
             || self.splits_used >= self.params.max_splits
@@ -187,7 +186,7 @@ impl DecisionTree {
     /// # Errors
     ///
     /// Returns [`MlError::InvalidData`] for an empty dataset.
-    pub fn fit<R: Rng + ?Sized>(
+    pub fn fit<R: Rng>(
         ds: &Dataset,
         params: &TreeParams,
         rng: &mut R,
@@ -250,8 +249,7 @@ impl Classifier for DecisionTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ht_dsp::rng::{SeedableRng, StdRng};
 
     fn steps() -> Dataset {
         // 1-D threshold problem: x > 0.5 -> class 1.

@@ -1,6 +1,7 @@
 //! Cross-model integration tests: the four §IV-A classifier families on
 //! shared benchmark problems, plus end-to-end metric plumbing.
 
+use ht_dsp::rng::{SeedableRng, StdRng};
 use ht_ml::dataset::{Dataset, Standardizer};
 use ht_ml::forest::{ForestParams, RandomForest};
 use ht_ml::knn::Knn;
@@ -8,8 +9,6 @@ use ht_ml::metrics::{equal_error_rate, Confusion};
 use ht_ml::svm::{Svm, SvmParams};
 use ht_ml::tree::{DecisionTree, TreeParams};
 use ht_ml::Classifier;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Two anisotropic Gaussian classes with a few nuisance dimensions.
 fn benchmark(n_per: usize, seed: u64, sep: f64) -> Dataset {

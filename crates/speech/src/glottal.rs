@@ -7,7 +7,7 @@
 //! from replays.
 
 use crate::voice::VoiceProfile;
-use rand::Rng;
+use ht_dsp::rng::Rng;
 
 /// One Rosenberg glottal pulse, sampled over `period` samples with an open
 /// quotient of 0.6 and a speed quotient of 2.0 (rising 40%, falling 20%,
@@ -36,7 +36,7 @@ fn rosenberg_pulse(period: usize) -> Vec<f64> {
 ///
 /// The returned excitation has a harmonic voiced component plus aspiration
 /// noise scaled by `aspiration` and the profile's brightness.
-pub fn excitation<R: Rng + ?Sized>(
+pub fn excitation<R: Rng>(
     rng: &mut R,
     profile: &VoiceProfile,
     n: usize,
@@ -94,9 +94,8 @@ pub fn excitation<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ht_dsp::rng::{SeedableRng, StdRng};
     use ht_dsp::spectrum::Spectrum;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     const FS: f64 = 48_000.0;
 

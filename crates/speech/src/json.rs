@@ -1,0 +1,80 @@
+//! JSON conversions for the speech types that appear in persisted
+//! artifacts (the feature cache's `CaptureSpec` sidecars).
+
+use crate::replay::SpeakerModel;
+use crate::utterance::WakeWord;
+use crate::voice::VoiceProfile;
+use ht_dsp::impl_unit_enum_json;
+use ht_dsp::json::{field, FromJson, Json, JsonError, ToJson};
+
+impl_unit_enum_json!(WakeWord, {
+    WakeWord::Computer => "Computer",
+    WakeWord::Amazon => "Amazon",
+    WakeWord::HeyAssistant => "HeyAssistant",
+});
+
+impl_unit_enum_json!(SpeakerModel, {
+    SpeakerModel::SonySrsX5 => "SonySrsX5",
+    SpeakerModel::GalaxyS21 => "GalaxyS21",
+    SpeakerModel::GenericMedia => "GenericMedia",
+});
+
+impl ToJson for VoiceProfile {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("f0_hz", self.f0_hz)
+            .set("formant_scale", self.formant_scale)
+            .set("brightness", self.brightness)
+            .set("jitter", self.jitter)
+            .set("shimmer", self.shimmer)
+            .set("rate", self.rate)
+    }
+}
+
+impl FromJson for VoiceProfile {
+    fn from_json(v: &Json) -> Result<VoiceProfile, JsonError> {
+        Ok(VoiceProfile {
+            f0_hz: field(v, "f0_hz")?,
+            formant_scale: field(v, "formant_scale")?,
+            brightness: field(v, "brightness")?,
+            jitter: field(v, "jitter")?,
+            shimmer: field(v, "shimmer")?,
+            rate: field(v, "rate")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_words_and_speakers_round_trip() {
+        for w in WakeWord::ALL {
+            assert_eq!(WakeWord::from_json(&w.to_json()).unwrap(), w);
+        }
+        for m in [
+            SpeakerModel::SonySrsX5,
+            SpeakerModel::GalaxyS21,
+            SpeakerModel::GenericMedia,
+        ] {
+            assert_eq!(SpeakerModel::from_json(&m.to_json()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn voice_profiles_round_trip_exactly() {
+        for v in [VoiceProfile::adult_male(), VoiceProfile::adult_female()] {
+            let text = v.to_json().dump();
+            let back = VoiceProfile::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn missing_field_is_reported_by_name() {
+        let broken = Json::obj().set("f0_hz", 120.0);
+        let e = VoiceProfile::from_json(&broken).unwrap_err();
+        assert!(e.message.contains("formant_scale"), "{}", e.message);
+    }
+}

@@ -23,9 +23,9 @@
 //! ```
 //! use ht_speech::utterance::WakeWord;
 //! use ht_speech::voice::VoiceProfile;
-//! use rand::SeedableRng;
+//! use ht_dsp::rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = ht_dsp::rng::StdRng::seed_from_u64(1);
 //! let voice = VoiceProfile::adult_male();
 //! let audio = WakeWord::Computer.synthesize(&voice, &mut rng, 48_000.0);
 //! assert!(audio.len() > 10_000); // a few hundred ms at 48 kHz
@@ -33,6 +33,7 @@
 
 pub mod formant;
 pub mod glottal;
+pub mod json;
 pub mod phoneme;
 pub mod replay;
 pub mod utterance;

@@ -9,7 +9,7 @@
 use crate::formant::{apply_formants, Formant};
 use crate::glottal::excitation;
 use crate::voice::VoiceProfile;
-use rand::Rng;
+use ht_dsp::rng::Rng;
 
 /// How a phoneme is produced.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -196,7 +196,7 @@ impl Phoneme {
     /// energy, sibilants/bursts sit 10–15 dB below them (this is what gives
     /// the overall spectrum its Fig. 3 shape — dominant 200 Hz–4 kHz with
     /// present-but-weaker energy above 4 kHz).
-    pub fn synthesize<R: Rng + ?Sized>(
+    pub fn synthesize<R: Rng>(
         &self,
         rng: &mut R,
         profile: &VoiceProfile,
@@ -221,7 +221,7 @@ impl Phoneme {
         seg
     }
 
-    fn synthesize_raw<R: Rng + ?Sized>(
+    fn synthesize_raw<R: Rng>(
         &self,
         rng: &mut R,
         profile: &VoiceProfile,
@@ -333,9 +333,8 @@ fn envelope(x: &mut [f64], frac: f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ht_dsp::rng::{SeedableRng, StdRng};
     use ht_dsp::spectrum::Spectrum;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     const FS: f64 = 48_000.0;
 

@@ -13,11 +13,10 @@
 //! 5. a flat electronic noise floor (the "uniform" >4 kHz content).
 
 use ht_dsp::filter::Butterworth;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use ht_dsp::rng::Rng;
 
 /// Playback device models used for replay attacks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SpeakerModel {
     /// High-end portable speaker (Sony SRS-X5-class): wide response,
     /// moderate distortion.
@@ -94,7 +93,7 @@ impl SpeakerModel {
     /// playback chain, returning the waveform the loudspeaker actually
     /// radiates. Feed the result to the room renderer with
     /// `Directivity::loudspeaker()` / `phone_speaker()`.
-    pub fn play<R: Rng + ?Sized>(self, audio: &[f64], rng: &mut R, sample_rate: f64) -> Vec<f64> {
+    pub fn play<R: Rng>(self, audio: &[f64], rng: &mut R, sample_rate: f64) -> Vec<f64> {
         let c = self.chain();
         if audio.is_empty() {
             return Vec::new();
@@ -137,9 +136,8 @@ mod tests {
     use super::*;
     use crate::utterance::WakeWord;
     use crate::voice::VoiceProfile;
+    use ht_dsp::rng::{SeedableRng, StdRng};
     use ht_dsp::spectrum::Spectrum;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     const FS: f64 = 48_000.0;
 

@@ -9,11 +9,10 @@
 
 use crate::phoneme::Phoneme;
 use crate::voice::VoiceProfile;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use ht_dsp::rng::Rng;
 
 /// The three wake words evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WakeWord {
     /// "Computer".
     Computer,
@@ -80,7 +79,7 @@ impl WakeWord {
     /// peak-normalized to ±1. Each call produces a slightly different
     /// rendition (jitter, shimmer, burst noise are stochastic), as repeated
     /// human utterances are.
-    pub fn synthesize<R: Rng + ?Sized>(
+    pub fn synthesize<R: Rng>(
         self,
         profile: &VoiceProfile,
         rng: &mut R,
@@ -119,9 +118,8 @@ impl WakeWord {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ht_dsp::rng::{SeedableRng, StdRng};
     use ht_dsp::spectrum::Spectrum;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     const FS: f64 = 48_000.0;
 

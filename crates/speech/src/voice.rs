@@ -6,11 +6,10 @@
 //! Fig. 3), pitch jitter/shimmer, and speaking rate. The cross-user
 //! experiment (Fig. 16) draws ten distinct profiles.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use ht_dsp::rng::Rng;
 
 /// The parameters of one synthetic speaker.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VoiceProfile {
     /// Mean fundamental frequency in Hz (male ≈ 120, female ≈ 210).
     pub f0_hz: f64,
@@ -55,7 +54,7 @@ impl VoiceProfile {
 
     /// Draws a plausible random adult voice. `female` selects the base
     /// anatomy; all parameters get independent perturbations.
-    pub fn random<R: Rng + ?Sized>(rng: &mut R, female: bool) -> VoiceProfile {
+    pub fn random<R: Rng>(rng: &mut R, female: bool) -> VoiceProfile {
         let base = if female {
             VoiceProfile::adult_female()
         } else {
@@ -76,8 +75,8 @@ impl VoiceProfile {
     /// 4 male, 6 female, following the paper's demographics). Deterministic
     /// given the seed.
     pub fn panel(seed: u64) -> Vec<VoiceProfile> {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use ht_dsp::rng::SeedableRng;
+        let mut rng = ht_dsp::rng::StdRng::seed_from_u64(seed);
         let mut panel = Vec::with_capacity(10);
         for i in 0..10 {
             panel.push(VoiceProfile::random(&mut rng, i >= 4));
@@ -95,8 +94,7 @@ impl Default for VoiceProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ht_dsp::rng::{SeedableRng, StdRng};
 
     #[test]
     fn presets_are_distinct_and_plausible() {

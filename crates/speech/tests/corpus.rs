@@ -1,17 +1,17 @@
 //! Corpus-level integration tests: every wake word × voice combination must
 //! produce usable, distinguishable speech.
 
+use ht_dsp::rng::SeedableRng;
 use ht_dsp::spectrum::Spectrum;
 use ht_speech::replay::SpeakerModel;
 use ht_speech::utterance::WakeWord;
 use ht_speech::voice::VoiceProfile;
-use rand::SeedableRng;
 
 const FS: f64 = 48_000.0;
 
 #[test]
 fn every_word_and_voice_synthesizes_valid_audio() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = ht_dsp::rng::StdRng::seed_from_u64(1);
     for word in WakeWord::ALL {
         for (i, voice) in VoiceProfile::panel(7).into_iter().enumerate() {
             let y = word.synthesize(&voice, &mut rng, FS);
@@ -30,7 +30,7 @@ fn every_word_and_voice_synthesizes_valid_audio() {
 
 #[test]
 fn speech_band_dominates_for_all_panel_voices() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut rng = ht_dsp::rng::StdRng::seed_from_u64(2);
     for voice in VoiceProfile::panel(9) {
         let y = WakeWord::Computer.synthesize(&voice, &mut rng, FS);
         let s = Spectrum::of(&y, FS).unwrap();
@@ -49,7 +49,7 @@ fn replay_chain_is_consistent_across_the_panel() {
         let s = Spectrum::of(x, FS).unwrap();
         s.band_energy(5_000.0, 10_000.0) / s.band_energy(500.0, 3_000.0)
     };
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut rng = ht_dsp::rng::StdRng::seed_from_u64(3);
     for (i, voice) in VoiceProfile::panel(11).into_iter().enumerate() {
         let live = WakeWord::Amazon.synthesize(&voice, &mut rng, FS);
         let replay = SpeakerModel::GalaxyS21.play(&live, &mut rng, FS);
@@ -65,16 +65,16 @@ fn replay_chain_is_consistent_across_the_panel() {
 #[test]
 fn panel_voices_produce_distinct_audio() {
     let panel = VoiceProfile::panel(13);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let mut rng = ht_dsp::rng::StdRng::seed_from_u64(4);
     let a = WakeWord::Computer.synthesize(&panel[0], &mut rng, FS);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let mut rng = ht_dsp::rng::StdRng::seed_from_u64(4);
     let b = WakeWord::Computer.synthesize(&panel[5], &mut rng, FS);
     assert_ne!(a, b, "different voices, same RNG -> different audio");
 }
 
 #[test]
 fn male_and_female_presets_differ_in_fundamental() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut rng = ht_dsp::rng::StdRng::seed_from_u64(5);
     let m = WakeWord::HeyAssistant.synthesize(&VoiceProfile::adult_male(), &mut rng, FS);
     let f = WakeWord::HeyAssistant.synthesize(&VoiceProfile::adult_female(), &mut rng, FS);
     let centroid_low = |x: &[f64]| {

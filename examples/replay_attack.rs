@@ -8,16 +8,16 @@
 use headtalk::liveness::LivenessDetector;
 use headtalk::{HeadTalk, PipelineConfig};
 use ht_datagen::{CaptureSpec, SourceKind};
+use ht_dsp::rng::SeedableRng;
 use ht_dsp::spectrum::Spectrum;
 use ht_ml::{Classifier, Dataset};
 use ht_speech::replay::SpeakerModel;
 use ht_speech::utterance::WakeWord;
 use ht_speech::voice::VoiceProfile;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fs = ht_acoustics::SAMPLE_RATE;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut rng = ht_dsp::rng::StdRng::seed_from_u64(99);
     let voice = VoiceProfile::adult_male();
 
     // ── The Fig. 3 signature, dry ──────────────────────────────────────────

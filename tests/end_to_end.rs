@@ -53,7 +53,7 @@ fn build_pipeline() -> HeadTalk {
     .expect("orientation training");
 
     let mut live_ds = Dataset::new(config.liveness_input_len);
-    for i in 0..8u64 {
+    for i in 0..16u64 {
         let human = CaptureSpec::baseline(300 + i);
         live_ds
             .push(
@@ -75,7 +75,7 @@ fn build_pipeline() -> HeadTalk {
             )
             .expect("push");
     }
-    let liveness = LivenessDetector::fit(&live_ds, 12, 5).expect("liveness training");
+    let liveness = LivenessDetector::fit(&live_ds, 24, 8).expect("liveness training");
     HeadTalk::new(config, liveness, orientation).expect("pipeline assembly")
 }
 

@@ -1,192 +1,244 @@
-//! Property-based tests (proptest) on the core invariants of the DSP, ML
-//! and control substrates.
+//! Property-based tests on the core invariants of the DSP, ML and control
+//! substrates, running on the in-repo `ht_dsp::check` harness
+//! (deterministic per-case seeds, `HT_CHECK_SEED=…` replay).
 #![allow(clippy::manual_range_contains)]
 
 use headtalk::control::{PrivacyController, VaEvent, VaMode};
 use headtalk::facing::FacingDefinition;
+use ht_dsp::check::{property, Gen};
 use ht_dsp::correlate::gcc_phat;
 use ht_dsp::fft;
 use ht_dsp::filter::Butterworth;
+use ht_dsp::rng::{SeedableRng, StdRng};
 use ht_ml::metrics::Confusion;
-use proptest::prelude::*;
 
-fn small_signal() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1.0..1.0f64, 16..256)
+fn small_signal(g: &mut Gen) -> Vec<f64> {
+    g.vec_f64(-1.0..1.0, 16..256)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn fft_round_trip_recovers_signal() {
+    property("fft_round_trip_recovers_signal")
+        .cases(64)
+        .run(|g| {
+            let x = small_signal(g);
+            let spec: Vec<ht_dsp::Complex> =
+                x.iter().map(|&v| ht_dsp::Complex::from_real(v)).collect();
+            let back = fft::ifft(&fft::fft(&spec));
+            for (a, b) in x.iter().zip(back.iter()) {
+                assert!((a - b.re).abs() < 1e-9);
+                assert!(b.im.abs() < 1e-9);
+            }
+        });
+}
 
-    #[test]
-    fn fft_round_trip_recovers_signal(x in small_signal()) {
-        let spec: Vec<ht_dsp::Complex> =
-            x.iter().map(|&v| ht_dsp::Complex::from_real(v)).collect();
-        let back = fft::ifft(&fft::fft(&spec));
-        for (a, b) in x.iter().zip(back.iter()) {
-            prop_assert!((a - b.re).abs() < 1e-9);
-            prop_assert!(b.im.abs() < 1e-9);
-        }
-    }
-
-    #[test]
-    fn fft_parseval_energy(x in small_signal()) {
+#[test]
+fn fft_parseval_energy() {
+    property("fft_parseval_energy").cases(64).run(|g| {
+        let x = small_signal(g);
         let spec = fft::rfft(&x);
         let n = spec.len() as f64;
         let time: f64 = x.iter().map(|v| v * v).sum();
         let freq: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n;
-        prop_assert!((time - freq).abs() < 1e-6 * time.max(1.0));
-    }
+        assert!((time - freq).abs() < 1e-6 * time.max(1.0));
+    });
+}
 
-    #[test]
-    fn filtfilt_preserves_length_and_finiteness(
-        x in small_signal(),
-        order in 1usize..6,
-        fc in 200.0..10_000.0f64,
-    ) {
-        let f = Butterworth::lowpass(order, fc, 48_000.0).unwrap();
-        let y = f.filtfilt(&x);
-        prop_assert_eq!(y.len(), x.len());
-        prop_assert!(y.iter().all(|v| v.is_finite()));
-    }
+#[test]
+fn filtfilt_preserves_length_and_finiteness() {
+    property("filtfilt_preserves_length_and_finiteness")
+        .cases(64)
+        .run(|g| {
+            let x = small_signal(g);
+            let order = g.usize_in(1..6);
+            let fc = g.f64_in(200.0..10_000.0);
+            let f = Butterworth::lowpass(order, fc, 48_000.0).unwrap();
+            let y = f.filtfilt(&x);
+            assert_eq!(y.len(), x.len());
+            assert!(y.iter().all(|v| v.is_finite()));
+        });
+}
 
-    #[test]
-    fn gcc_phat_peak_is_bounded_by_lag_window(
-        x in prop::collection::vec(-1.0..1.0f64, 64..256),
-        max_lag in 1usize..20,
-    ) {
-        let g = gcc_phat(&x, &x, max_lag).unwrap();
-        prop_assert_eq!(g.values.len(), 2 * g.max_lag + 1);
-        prop_assert!(g.peak_lag().unsigned_abs() <= g.max_lag);
-        // Self-correlation peaks at zero lag.
-        prop_assert_eq!(g.peak_lag(), 0);
-    }
+#[test]
+fn gcc_phat_peak_is_bounded_by_lag_window() {
+    property("gcc_phat_peak_is_bounded_by_lag_window")
+        .cases(64)
+        .run(|g| {
+            let x = g.vec_f64(-1.0..1.0, 64..256);
+            let max_lag = g.usize_in(1..20);
+            let gp = gcc_phat(&x, &x, max_lag).unwrap();
+            assert_eq!(gp.values.len(), 2 * gp.max_lag + 1);
+            assert!(gp.peak_lag().unsigned_abs() <= gp.max_lag);
+            // Self-correlation peaks at zero lag.
+            assert_eq!(gp.peak_lag(), 0);
+        });
+}
 
-    #[test]
-    fn integer_delays_are_recovered_exactly(
-        seed in 0u64..1000,
-        delay in 0usize..12,
-    ) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let x = ht_dsp::rng::white_noise(&mut rng, 512);
-        let y = ht_dsp::signal::fractional_delay(&x, delay as f64, 16);
-        let g = gcc_phat(&x, &y, 16).unwrap();
-        prop_assert_eq!(g.peak_lag(), -(delay as isize));
-    }
+#[test]
+fn integer_delays_are_recovered_exactly() {
+    property("integer_delays_are_recovered_exactly")
+        .cases(64)
+        .run(|g| {
+            let seed = g.u64_in(0..1000);
+            let delay = g.usize_in(0..12);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x = ht_dsp::rng::white_noise(&mut rng, 512);
+            let y = ht_dsp::signal::fractional_delay(&x, delay as f64, 16);
+            let gp = gcc_phat(&x, &y, 16).unwrap();
+            assert_eq!(gp.peak_lag(), -(delay as isize));
+        });
+}
 
-    #[test]
-    fn confusion_metrics_are_rates(
-        labels in prop::collection::vec(0usize..2, 1..64),
-        flips in prop::collection::vec(any::<bool>(), 1..64),
-    ) {
+#[test]
+fn confusion_metrics_are_rates() {
+    property("confusion_metrics_are_rates").cases(64).run(|g| {
+        let labels = g.vec_usize(0..2, 1..64);
+        let flips = {
+            let mut f = g.vec_bool(1..64);
+            if f.is_empty() {
+                f.push(true);
+            }
+            f
+        };
         let preds: Vec<usize> = labels
             .iter()
             .zip(flips.iter().cycle())
             .map(|(&l, &f)| if f { 1 - l } else { l })
             .collect();
         let c = Confusion::from_predictions(&labels, &preds);
-        for rate in [c.accuracy(), c.precision(), c.recall(), c.far(), c.frr(), c.f1()] {
-            prop_assert!((0.0..=1.0).contains(&rate));
+        for rate in [
+            c.accuracy(),
+            c.precision(),
+            c.recall(),
+            c.far(),
+            c.frr(),
+            c.f1(),
+        ] {
+            assert!((0.0..=1.0).contains(&rate));
         }
-        prop_assert_eq!(c.total(), labels.len());
+        assert_eq!(c.total(), labels.len());
         // FRR + TPR = 1 whenever positives exist.
         if labels.contains(&1) {
-            prop_assert!((c.frr() + c.tpr() - 1.0).abs() < 1e-12);
+            assert!((c.frr() + c.tpr() - 1.0).abs() < 1e-12);
         }
-    }
+    });
+}
 
-    #[test]
-    fn eer_is_a_rate(
-        scores in prop::collection::vec(-5.0..5.0f64, 4..64),
-    ) {
+#[test]
+fn eer_is_a_rate() {
+    property("eer_is_a_rate").cases(64).run(|g| {
+        let scores = g.vec_f64(-5.0..5.0, 4..64);
         // Force both classes present.
         let labels: Vec<usize> = (0..scores.len()).map(|i| i % 2).collect();
         let eer = ht_ml::metrics::equal_error_rate(&labels, &scores);
-        prop_assert!((0.0..=1.0).contains(&eer));
-    }
+        assert!((0.0..=1.0).contains(&eer));
+    });
+}
 
-    #[test]
-    fn facing_definitions_are_consistent(angle in -360.0..360.0f64) {
-        for def in FacingDefinition::ALL {
-            if let Some(label) = def.label(angle) {
-                prop_assert!(label <= 1);
-                // A labeled-facing angle always lies in the facing zone and
-                // vice versa for labeled non-facing angles.
-                if label == 1 {
-                    prop_assert_eq!(FacingDefinition::ground_truth(angle), 1);
-                } else {
-                    prop_assert_eq!(FacingDefinition::ground_truth(angle), 0);
+#[test]
+fn facing_definitions_are_consistent() {
+    property("facing_definitions_are_consistent")
+        .cases(64)
+        .run(|g| {
+            let angle = g.f64_in(-360.0..360.0);
+            for def in FacingDefinition::ALL {
+                if let Some(label) = def.label(angle) {
+                    assert!(label <= 1);
+                    // A labeled-facing angle always lies in the facing zone
+                    // and vice versa for labeled non-facing angles.
+                    if label == 1 {
+                        assert_eq!(FacingDefinition::ground_truth(angle), 1);
+                    } else {
+                        assert_eq!(FacingDefinition::ground_truth(angle), 0);
+                    }
                 }
             }
-        }
-        // Definitions only become more exclusive from 1 to 4 on the facing
-        // side: anything Definition-4 calls facing, Definition-1 does too.
-        if FacingDefinition::Definition4.label(angle) == Some(1) {
-            prop_assert_eq!(FacingDefinition::Definition1.label(angle), Some(1));
-        }
-    }
-
-    #[test]
-    fn sus_scores_are_bounded(
-        answers in prop::collection::vec(1u8..=5, 10),
-    ) {
-        let response: [u8; 10] = answers.try_into().unwrap();
-        let score = headtalk::userstudy::sus_score(&response);
-        prop_assert!((0.0..=100.0).contains(&score));
-        prop_assert_eq!(score % 2.5, 0.0);
-    }
-
-    #[test]
-    fn smote_balances_binary_datasets(
-        n_min in 2usize..6,
-        n_maj in 6usize..14,
-        seed in 0u64..100,
-    ) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut ds = ht_ml::Dataset::new(2);
-        for i in 0..n_min {
-            ds.push(vec![i as f64, 5.0], 1).unwrap();
-        }
-        for i in 0..n_maj {
-            ds.push(vec![i as f64, -5.0], 0).unwrap();
-        }
-        let up = ht_ml::sampling::smote(&ds, 3, &mut rng).unwrap();
-        let counts = up.class_counts();
-        prop_assert_eq!(counts[0].1, counts[1].1);
-        prop_assert_eq!(up.len(), 2 * n_maj);
-    }
-
-    #[test]
-    fn privacy_controller_never_forwards_while_muted(
-        events in prop::collection::vec(0u8..6, 1..40),
-    ) {
-        let mut va = PrivacyController::new();
-        for e in events {
-            let event = match e {
-                0 => VaEvent::WakeDetected { live: true, facing: true },
-                1 => VaEvent::WakeDetected { live: false, facing: true },
-                2 => VaEvent::EnterHeadTalkMode,
-                3 => VaEvent::MuteButton,
-                4 => VaEvent::SessionEnded,
-                _ => VaEvent::UnmuteButton,
-            };
-            let muted_before = va.mode() == VaMode::Mute;
-            let r = va.handle(event);
-            if muted_before && matches!(event, VaEvent::WakeDetected { .. }) {
-                prop_assert!(!r.audio_forwarded_to_cloud());
+            // Definitions only become more exclusive from 1 to 4 on the
+            // facing side: anything Definition-4 calls facing, Definition-1
+            // does too.
+            if FacingDefinition::Definition4.label(angle) == Some(1) {
+                assert_eq!(FacingDefinition::Definition1.label(angle), Some(1));
             }
-        }
-    }
+        });
+}
 
-    #[test]
-    fn privacy_controller_headtalk_rejects_non_live_without_session(
-        live in any::<bool>(),
-        facing in any::<bool>(),
-    ) {
-        let mut va = PrivacyController::new();
-        va.handle(VaEvent::EnterHeadTalkMode);
-        let r = va.handle(VaEvent::WakeDetected { live, facing });
-        prop_assert_eq!(r.audio_forwarded_to_cloud(), live && facing);
-    }
+#[test]
+fn sus_scores_are_bounded() {
+    property("sus_scores_are_bounded").cases(64).run(|g| {
+        let mut response = [0u8; 10];
+        for slot in &mut response {
+            *slot = g.usize_in(1..6) as u8;
+        }
+        let score = headtalk::userstudy::sus_score(&response);
+        assert!((0.0..=100.0).contains(&score));
+        assert_eq!(score % 2.5, 0.0);
+    });
+}
+
+#[test]
+fn smote_balances_binary_datasets() {
+    property("smote_balances_binary_datasets")
+        .cases(64)
+        .run(|g| {
+            let n_min = g.usize_in(2..6);
+            let n_maj = g.usize_in(6..14);
+            let seed = g.u64_in(0..100);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ds = ht_ml::Dataset::new(2);
+            for i in 0..n_min {
+                ds.push(vec![i as f64, 5.0], 1).unwrap();
+            }
+            for i in 0..n_maj {
+                ds.push(vec![i as f64, -5.0], 0).unwrap();
+            }
+            let up = ht_ml::sampling::smote(&ds, 3, &mut rng).unwrap();
+            let counts = up.class_counts();
+            assert_eq!(counts[0].1, counts[1].1);
+            assert_eq!(up.len(), 2 * n_maj);
+        });
+}
+
+#[test]
+fn privacy_controller_never_forwards_while_muted() {
+    property("privacy_controller_never_forwards_while_muted")
+        .cases(64)
+        .run(|g| {
+            let events = g.vec_usize(0..6, 1..40);
+            let mut va = PrivacyController::new();
+            for e in events {
+                let event = match e {
+                    0 => VaEvent::WakeDetected {
+                        live: true,
+                        facing: true,
+                    },
+                    1 => VaEvent::WakeDetected {
+                        live: false,
+                        facing: true,
+                    },
+                    2 => VaEvent::EnterHeadTalkMode,
+                    3 => VaEvent::MuteButton,
+                    4 => VaEvent::SessionEnded,
+                    _ => VaEvent::UnmuteButton,
+                };
+                let muted_before = va.mode() == VaMode::Mute;
+                let r = va.handle(event);
+                if muted_before && matches!(event, VaEvent::WakeDetected { .. }) {
+                    assert!(!r.audio_forwarded_to_cloud());
+                }
+            }
+        });
+}
+
+#[test]
+fn privacy_controller_headtalk_rejects_non_live_without_session() {
+    property("privacy_controller_headtalk_rejects_non_live_without_session")
+        .cases(16)
+        .run(|g| {
+            let live = g.bool();
+            let facing = g.bool();
+            let mut va = PrivacyController::new();
+            va.handle(VaEvent::EnterHeadTalkMode);
+            let r = va.handle(VaEvent::WakeDetected { live, facing });
+            assert_eq!(r.audio_forwarded_to_cloud(), live && facing);
+        });
 }
