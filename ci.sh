@@ -19,4 +19,14 @@ cargo build --release --offline
 echo "==> cargo test"
 cargo test -q --offline --release
 
+# The ht-par determinism contract says thread count must never change any
+# result, so the whole suite must stay green at both extremes of the
+# HT_THREADS override (1 = serial global pool, 4 = oversubscribed on small
+# runners).
+echo "==> cargo test (HT_THREADS=1)"
+HT_THREADS=1 cargo test -q --offline --release
+
+echo "==> cargo test (HT_THREADS=4)"
+HT_THREADS=4 cargo test -q --offline --release
+
 echo "CI green"

@@ -125,8 +125,11 @@ impl Scene {
         let mean_alpha = self.room.mean_absorption();
         let surface = self.room.surface_area();
 
-        let mut channels = Vec::with_capacity(self.array.channels());
-        for (mic_idx, paths) in all_paths.iter().enumerate() {
+        // Each microphone renders independently: the per-mic diffuse-tail
+        // RNG is forked from (scatter_seed, mic index), never shared, so the
+        // parallel render is byte-identical to the serial one for any thread
+        // count.
+        let channels = ht_par::par_map_indexed(&all_paths, |mic_idx, paths| {
             let mut out = vec![0.0f64; n_out];
 
             for path in paths {
@@ -214,8 +217,8 @@ impl Scene {
                 }
             }
 
-            channels.push(out);
-        }
+            out
+        });
         Ok(channels)
     }
 }

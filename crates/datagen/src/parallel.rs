@@ -1,15 +1,21 @@
-//! A minimal scoped-thread parallel map for rendering and feature
-//! extraction (no external thread-pool dependency needed).
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+//! Deprecated forwarding shims to [`ht_par`].
+//!
+//! The original scoped-thread `parallel_map` (spawn-per-call, one
+//! `Mutex<Option<U>>` per item, an atomic index counter) is superseded by
+//! the workspace-wide persistent work-stealing pool in the `ht-par` crate.
+//! These wrappers keep old call sites compiling; new code should call
+//! [`ht_par::par_map`] (global pool) or build a dedicated [`ht_par::Pool`].
 
 /// Applies `f` to every item on `threads` worker threads, preserving input
 /// order in the output. `threads == 0` or `1` runs inline.
 ///
 /// # Panics
 ///
-/// Propagates panics from `f` (the scope joins all workers).
+/// Propagates panics from `f`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ht_par::par_map (global pool) or ht_par::Pool::new(threads).par_map"
+)]
 pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
 where
     T: Sync,
@@ -19,39 +25,17 @@ where
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();
     }
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<U>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(items.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let out = f(&items[i]);
-                *results[i].lock().expect("result slot poisoned") = Some(out);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("every slot filled by a worker")
-        })
-        .collect()
+    ht_par::Pool::new(threads).par_map(items, f)
 }
 
-/// The default worker count: the machine's available parallelism, capped to
-/// leave a core for the system.
+/// The default worker count.
+#[deprecated(since = "0.1.0", note = "use ht_par::default_threads")]
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get().saturating_sub(1).max(1))
-        .unwrap_or(4)
+    ht_par::default_threads()
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

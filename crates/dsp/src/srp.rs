@@ -83,13 +83,19 @@ pub fn srp_phat(channels: &[&[f64]], max_lag: usize) -> Result<SrpAnalysis, DspE
     }
 
     let mut pairs = Vec::new();
-    let mut gccs = Vec::new();
     for i in 0..channels.len() {
         for j in (i + 1)..channels.len() {
             pairs.push((i, j));
-            gccs.push(gcc_phat(channels[i], channels[j], max_lag)?);
         }
     }
+    // One GCC-PHAT per microphone pair, in parallel. Each curve lands at its
+    // pair's index, and the SRP sum below runs over that fixed order, so the
+    // result is byte-identical to the serial loop for any thread count.
+    let gccs: Vec<LagCurve> = ht_par::par_map(&pairs, |&(i, j)| {
+        gcc_phat(channels[i], channels[j], max_lag)
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
     let width = gccs[0].values.len();
     let mut srp_values = vec![0.0; width];
     for g in &gccs {

@@ -5,7 +5,7 @@ use crate::cache::{self, Record};
 use headtalk::{HeadTalk, PipelineConfig};
 use ht_acoustics::array::Device;
 use ht_datagen::placements::Placement;
-use ht_datagen::{datasets, parallel, CaptureSpec};
+use ht_datagen::{datasets, CaptureSpec};
 
 /// Experiment-wide configuration.
 #[derive(Debug, Clone, Copy)]
@@ -13,7 +13,9 @@ pub struct Context {
     /// Keep every `scale`-th sample (1 = the paper's full counts). Useful
     /// for quick passes; cache entries are scale-specific.
     pub scale: usize,
-    /// Worker threads for rendering.
+    /// Worker threads for rendering. Thanks to the ht-par determinism
+    /// contract this only affects wall-clock time, never the rendered
+    /// features.
     pub threads: usize,
 }
 
@@ -21,7 +23,7 @@ impl Default for Context {
     fn default() -> Self {
         Context {
             scale: 1,
-            threads: parallel::default_threads(),
+            threads: ht_par::default_threads(),
         }
     }
 }
@@ -64,14 +66,27 @@ impl Context {
         }
     }
 
+    /// Maps `f` over capture specs on `self.threads` workers, reusing the
+    /// innermost installed ht-par pool when it already has that width.
+    fn render_map<U, F>(&self, specs: &[CaptureSpec], f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(&CaptureSpec) -> U + Sync,
+    {
+        if ht_par::current_threads() == self.threads {
+            ht_par::par_map(specs, f)
+        } else {
+            ht_par::Pool::new(self.threads).par_map(specs, f)
+        }
+    }
+
     /// Renders orientation features for a spec list (default microphone
     /// subset, per-device configuration), cached under `name`.
     pub fn orientation_features(&self, name: &str, specs: Vec<CaptureSpec>) -> Vec<Record> {
         let specs = self.subsample(specs);
-        let threads = self.threads;
         cache::load_or_compute(&self.cache_name(name), || {
             eprintln!("[cache] rendering {} captures for `{name}`…", specs.len());
-            parallel::parallel_map(&specs, threads, |spec| {
+            self.render_map(&specs, |spec| {
                 let cfg = PipelineConfig::for_device(spec.device);
                 let channels = spec.render().expect("valid scenario geometry");
                 let vector = HeadTalk::orientation_features(&cfg, &channels)
@@ -88,13 +103,12 @@ impl Context {
     /// for a spec list, cached under `name`.
     pub fn liveness_inputs(&self, name: &str, specs: Vec<CaptureSpec>) -> Vec<Record> {
         let specs = self.subsample(specs);
-        let threads = self.threads;
         cache::load_or_compute(&self.cache_name(name), || {
             eprintln!(
                 "[cache] rendering {} liveness captures for `{name}`…",
                 specs.len()
             );
-            parallel::parallel_map(&specs, threads, |spec| {
+            self.render_map(&specs, |spec| {
                 let cfg = PipelineConfig::for_device(spec.device);
                 let channels = spec.render().expect("valid scenario geometry");
                 let vector = HeadTalk::liveness_input(&cfg, &channels)
@@ -226,24 +240,22 @@ impl Context {
         let all_mics: Vec<usize> = (0..6).collect();
         let cfg = PipelineConfig::for_device(Device::D2);
         // One render per capture; one feature vector per subset.
-        let per_capture: Vec<Vec<Vec<f64>>> =
-            parallel::parallel_map(&specs, self.threads, |spec| {
-                let channels = spec
-                    .render_mics(Some(&all_mics))
-                    .expect("valid scenario geometry");
-                let pre = headtalk::preprocess::Preprocessor::new(&cfg)
-                    .expect("valid preprocessing config");
-                let denoised = pre.denoise_channels(&channels).expect("non-empty capture");
-                subsets
-                    .iter()
-                    .map(|mics| {
-                        let sub: Vec<Vec<f64>> =
-                            mics.iter().map(|&m| denoised[m].clone()).collect();
-                        headtalk::features::extract(&sub, &cfg)
-                            .expect("feature extraction on rendered audio")
-                    })
-                    .collect()
-            });
+        let per_capture: Vec<Vec<Vec<f64>>> = self.render_map(&specs, |spec| {
+            let channels = spec
+                .render_mics(Some(&all_mics))
+                .expect("valid scenario geometry");
+            let pre =
+                headtalk::preprocess::Preprocessor::new(&cfg).expect("valid preprocessing config");
+            let denoised = pre.denoise_channels(&channels).expect("non-empty capture");
+            subsets
+                .iter()
+                .map(|mics| {
+                    let sub: Vec<Vec<f64>> = mics.iter().map(|&m| denoised[m].clone()).collect();
+                    headtalk::features::extract(&sub, &cfg)
+                        .expect("feature extraction on rendered audio")
+                })
+                .collect()
+        });
         for (k, mics) in subsets.iter().enumerate() {
             let records: Vec<Record> = specs
                 .iter()

@@ -6,8 +6,7 @@
 use crate::context::Context;
 use crate::report::{pct, ExperimentResult};
 use headtalk::orientation::{ModelKind, OrientationDetector};
-use ht_dsp::rng::{SeedableRng, StdRng};
-use ht_ml::crossval::leave_one_group_out;
+use ht_ml::crossval::{evaluate_folds, leave_one_group_out};
 use ht_ml::metrics::Confusion;
 use ht_ml::sampling::{adasyn, smote};
 use ht_ml::{Classifier, Dataset};
@@ -40,22 +39,27 @@ pub fn run(ctx: &Context) -> Result<ExperimentResult, String> {
 
     let run_louo = |upsample: &str| -> Result<(Vec<f64>, Vec<f64>), String> {
         let folds = leave_one_group_out(&ds, &pids);
-        let mut accs = Vec::new();
-        let mut f1s = Vec::new();
-        for fold in &folds {
-            let (train, test) = fold.split(&ds);
-            let mut rng = StdRng::seed_from_u64(0xF1616);
+        // Folds evaluate in parallel; each gets its own RNG stream forked
+        // from (0xF1616, fold index), so the report is byte-identical for
+        // any thread count.
+        let per_fold = evaluate_folds(&ds, &folds, 0xF1616, |_, train, test, rng| {
             let train = match upsample {
-                "adasyn" => adasyn(&train, 5, &mut rng).map_err(|e| e.to_string())?,
-                "smote" => smote(&train, 5, &mut rng).map_err(|e| e.to_string())?,
-                _ => train,
+                "adasyn" => adasyn(train, 5, rng).map_err(|e| e.to_string())?,
+                "smote" => smote(train, 5, rng).map_err(|e| e.to_string())?,
+                _ => train.clone(),
             };
             let det =
                 OrientationDetector::fit(&train, ModelKind::Svm, 7).map_err(|e| e.to_string())?;
             let preds = det.predict_batch(test.features());
             let c = Confusion::from_predictions(test.labels(), &preds);
-            accs.push(c.accuracy());
-            f1s.push(c.f1());
+            Ok::<(f64, f64), String>((c.accuracy(), c.f1()))
+        });
+        let mut accs = Vec::new();
+        let mut f1s = Vec::new();
+        for r in per_fold {
+            let (acc, f1): (f64, f64) = r?;
+            accs.push(acc);
+            f1s.push(f1);
         }
         Ok((accs, f1s))
     };

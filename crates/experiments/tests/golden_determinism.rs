@@ -1,0 +1,111 @@
+//! Golden determinism: a small end-to-end experiment — render captures,
+//! extract orientation features, train a forest, evaluate folds, emit a
+//! JSON report — must produce **byte-identical** output serially and on a
+//! 4-thread pool.
+//!
+//! This is the workspace's executable proof of the ht-par contract: thread
+//! count is a pure wall-clock knob, never a results knob. Every parallel
+//! layer in the pipeline is exercised here: `Scene::render` (per mic),
+//! `srp_phat` (per pair), `denoise_channels` (per channel),
+//! `RandomForest::fit` (per tree), and `evaluate_folds` (per fold).
+
+use headtalk::{HeadTalk, PipelineConfig};
+use ht_datagen::CaptureSpec;
+use ht_dsp::json::ToJson;
+use ht_dsp::rng::{SeedableRng, StdRng};
+use ht_experiments::report::{pct, ExperimentResult};
+use ht_ml::crossval::{evaluate_folds, stratified_folds};
+use ht_ml::forest::{ForestParams, RandomForest};
+use ht_ml::metrics::accuracy;
+use ht_ml::tree::TreeParams;
+use ht_ml::{Classifier, Dataset};
+use ht_par::Pool;
+
+/// A tiny facing-vs-backward capture set: 3 facing, 3 backward, distinct
+/// seeds. Small enough to render in seconds, rich enough to drive every
+/// parallel layer.
+fn specs() -> Vec<CaptureSpec> {
+    let mut out = Vec::new();
+    for (i, angle) in [0.0, 0.0, 0.0, 180.0, 180.0, 180.0].into_iter().enumerate() {
+        let mut s = CaptureSpec::baseline(1000 + i as u64);
+        s.angle_deg = angle;
+        out.push(s);
+    }
+    out
+}
+
+/// The full mini-experiment, returning the serialized report.
+fn run_experiment() -> String {
+    let specs = specs();
+    let cfg = PipelineConfig::for_device(specs[0].device);
+
+    // Render + feature-extract every capture (parallel per capture, and
+    // within a capture per mic / per pair / per channel).
+    let feats = ht_par::par_map(&specs, |spec| {
+        let channels = spec.render().expect("valid scenario geometry");
+        HeadTalk::orientation_features(&cfg, &channels).expect("feature extraction")
+    });
+    let labels: Vec<usize> = specs
+        .iter()
+        .map(|s| usize::from(s.angle_deg.abs() < 90.0))
+        .collect();
+    let ds = Dataset::from_parts(feats.clone(), labels).expect("homogeneous features");
+
+    // 2-fold CV with per-fold forked RNG streams; each fold trains a small
+    // forest (parallel per tree).
+    let params = ForestParams {
+        n_trees: 8,
+        tree: TreeParams {
+            max_splits: 8,
+            min_samples_split: 2,
+            max_features: None,
+        },
+    };
+    let mut fold_rng = StdRng::seed_from_u64(0x60CD);
+    let folds = stratified_folds(&ds, 2, &mut fold_rng);
+    let fold_accs = evaluate_folds(&ds, &folds, 0x60CD, |_, train, test, rng| {
+        let rf = RandomForest::fit(train, &params, rng).expect("forest fit");
+        accuracy(test.labels(), &rf.predict_batch(test.features()))
+    });
+
+    let mut res = ExperimentResult::new(
+        "golden_determinism",
+        "mini end-to-end run (render → features → forest → folds)",
+        "byte-identical JSON for any thread count",
+    );
+    // Feature checksums pin the rendered audio and extraction bit-exactly.
+    for (i, f) in feats.iter().enumerate() {
+        let checksum: f64 = f.iter().sum();
+        res.push_row(
+            format!("capture {i} feature checksum"),
+            "",
+            format!("{:016x}", checksum.to_bits()),
+            Some(checksum),
+        );
+    }
+    for (i, acc) in fold_accs.iter().enumerate() {
+        res.push_row(format!("fold {i}"), "", pct(*acc), Some(*acc));
+    }
+    res.to_json().pretty()
+}
+
+#[test]
+fn report_bytes_are_identical_serial_vs_four_threads() {
+    let serial = Pool::new(1).install(run_experiment);
+    let parallel = Pool::new(4).install(run_experiment);
+    assert!(
+        serial == parallel,
+        "serial and 4-thread reports diverge:\n--- serial ---\n{serial}\n--- 4 threads ---\n{parallel}"
+    );
+    // And the report is non-trivial: it contains every expected row.
+    assert!(serial.contains("capture 5 feature checksum"));
+    assert!(serial.contains("fold 1"));
+}
+
+#[test]
+fn repeated_runs_on_one_pool_are_stable() {
+    let pool = Pool::new(3);
+    let a = pool.install(run_experiment);
+    let b = pool.install(run_experiment);
+    assert!(a == b, "two runs on the same pool diverge");
+}

@@ -59,7 +59,10 @@ impl Preprocessor {
                 "all channels must share one length".into(),
             ));
         }
-        let mut out: Vec<Vec<f64>> = channels.iter().map(|c| self.denoise(c)).collect();
+        // Per-channel denoising is a pure function of the channel, so the
+        // parallel map is exactly the serial map; the common gain below is
+        // computed after the barrier over all channels.
+        let mut out: Vec<Vec<f64>> = ht_par::par_map(channels, |c| self.denoise(c));
         let peak = out
             .iter()
             .map(|c| ht_dsp::signal::peak(c))

@@ -3,6 +3,7 @@
 use crate::dataset::Dataset;
 use ht_dsp::rng::Rng;
 use ht_dsp::rng::SliceRandom;
+use ht_dsp::rng::StdRng;
 
 /// One cross-validation fold: the indices held out for testing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +69,25 @@ pub fn leave_one_group_out(ds: &Dataset, groups: &[usize]) -> Vec<Fold> {
             test_indices: (0..ds.len()).filter(|&i| groups[i] == g).collect(),
         })
         .collect()
+}
+
+/// Evaluates every fold in parallel and returns the per-fold results in
+/// fold order.
+///
+/// Each fold's evaluation receives its `(train, test)` split plus a private
+/// RNG forked as `split_stream(seed, fold_index)`, so training inside a fold
+/// never consumes another fold's randomness — the results are identical to
+/// a serial loop over the folds, for any thread count.
+pub fn evaluate_folds<T, F>(ds: &Dataset, folds: &[Fold], seed: u64, eval: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &Dataset, &Dataset, &mut StdRng) -> T + Sync,
+{
+    ht_par::par_map_indexed(folds, |i, fold| {
+        let (train, test) = fold.split(ds);
+        let mut rng = ht_dsp::rng::split_stream(seed, i as u64);
+        eval(i, &train, &test, &mut rng)
+    })
 }
 
 #[cfg(test)]
@@ -136,5 +156,33 @@ mod tests {
     fn group_length_mismatch_panics() {
         let ds = toy(4);
         leave_one_group_out(&ds, &[0, 1]);
+    }
+
+    #[test]
+    fn evaluate_folds_is_thread_count_independent() {
+        use crate::forest::{ForestParams, RandomForest};
+        use crate::Classifier;
+        let ds = toy(24);
+        let mut rng = StdRng::seed_from_u64(5);
+        let folds = stratified_folds(&ds, 4, &mut rng);
+        let params = ForestParams {
+            n_trees: 3,
+            ..ForestParams::default()
+        };
+        let run = |threads: usize| {
+            ht_par::Pool::new(threads).install(|| {
+                evaluate_folds(&ds, &folds, 77, |i, train, test, fold_rng| {
+                    let rf = RandomForest::fit(train, &params, fold_rng).unwrap();
+                    let preds = rf.predict_batch(test.features());
+                    (i, crate::metrics::accuracy(test.labels(), &preds))
+                })
+            })
+        };
+        let serial = run(1);
+        assert_eq!(serial.len(), 4);
+        for (i, r) in serial.iter().enumerate() {
+            assert_eq!(r.0, i, "results arrive in fold order");
+        }
+        assert_eq!(run(4), serial);
     }
 }

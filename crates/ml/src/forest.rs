@@ -62,17 +62,26 @@ impl RandomForest {
             tree_params.max_features = Some(((ds.dim() as f64).sqrt().ceil() as usize).max(1));
         }
         let n = ds.len();
-        let mut trees = Vec::with_capacity(params.n_trees);
-        for _ in 0..params.n_trees {
+        // Fork one deterministic stream per tree from a single draw of the
+        // caller's RNG. Every tree's bootstrap and split sampling then
+        // depends only on (base, tree index), so the parallel fit produces
+        // exactly the same forest for any thread count — and the same
+        // forest as a serial loop over the trees.
+        let base = rng.next_u64();
+        let tree_indices: Vec<u64> = (0..params.n_trees as u64).collect();
+        let trees = ht_par::par_map(&tree_indices, |&t| {
+            let mut tree_rng = ht_dsp::rng::split_stream(base, t);
             // Bootstrap sample with replacement.
             let mut boot = Dataset::new(ds.dim());
             for _ in 0..n {
-                let i = rng.gen_range(0..n);
+                let i = tree_rng.gen_range(0..n);
                 let (f, l) = ds.sample(i);
                 boot.push(f.to_vec(), l).expect("same dimensionality");
             }
-            trees.push(DecisionTree::fit(&boot, &tree_params, rng)?);
-        }
+            DecisionTree::fit(&boot, &tree_params, &mut tree_rng)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
         Ok(RandomForest { trees })
     }
 
@@ -84,13 +93,15 @@ impl RandomForest {
 
 impl Classifier for RandomForest {
     fn predict(&self, x: &[f64]) -> usize {
-        let mut votes = std::collections::HashMap::new();
+        // BTreeMap + explicit tie-break (smallest label wins) so a vote tie
+        // never depends on hash-map iteration order.
+        let mut votes = std::collections::BTreeMap::new();
         for t in &self.trees {
             *votes.entry(t.predict(x)).or_insert(0usize) += 1;
         }
         votes
             .into_iter()
-            .max_by_key(|&(_, c)| c)
+            .max_by(|(la, ca), (lb, cb)| ca.cmp(cb).then(lb.cmp(la)))
             .map(|(l, _)| l)
             .unwrap_or(0)
     }

@@ -276,4 +276,82 @@ mod tests {
     fn eer_requires_both_classes() {
         equal_error_rate(&[1, 1], &[0.5, 0.6]);
     }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn eer_rejects_all_negative_labels_too() {
+        equal_error_rate(&[0, 0, 0], &[0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn empty_confusion_returns_zero_for_every_rate() {
+        // A fold can legitimately end up empty (e.g. an angle filter that
+        // matches nothing); every rate must degrade to 0, never NaN.
+        let empty = Confusion::default();
+        assert_eq!(empty.total(), 0);
+        for rate in [
+            empty.accuracy(),
+            empty.precision(),
+            empty.recall(),
+            empty.tpr(),
+            empty.far(),
+            empty.frr(),
+            empty.f1(),
+        ] {
+            assert_eq!(rate, 0.0);
+        }
+        let from_empty = Confusion::from_predictions(&[], &[]);
+        assert_eq!(from_empty, empty);
+    }
+
+    #[test]
+    fn single_class_positive_fold_has_zero_far() {
+        // All-positive ground truth: FAR's denominator (fp + tn) is zero,
+        // so FAR reports 0 rather than NaN; FRR still counts the misses.
+        let c = Confusion::from_predictions(&[1, 1, 1, 1], &[1, 0, 1, 1]);
+        assert_eq!(c.far(), 0.0);
+        assert!((c.frr() - 0.25).abs() < 1e-12);
+        assert_eq!(c.precision(), 1.0);
+        assert!((c.recall() - 0.75).abs() < 1e-12);
+        assert!((c.accuracy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_negative_fold_has_zero_recall_and_frr() {
+        // All-negative ground truth: recall and FRR share the zero
+        // denominator (tp + fn); FAR still counts the false accepts.
+        let c = Confusion::from_predictions(&[0, 0, 0, 0], &[0, 1, 0, 0]);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.frr(), 0.0);
+        assert!((c.far() - 0.25).abs() < 1e-12);
+        assert_eq!(c.precision(), 0.0); // one fp, zero tp
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn nothing_predicted_positive_gives_zero_precision_and_f1() {
+        let c = Confusion::from_predictions(&[1, 0, 1], &[0, 0, 0]);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.frr(), 1.0);
+        assert_eq!(c.far(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn confusion_rejects_length_mismatch() {
+        Confusion::from_predictions(&[1, 0], &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty evaluation set")]
+    fn accuracy_rejects_empty_sets() {
+        accuracy(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn eer_rejects_length_mismatch() {
+        equal_error_rate(&[1, 0], &[0.5]);
+    }
 }

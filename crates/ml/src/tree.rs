@@ -51,11 +51,14 @@ pub struct DecisionTree {
     n_splits: usize,
 }
 
+// Class counts use BTreeMap, not HashMap: iteration order feeds a float
+// sum (gini) and a tie-break (majority), so it must be deterministic for
+// repeated fits to produce identical trees.
 fn gini(labels: &[usize], indices: &[usize]) -> f64 {
     if indices.is_empty() {
         return 0.0;
     }
-    let mut counts = std::collections::HashMap::new();
+    let mut counts = std::collections::BTreeMap::new();
     for &i in indices {
         *counts.entry(labels[i]).or_insert(0usize) += 1;
     }
@@ -67,13 +70,15 @@ fn gini(labels: &[usize], indices: &[usize]) -> f64 {
 }
 
 fn majority(labels: &[usize], indices: &[usize]) -> (usize, f64) {
-    let mut counts = std::collections::HashMap::new();
+    let mut counts = std::collections::BTreeMap::new();
     for &i in indices {
         *counts.entry(labels[i]).or_insert(0usize) += 1;
     }
+    // Ties break toward the smallest label (max_by_key keeps the last
+    // maximum of the ascending label order — so prefer the first).
     let label = counts
         .iter()
-        .max_by_key(|(_, &c)| c)
+        .max_by(|(la, ca), (lb, cb)| ca.cmp(cb).then(lb.cmp(la)))
         .map(|(&l, _)| l)
         .unwrap_or(0);
     let ones = counts.get(&1).copied().unwrap_or(0) as f64;

@@ -1,0 +1,143 @@
+//! Per-worker chunked index deques.
+//!
+//! A deque holds a half-open index range `[head, tail)` packed into one
+//! `AtomicU64` (head in the high 32 bits, tail in the low 32), so both the
+//! owner's chunked pop and a thief's steal are single CAS operations with no
+//! locks and no per-item allocation. Index ranges are bounded by `u32::MAX`
+//! items, far above any workload in this workspace.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Packs `[head, tail)` into one word.
+fn pack(head: u32, tail: u32) -> u64 {
+    (u64::from(head) << 32) | u64::from(tail)
+}
+
+/// Unpacks a word into `(head, tail)`.
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// A lock-free deque of *indices* `[head, tail)`.
+///
+/// The owning worker pops chunks from the front; thieves atomically carve
+/// off the back half. Ownership is cooperative — any participant may call
+/// any method; "owner"/"thief" only describe the intended access pattern.
+pub(crate) struct IndexDeque {
+    range: AtomicU64,
+}
+
+impl IndexDeque {
+    /// A deque holding `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index exceeds `u32::MAX` (workloads here are orders
+    /// of magnitude smaller).
+    pub(crate) fn new(start: usize, end: usize) -> IndexDeque {
+        let (s, e) = (
+            u32::try_from(start).expect("index fits u32"),
+            u32::try_from(end).expect("index fits u32"),
+        );
+        IndexDeque {
+            range: AtomicU64::new(pack(s, e)),
+        }
+    }
+
+    /// Pops up to `max` indices from the front; `None` when empty.
+    pub(crate) fn pop_chunk(&self, max: usize) -> Option<(usize, usize)> {
+        let max = u32::try_from(max.max(1)).unwrap_or(u32::MAX);
+        loop {
+            let cur = self.range.load(Ordering::Acquire);
+            let (h, t) = unpack(cur);
+            if h >= t {
+                return None;
+            }
+            let take = max.min(t - h);
+            if self
+                .range
+                .compare_exchange_weak(cur, pack(h + take, t), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some((h as usize, (h + take) as usize));
+            }
+        }
+    }
+
+    /// Steals the back half (rounded down, so the victim keeps at least as
+    /// much as the thief takes); `None` when fewer than two indices remain.
+    pub(crate) fn steal_half(&self) -> Option<(usize, usize)> {
+        loop {
+            let cur = self.range.load(Ordering::Acquire);
+            let (h, t) = unpack(cur);
+            if t.saturating_sub(h) < 2 {
+                return None;
+            }
+            let mid = h + (t - h).div_ceil(2);
+            if self
+                .range
+                .compare_exchange_weak(cur, pack(h, mid), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some((mid as usize, t as usize));
+            }
+        }
+    }
+
+    /// Refills an **empty** deque with a stolen range so further thieves
+    /// can redistribute it. Only the owner calls this, and only when its
+    /// deque is empty, so the plain store cannot lose a concurrent steal
+    /// (thieves CAS against the exact current word and bail on empty).
+    pub(crate) fn refill(&self, start: usize, end: usize) {
+        debug_assert_eq!(self.remaining(), 0, "refill requires an empty deque");
+        let (s, e) = (
+            u32::try_from(start).expect("index fits u32"),
+            u32::try_from(end).expect("index fits u32"),
+        );
+        self.range.store(pack(s, e), Ordering::Release);
+    }
+
+    /// How many indices are currently queued.
+    pub(crate) fn remaining(&self) -> usize {
+        let (h, t) = unpack(self.range.load(Ordering::Acquire));
+        t.saturating_sub(h) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_drains_in_order() {
+        let d = IndexDeque::new(0, 10);
+        assert_eq!(d.pop_chunk(4), Some((0, 4)));
+        assert_eq!(d.pop_chunk(4), Some((4, 8)));
+        assert_eq!(d.pop_chunk(4), Some((8, 10)));
+        assert_eq!(d.pop_chunk(4), None);
+    }
+
+    #[test]
+    fn steal_takes_back_half() {
+        let d = IndexDeque::new(0, 10);
+        assert_eq!(d.steal_half(), Some((5, 10)));
+        assert_eq!(d.remaining(), 5);
+        assert_eq!(d.pop_chunk(100), Some((0, 5)));
+    }
+
+    #[test]
+    fn singleton_is_not_stealable() {
+        let d = IndexDeque::new(3, 4);
+        assert_eq!(d.steal_half(), None);
+        assert_eq!(d.pop_chunk(1), Some((3, 4)));
+    }
+
+    #[test]
+    fn refill_after_drain() {
+        let d = IndexDeque::new(0, 2);
+        assert!(d.pop_chunk(2).is_some());
+        d.refill(7, 9);
+        assert_eq!(d.remaining(), 2);
+        assert_eq!(d.pop_chunk(10), Some((7, 9)));
+    }
+}

@@ -1,0 +1,243 @@
+//! # ht-par — deterministic data parallelism for the workspace
+//!
+//! A zero-dependency, persistent work-stealing thread pool powering the
+//! reproduction's hot paths (image-source rendering, GCC-PHAT pair
+//! extraction, random-forest training, fold evaluation) **without breaking
+//! the determinism contract**: for a fixed input and seed, every `par_*`
+//! result is byte-identical for any thread count, because
+//!
+//! * results are written to their input index (scheduling never reorders
+//!   outputs),
+//! * reductions use fixed chunk boundaries independent of the thread count,
+//! * per-item randomness comes from `ht_dsp::rng::split_stream(seed, index)`
+//!   — a deterministic fork per index, never a shared sequential stream.
+//!
+//! The pool spawns its threads once and parks them between jobs, so a
+//! `par_map` over four items costs a condvar wake, not four `thread::spawn`s.
+//! Worker counts come from `HT_THREADS` (read once, at global-pool
+//! initialization) or the machine's available parallelism; tests and
+//! benches that need a specific width create a dedicated [`Pool`] and run
+//! under [`Pool::install`].
+//!
+//! # Example
+//!
+//! ```
+//! let squares = ht_par::par_map(&[1i64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! // A dedicated 3-thread pool, results identical to serial:
+//! let pool = ht_par::Pool::new(3);
+//! let serial: Vec<i64> = (0..100).map(|x| x * 2).collect();
+//! let input: Vec<i64> = (0..100).collect();
+//! assert_eq!(pool.par_map(&input, |&x| x * 2), serial);
+//! ```
+
+mod deque;
+mod pool;
+
+pub use pool::{default_threads, Pool, REDUCE_CHUNK};
+
+/// [`Pool::par_map`] on the current pool (the innermost [`Pool::install`]
+/// on this thread, else the global pool).
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f`.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    pool::current().par_map(items, f)
+}
+
+/// [`Pool::par_map_indexed`] on the current pool.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f`.
+pub fn par_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    pool::current().par_map_indexed(items, f)
+}
+
+/// [`Pool::par_chunks`] on the current pool.
+///
+/// # Panics
+///
+/// Panics when `chunk == 0`; propagates panics from `f`.
+pub fn par_chunks<T, U, F>(items: &[T], chunk: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    pool::current().par_chunks(items, chunk, f)
+}
+
+/// [`Pool::par_reduce`] on the current pool.
+///
+/// # Panics
+///
+/// Propagates panics from `map` and `fold`.
+pub fn par_reduce<T, A, M, F>(items: &[T], init: A, map: M, fold: F) -> A
+where
+    T: Sync,
+    A: Send + Clone + Sync,
+    M: Fn(&T) -> A + Sync,
+    F: Fn(A, A) -> A + Sync,
+{
+    pool::current().par_reduce(items, init, map, fold)
+}
+
+/// The current pool's total parallelism (≥ 1).
+pub fn current_threads() -> usize {
+    pool::current().threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_order_for_every_width() {
+        let items: Vec<usize> = (0..257).collect();
+        let serial: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            assert_eq!(pool.par_map(&items, |&x| x * 3 + 1), serial, "{threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = Pool::new(4);
+        let empty: Vec<i32> = Vec::new();
+        assert!(pool.par_map(&empty, |&x| x).is_empty());
+        assert_eq!(pool.par_map(&[9], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn indexed_map_sees_the_input_index() {
+        let pool = Pool::new(3);
+        let items = vec![10usize; 40];
+        let out = pool.par_map_indexed(&items, |i, &x| i * 100 + x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 100 + 10);
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        let pool = Pool::new(4);
+        let out = pool.par_map(&items, |&x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn par_chunks_matches_serial_chunking() {
+        let items: Vec<usize> = (0..103).collect();
+        let serial: Vec<usize> = items.chunks(10).map(|c| c.iter().sum()).collect();
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let par = pool.par_chunks(&items, 10, |_, c| c.iter().sum::<usize>());
+            assert_eq!(par, serial);
+        }
+        let pool = Pool::new(2);
+        let idx = pool.par_chunks(&items, 25, |ci, _| ci);
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero chunk")]
+    fn zero_chunk_is_rejected() {
+        Pool::new(1).par_chunks(&[1, 2], 0, |_, c| c.len());
+    }
+
+    #[test]
+    fn par_reduce_is_thread_count_independent() {
+        // Floating-point sum: grouping is fixed, so all widths agree bit
+        // for bit.
+        let items: Vec<f64> = (0..5000).map(|i| (i as f64) * 0.1 + 0.3).collect();
+        let reference = Pool::new(1).par_reduce(&items, 0.0, |&x| x / 7.0, |a, b| a + b);
+        for threads in [2, 3, 8] {
+            let got = Pool::new(threads).par_reduce(&items, 0.0, |&x| x / 7.0, |a, b| a + b);
+            assert_eq!(got.to_bits(), reference.to_bits(), "{threads} threads");
+        }
+        // Integer sum equals the plain serial fold exactly.
+        let ints: Vec<u64> = (0..3000).collect();
+        let total = Pool::new(5).par_reduce(&ints, 0u64, |&x| x, |a, b| a + b);
+        assert_eq!(total, ints.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn panics_propagate_with_payload() {
+        let pool = Pool::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&items, |&x| {
+                if x == 37 {
+                    panic!("item 37 exploded");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("the panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_else(|| {
+            payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .unwrap()
+        });
+        assert!(msg.contains("item 37 exploded"));
+        // The pool survives a panicked job.
+        assert_eq!(pool.par_map(&[1, 2, 3], |&x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn nested_calls_run_inline_without_deadlock() {
+        let pool = Pool::new(4);
+        let outer: Vec<usize> = (0..16).collect();
+        let out = pool.par_map(&outer, |&x| {
+            // Nested par_map (free function → global pool) must not block
+            // on this pool's busy workers.
+            let inner: Vec<usize> = (0..8).collect();
+            par_map(&inner, |&y| y + x).iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..16).map(|x| (0..8).map(|y| y + x).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn install_routes_free_functions() {
+        let pool = Pool::new(2);
+        let (width, out) =
+            pool.install(|| (current_threads(), par_map(&[1, 2, 3], |&x: &i32| x * 10)));
+        assert_eq!(width, 2);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn many_threads_few_items_is_fine() {
+        let pool = Pool::new(16);
+        assert_eq!(pool.par_map(&[5, 6], |&x| x), vec![5, 6]);
+    }
+}

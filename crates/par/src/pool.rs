@@ -1,0 +1,455 @@
+//! The persistent work-stealing pool.
+//!
+//! Threads are spawned **once** (per [`Pool`]) and parked on a condvar
+//! between jobs; a job is a lifetime-erased `Fn(worker_index)` that every
+//! participant (the submitting thread included) runs to completion before
+//! the submitting call returns, which is what makes borrowing from the
+//! caller's stack sound.
+
+use crate::deque::IndexDeque;
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased pointer to the current job's worker body.
+///
+/// Soundness: the pointer is only dereferenced by pool workers between job
+/// publication and the final `active == 0` handshake, and `run_job` does
+/// not return (keeping the pointee alive on its stack) until that handshake
+/// completes.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared-called from many threads) and the
+// pool's completion handshake bounds its lifetime; sending the pointer to
+// worker threads is therefore sound.
+unsafe impl Send for Job {}
+
+struct State {
+    /// Bumped for every published job so parked workers can tell a fresh
+    /// job from the one they last ran.
+    seq: u64,
+    job: Option<Job>,
+    /// Pool workers still running the current job.
+    active: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    job_ready: Condvar,
+    job_done: Condvar,
+}
+
+thread_local! {
+    /// Set while a thread is executing inside a pool job; nested `par_*`
+    /// calls run inline (serial) instead of deadlocking on busy workers.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+    /// The pool [`Pool::install`] made current on this thread, if any.
+    static CURRENT: Cell<*const Pool> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Restores a thread-local `Cell` on drop (panic-safe).
+struct Restore<T: Copy + 'static> {
+    cell: &'static std::thread::LocalKey<Cell<T>>,
+    prev: T,
+}
+
+impl<T: Copy + 'static> Drop for Restore<T> {
+    fn drop(&mut self) {
+        self.cell.with(|c| c.set(self.prev));
+    }
+}
+
+fn set_tls<T: Copy + 'static>(
+    cell: &'static std::thread::LocalKey<Cell<T>>,
+    value: T,
+) -> Restore<T> {
+    let prev = cell.with(|c| c.replace(value));
+    Restore { cell, prev }
+}
+
+/// A persistent work-stealing thread pool.
+///
+/// `Pool::new(t)` spawns `t - 1` worker threads; the thread that submits a
+/// job participates as worker 0, so `t` is the total parallelism. All
+/// `par_*` results are **independent of the thread count and of work-
+/// stealing order**: each item's result is written to its input index, and
+/// reductions use fixed chunk boundaries, so a pool of 8 produces bytes
+/// identical to a pool of 1.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+    /// Serializes concurrent job submissions from different threads.
+    submit: Mutex<()>,
+}
+
+impl Pool {
+    /// A pool with `threads` total participants (clamped to ≥ 1; 1 means
+    /// every `par_*` call runs inline).
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                seq: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            job_done: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ht-par-{w}"))
+                    .spawn(move || worker_loop(w, &shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            handles,
+            threads,
+            submit: Mutex::new(()),
+        }
+    }
+
+    /// The global pool: sized by `HT_THREADS` when set (parsed, clamped to
+    /// ≥ 1), otherwise the machine's available parallelism minus one core
+    /// for the system. Initialized on first use; the env var is read once.
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| Pool::new(default_threads()))
+    }
+
+    /// Total participants (worker threads + the submitting thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with this pool as the thread's current pool: free-function
+    /// `par_*` calls inside `f` (on this thread) dispatch here instead of
+    /// the global pool. Restored on exit, panic included.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _restore = set_tls(&CURRENT, self as *const Pool);
+        f()
+    }
+
+    /// Applies `f` to every item, preserving input order in the output.
+    ///
+    /// The output is identical to `items.iter().map(&f).collect()` for any
+    /// thread count (determinism contract).
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `f`.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.par_map_indexed(items, |_, item| f(item))
+    }
+
+    /// [`Pool::par_map`] where `f` also receives the item index — the hook
+    /// for deterministic per-item RNG streams
+    /// (`ht_dsp::rng::split_stream(seed, index)`).
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `f`.
+    pub fn par_map_indexed<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        let n = items.len();
+        let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        {
+            let slots = SlotWriter(out.as_mut_ptr());
+            self.run_indexed(n, |i| {
+                let value = f(i, &items[i]);
+                // SAFETY: `run_indexed` executes every index exactly once,
+                // and distinct indices address distinct slots.
+                unsafe { slots.write(i, value) };
+            });
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("run_indexed fills every slot"))
+            .collect()
+    }
+
+    /// Applies `f` to consecutive chunks of at most `chunk` items (the last
+    /// chunk may be short), preserving chunk order. `f` receives the chunk
+    /// index and the chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chunk == 0`; propagates panics from `f`.
+    pub fn par_chunks<T, U, F>(&self, items: &[T], chunk: usize, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &[T]) -> U + Sync,
+    {
+        assert!(chunk > 0, "par_chunks requires a non-zero chunk size");
+        let n_chunks = items.len().div_ceil(chunk);
+        let mut out: Vec<Option<U>> = Vec::with_capacity(n_chunks);
+        out.resize_with(n_chunks, || None);
+        {
+            let slots = SlotWriter(out.as_mut_ptr());
+            self.run_indexed(n_chunks, |ci| {
+                let lo = ci * chunk;
+                let hi = (lo + chunk).min(items.len());
+                let value = f(ci, &items[lo..hi]);
+                // SAFETY: every chunk index is executed exactly once.
+                unsafe { slots.write(ci, value) };
+            });
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("run_indexed fills every slot"))
+            .collect()
+    }
+
+    /// Map-reduce with **fixed** chunk boundaries: items are split into
+    /// chunks of [`REDUCE_CHUNK`], each chunk is folded left-to-right from
+    /// a fresh `init.clone()`, and the per-chunk partials are folded
+    /// left-to-right in chunk order. The grouping depends only on
+    /// `items.len()`, never on the thread count, so floating-point results
+    /// are bit-identical for any parallelism (though not necessarily equal
+    /// to a single serial fold — the grouping differs).
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `map` and `fold`.
+    pub fn par_reduce<T, A, M, F>(&self, items: &[T], init: A, map: M, fold: F) -> A
+    where
+        T: Sync,
+        A: Send + Clone + Sync,
+        M: Fn(&T) -> A + Sync,
+        F: Fn(A, A) -> A + Sync,
+    {
+        let partials = self.par_chunks(items, REDUCE_CHUNK, |_, chunk| {
+            chunk
+                .iter()
+                .fold(init.clone(), |acc, item| fold(acc, map(item)))
+        });
+        partials.into_iter().fold(init, &fold)
+    }
+
+    /// Executes `f(i)` exactly once for every `i in 0..n`, distributing
+    /// indices over the pool with chunked deques and back-half stealing.
+    fn run_indexed<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        // Inline paths: trivial input, a serial pool, or a nested call from
+        // inside a pool job (workers must not wait on their own pool).
+        if n == 1 || self.threads == 1 || IN_POOL.with(Cell::get) {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+
+        let p = self.threads;
+        // Even initial partition: one contiguous range per participant.
+        let deques: Vec<IndexDeque> = (0..p)
+            .map(|w| IndexDeque::new(w * n / p, (w + 1) * n / p))
+            .collect();
+        // Owner pop granularity: coarse enough to amortize the CAS, fine
+        // enough to leave work stealable.
+        let grain = (n / (p * 8)).max(1);
+        let panicked = AtomicBool::new(false);
+        let payload: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+
+        let worker = |w: usize| loop {
+            while let Some((lo, hi)) = deques[w].pop_chunk(grain) {
+                for i in lo..hi {
+                    if panicked.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+                        // Keep the first payload; later panics (if any
+                        // slip through before the flag lands) are dropped.
+                        let mut slot = payload.lock().expect("panic slot");
+                        if slot.is_none() {
+                            *slot = Some(p);
+                        }
+                        panicked.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+            if panicked.load(Ordering::Relaxed) {
+                return;
+            }
+            // Own deque empty: steal the back half of the fullest victim.
+            let victim = (0..p)
+                .filter(|&v| v != w)
+                .map(|v| (deques[v].remaining(), v))
+                .max();
+            match victim {
+                Some((remaining, v)) if remaining > 0 => {
+                    if let Some((lo, hi)) = deques[v].steal_half() {
+                        deques[w].refill(lo, hi);
+                    }
+                    // Raced steal: rescan.
+                }
+                _ => return, // nothing left anywhere
+            }
+        };
+
+        self.run_job(&worker);
+
+        if panicked.load(Ordering::Relaxed) {
+            let p = payload
+                .lock()
+                .expect("panic slot")
+                .take()
+                .expect("panicked flag implies a stored payload");
+            resume_unwind(p);
+        }
+    }
+
+    /// Publishes `task` to the worker threads, participates as worker 0,
+    /// and blocks until every worker has finished it.
+    fn run_job(&self, task: &(dyn Fn(usize) + Sync)) {
+        let _submit = self.submit.lock().expect("submit lock");
+        let n_workers = self.handles.len();
+        // SAFETY: pure lifetime erasure on a fat pointer (layout is
+        // unchanged); the completion handshake below keeps the pointee
+        // alive for as long as any worker can dereference it.
+        let erased: *const (dyn Fn(usize) + Sync + 'static) = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(task as *const _)
+        };
+        {
+            let mut st = self.shared.state.lock().expect("pool state");
+            st.seq += 1;
+            st.active = n_workers;
+            st.job = Some(Job(erased));
+            self.shared.job_ready.notify_all();
+        }
+        {
+            let _inside = set_tls(&IN_POOL, true);
+            task(0);
+        }
+        let mut st = self.shared.state.lock().expect("pool state");
+        while st.active > 0 {
+            st = self.shared.job_done.wait(st).expect("pool state");
+        }
+        st.job = None;
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state");
+            st.shutdown = true;
+            self.shared.job_ready.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Items per [`Pool::par_reduce`] chunk — fixed so reduction grouping (and
+/// therefore floating-point results) never depends on the thread count.
+pub const REDUCE_CHUNK: usize = 1024;
+
+/// The parked-worker loop: wait for a fresh job, run it, hand shake, park.
+fn worker_loop(w: usize, shared: &Shared) {
+    let mut last_seq = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool state");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.seq != last_seq {
+                    if let Some(job) = st.job {
+                        last_seq = st.seq;
+                        break job;
+                    }
+                }
+                st = shared.job_ready.wait(st).expect("pool state");
+            }
+        };
+        {
+            let _inside = set_tls(&IN_POOL, true);
+            // SAFETY: `run_job` keeps the pointee alive until `active`
+            // reaches 0, which only happens after this call returns.
+            unsafe { (*job.0)(w) };
+        }
+        let mut st = shared.state.lock().expect("pool state");
+        st.active -= 1;
+        if st.active == 0 {
+            shared.job_done.notify_all();
+        }
+    }
+}
+
+/// A `Sync` wrapper over the output slot array: each executed index writes
+/// its own slot exactly once, so concurrent writers never alias.
+struct SlotWriter<U>(*mut Option<U>);
+
+// SAFETY: distinct indices address distinct slots and `run_indexed`
+// executes each index exactly once; `U: Send` moves values across threads.
+unsafe impl<U: Send> Sync for SlotWriter<U> {}
+
+impl<U> SlotWriter<U> {
+    /// # Safety
+    ///
+    /// `i` must be in bounds and written at most once across all threads.
+    unsafe fn write(&self, i: usize, value: U) {
+        *self.0.add(i) = Some(value);
+    }
+}
+
+/// The default pool width: `HT_THREADS` when set, otherwise the machine's
+/// available parallelism minus one core for the system.
+pub fn default_threads() -> usize {
+    if let Ok(s) = std::env::var("HT_THREADS") {
+        if let Ok(v) = s.trim().parse::<usize>() {
+            return v.max(1);
+        }
+        eprintln!("[ht-par] ignoring unparseable HT_THREADS={s:?}");
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(4)
+}
+
+/// The pool free `par_*` functions dispatch to: the innermost
+/// [`Pool::install`] on this thread, else the global pool.
+pub fn current() -> &'static Pool {
+    let ptr = CURRENT.with(Cell::get);
+    if ptr.is_null() {
+        Pool::global()
+    } else {
+        // SAFETY: `install` borrows the pool for the closure's duration and
+        // restores the previous pointer on exit, so a non-null pointer is
+        // always live on this thread. The `'static` return is a lie only in
+        // lifetime position; the pointer is never retained past the
+        // `install` scope by the free functions.
+        unsafe { &*ptr }
+    }
+}
