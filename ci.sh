@@ -29,4 +29,18 @@ HT_THREADS=1 cargo test -q --offline --release
 echo "==> cargo test (HT_THREADS=4)"
 HT_THREADS=4 cargo test -q --offline --release
 
+# Observability must be read-only: recording spans/counters through every
+# instrumented layer may cost time but can never change a computed result
+# (the golden-determinism test additionally proves report-byte identity).
+echo "==> cargo test (HT_OBS=json)"
+HT_OBS=json cargo test -q --offline --release
+
+# Disabled-path overhead gate: spans compiled into the hot layers must cost
+# an atomic load + branch when HT_OBS is off. The obs bench binary asserts
+# a 50 ns median bound on the disabled span/counter paths (the measured
+# cost is ~2 ns; the bound's headroom absorbs CI-runner noise) and fails
+# the run on violation. BENCH_obs.json lands in target/bench_out.
+echo "==> obs overhead gate (bench obs)"
+HT_BENCH_FAST=1 HT_BENCH_DIR=target/bench_out cargo bench -q --offline -p ht-bench --bench obs
+
 echo "CI green"

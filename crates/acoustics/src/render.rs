@@ -99,6 +99,7 @@ impl Scene {
         signal: &[f64],
         cfg: &RenderConfig,
     ) -> Result<Vec<Vec<f64>>, AcousticsError> {
+        let _span = ht_obs::span("acoustics.render");
         if signal.is_empty() {
             return Err(AcousticsError::InvalidParameter(
                 "signal must be non-empty".into(),

@@ -10,8 +10,10 @@
 //! * [`placements`] — the device locations A/B/C in the lab and the home
 //!   shelf (Fig. 8/9),
 //! * [`datasets`] — builders for Datasets 1–8 of Table II with exactly the
-//!   paper's sample counts,
-//! * [`parallel`] — a thread-pool map for rendering/feature extraction.
+//!   paper's sample counts.
+//!
+//! Parallel rendering goes through the workspace-wide [`ht_par`] pool; the
+//! old `parallel` module's spawn-per-call map is gone.
 //!
 //! # Example
 //!
@@ -25,7 +27,6 @@
 
 pub mod datasets;
 pub mod json;
-pub mod parallel;
 pub mod placements;
 pub mod scenario;
 

@@ -22,7 +22,8 @@
 //! this crate also hosts the shared infrastructure the other crates lean
 //! on: deterministic [random number generation](rng) (SplitMix64 +
 //! xoshiro256++), a minimal [JSON](json) reader/writer for reports and
-//! caches, and a small [property-testing harness](check).
+//! caches, byte-stable [JSON export of observability snapshots](obs), and a
+//! small [property-testing harness](check).
 //!
 //! # Example
 //!
@@ -55,6 +56,7 @@ pub mod error;
 pub mod fft;
 pub mod filter;
 pub mod json;
+pub mod obs;
 pub mod peak;
 pub mod resample;
 pub mod rng;

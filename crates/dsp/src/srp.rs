@@ -65,6 +65,7 @@ impl SrpAnalysis {
 /// # }
 /// ```
 pub fn srp_phat(channels: &[&[f64]], max_lag: usize) -> Result<SrpAnalysis, DspError> {
+    let _span = ht_obs::span("dsp.srp_phat");
     if channels.len() < 2 {
         return Err(DspError::length(
             "channels",

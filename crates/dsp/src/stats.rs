@@ -81,14 +81,21 @@ pub fn kurtosis(x: &[f64]) -> f64 {
     x.iter().map(|v| ((v - m) / sd).powi(4)).sum::<f64>() / n
 }
 
-/// Linearly interpolated percentile, `p` in `[0, 100]`.
+/// Linearly interpolated percentile, `p` in `[0, 100]`. Returns 0 for an
+/// empty slice — the function is total so feature paths fed degenerate
+/// SRP/GCC vectors summarize to zeros instead of panicking. NaNs sort last
+/// under `total_cmp`, so a NaN-bearing slice has NaN in its top
+/// percentiles, never an unordered comparison.
 ///
 /// # Panics
 ///
-/// Panics if `x` is empty or `p` is outside `[0, 100]`.
+/// Panics if `p` is outside `[0, 100]` (a caller bug: `p` is a constant at
+/// every call site, never data).
 pub fn percentile(x: &[f64], p: f64) -> f64 {
-    assert!(!x.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if x.is_empty() {
+        return 0.0;
+    }
     let mut sorted = x.to_vec();
     sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
@@ -102,14 +109,22 @@ pub fn percentile(x: &[f64], p: f64) -> f64 {
     }
 }
 
-/// Median (50th percentile).
+/// Median (50th percentile). Returns 0 for an empty slice (see
+/// [`percentile`]).
 pub fn median(x: &[f64]) -> f64 {
     percentile(x, 50.0)
 }
 
 /// The five summary statistics the paper attaches to SRP/GCC feature vectors:
 /// `[kurtosis, skewness, max, mad, std_dev]` (§III-B3).
+///
+/// Total: an empty slice summarizes to all zeros (no `-inf` max, no panic),
+/// so a degenerate capture yields a well-formed — if uninformative — feature
+/// vector instead of taking the pipeline down.
 pub fn feature_summary(x: &[f64]) -> [f64; 5] {
+    if x.is_empty() {
+        return [0.0; 5];
+    }
     [kurtosis(x), skewness(x), max(x), mad(x), std_dev(x)]
 }
 
@@ -186,9 +201,39 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn percentile_rejects_empty() {
-        percentile(&[], 50.0);
+    fn percentile_and_median_are_total_on_empty() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[], 0.0), 0.0);
+        assert_eq!(percentile(&[], 100.0), 0.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 100]")]
+    fn percentile_still_rejects_out_of_range_p() {
+        percentile(&[1.0, 2.0], 101.0);
+    }
+
+    #[test]
+    fn feature_summary_of_empty_is_zeroed() {
+        assert_eq!(feature_summary(&[]), [0.0; 5]);
+    }
+
+    #[test]
+    fn single_element_moments_are_zero() {
+        // One observation has no spread: both standardized moments are
+        // defined as 0, not NaN from a 0/0.
+        assert_eq!(skewness(&[5.0]), 0.0);
+        assert_eq!(kurtosis(&[5.0]), 0.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn nan_sorts_last_under_total_cmp() {
+        let x = [1.0, f64::NAN, 2.0];
+        assert_eq!(percentile(&x, 0.0), 1.0);
+        assert_eq!(percentile(&x, 50.0), 2.0);
+        assert!(percentile(&x, 100.0).is_nan());
     }
 
     #[test]

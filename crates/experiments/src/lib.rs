@@ -17,6 +17,7 @@
 pub mod cache;
 pub mod context;
 pub mod exp;
+pub mod obs;
 pub mod report;
 
 pub use context::Context;

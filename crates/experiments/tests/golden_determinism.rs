@@ -109,3 +109,37 @@ fn repeated_runs_on_one_pool_are_stable() {
     let b = pool.install(run_experiment);
     assert!(a == b, "two runs on the same pool diverge");
 }
+
+/// Observability must be read-only: recording spans and counters may cost
+/// time but can never perturb computed results. The report bytes with
+/// `HT_OBS=json` recording through every instrumented layer must equal the
+/// bytes with observability off.
+#[test]
+fn report_bytes_are_identical_with_observability_on() {
+    let pool = Pool::new(2);
+    ht_obs::set_mode(ht_obs::Mode::Off);
+    let off = pool.install(run_experiment);
+    ht_obs::set_mode(ht_obs::Mode::Json);
+    ht_obs::registry().reset();
+    let on = pool.install(run_experiment);
+    let snap = ht_obs::registry().snapshot();
+    ht_obs::set_mode(ht_obs::Mode::Off);
+    assert!(
+        off == on,
+        "observability perturbed the report:\n--- off ---\n{off}\n--- json ---\n{on}"
+    );
+    // And the run actually recorded through the instrumented layers, so the
+    // equality above is not vacuous.
+    assert!(
+        snap.span("wake.denoise").is_some(),
+        "no denoise span recorded"
+    );
+    assert!(
+        snap.span("dsp.srp_phat").is_some(),
+        "no srp_phat span recorded"
+    );
+    assert!(
+        snap.counter("par.tasks").unwrap_or(0) > 0,
+        "no pool tasks counted"
+    );
+}

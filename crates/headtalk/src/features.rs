@@ -35,9 +35,11 @@ pub fn feature_width(n_channels: usize, config: &PipelineConfig) -> usize {
 ///
 /// # Errors
 ///
-/// Returns [`HeadTalkError::InvalidInput`] for fewer than two channels and
-/// propagates DSP errors for malformed audio.
+/// Returns [`HeadTalkError::InvalidInput`] for fewer than two channels or a
+/// capture too short to fill the fixed-width vector, and propagates DSP
+/// errors for malformed audio.
 pub fn extract(channels: &[Vec<f64>], config: &PipelineConfig) -> Result<Vec<f64>, HeadTalkError> {
+    let _span = ht_obs::span("wake.feature_extract");
     if channels.len() < 2 {
         return Err(HeadTalkError::InvalidInput(format!(
             "orientation features need at least 2 channels, got {}",
@@ -81,7 +83,20 @@ pub fn extract(channels: &[Vec<f64>], config: &PipelineConfig) -> Result<Vec<f64
         features.push(std);
     }
 
-    debug_assert_eq!(features.len(), feature_width(channels.len(), config));
+    // Captures shorter than the analysis windows produce truncated GCC
+    // lags / peak lists / spectrum chunks; that is a malformed capture, not
+    // a programming error, so it must surface as an error (a debug assert
+    // here was reachable from `process_wake` with a pathologically short
+    // capture).
+    let expected = feature_width(channels.len(), config);
+    if features.len() != expected {
+        return Err(HeadTalkError::InvalidInput(format!(
+            "capture too short for fixed-width features: extracted {} of \
+             {expected} values from {}-sample channels",
+            features.len(),
+            channels[0].len()
+        )));
+    }
     Ok(features)
 }
 

@@ -24,8 +24,14 @@ pub const REPLAYED: usize = 0;
 ///
 /// # Errors
 ///
-/// Returns [`HeadTalkError::InvalidInput`] for empty audio.
+/// Returns [`HeadTalkError::InvalidInput`] for empty audio, and for silent
+/// or DC-only audio: after resampling and cropping such a capture has
+/// (numerically) zero variance, so z-scoring would hand the network an
+/// all-zero — or rounding-noise-amplified — input instead of an utterance.
+/// A capture with no AC energy is not a classifiable utterance; callers get
+/// an error rather than a garbage verdict.
 pub fn prepare_input(audio_48k: &[f64], target_len: usize) -> Result<Vec<f64>, HeadTalkError> {
+    let _span = ht_obs::span("wake.liveness_prepare");
     if audio_48k.is_empty() {
         return Err(HeadTalkError::InvalidInput("empty audio".into()));
     }
@@ -39,6 +45,17 @@ pub fn prepare_input(audio_48k: &[f64], target_len: usize) -> Result<Vec<f64>, H
             x.resize(target_len, 0.0);
         }
         std::cmp::Ordering::Equal => {}
+    }
+    // Zero-variance guard, relative to the DC level so a constant capture
+    // whose cropped window differs from its mean only by float rounding is
+    // still caught (an exact `== 0.0` would miss it).
+    let mean = ht_dsp::stats::mean(&x);
+    let var = ht_dsp::stats::variance(&x);
+    if var <= 1e-20 * (1.0 + mean * mean) {
+        return Err(HeadTalkError::InvalidInput(format!(
+            "zero-variance liveness input after resampling (mean {mean:.3e}): \
+             silent or DC-only audio is not a classifiable utterance"
+        )));
     }
     ht_dsp::signal::normalize_zscore(&mut x);
     Ok(x)
@@ -202,6 +219,17 @@ mod tests {
         let short = ht_dsp::signal::tone(440.0, 48_000.0, 6_000, 0.3);
         assert_eq!(prepare_input(&short, 8_000).unwrap().len(), 8_000);
         assert!(prepare_input(&[], 8_000).is_err());
+    }
+
+    #[test]
+    fn silent_and_dc_only_audio_is_rejected() {
+        // A soft-muted microphone delivers exact zeros.
+        let err = prepare_input(&vec![0.0; 48_000], 8_000).unwrap_err();
+        assert!(err.to_string().contains("zero-variance"), "{err}");
+        // A DC offset survives the decimation FIR with rounding-level —
+        // not exactly zero — variance; the relative threshold catches it.
+        let err = prepare_input(&vec![0.75; 48_000], 8_000).unwrap_err();
+        assert!(err.to_string().contains("zero-variance"), "{err}");
     }
 
     #[test]

@@ -126,6 +126,12 @@ impl OrientationDetector {
         self.kind
     }
 
+    /// The feature width the detector was trained on. Inputs of any other
+    /// width cannot be classified (the pipeline rejects them up front).
+    pub fn input_dim(&self) -> usize {
+        self.scaler.dim()
+    }
+
     /// `true` if the feature vector is classified as facing.
     pub fn is_facing(&self, features: &[f64]) -> bool {
         self.predict(features) == 1

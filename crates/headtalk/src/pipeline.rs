@@ -75,22 +75,56 @@ impl HeadTalk {
     /// of audio data to detect liveliness and 4-channel audio data to detect
     /// speaker orientation", §IV-B15); orientation runs on all channels.
     ///
+    /// Each stage runs under an `ht_obs` span (`wake.denoise`,
+    /// `wake.liveness_prepare`, `wake.liveness_infer`,
+    /// `wake.feature_extract`, `wake.orientation_infer`), so with `HT_OBS`
+    /// enabled the per-stage latency breakdown of §IV-B15 falls out of the
+    /// registry. With `HT_OBS=off` the spans cost an atomic load each.
+    ///
     /// # Errors
     ///
-    /// Returns [`HeadTalkError::InvalidInput`] for empty or mismatched
-    /// captures.
+    /// Returns [`HeadTalkError::InvalidInput`] for empty, mismatched,
+    /// silent/DC-only captures, or a channel count whose feature width does
+    /// not match the width the orientation model was trained on.
     pub fn process_wake(&self, channels: &[Vec<f64>]) -> Result<WakeDecision, HeadTalkError> {
+        let _wake = ht_obs::span("wake.process");
+        // `denoise_channels` records the `wake.denoise` span itself, so the
+        // training-path helpers below share the same timing breakdown.
         let denoised = self.preprocessor.denoise_channels(channels)?;
+
+        // The feature width is a pure function of the channel count; a
+        // capture from a different geometry than the orientation model was
+        // trained on must be rejected here, not fed to the classifier
+        // (whose distance/kernel code would index out of the trained width).
+        let expected = self.orientation.input_dim();
+        let width = features::feature_width(channels.len(), &self.config);
+        if width != expected {
+            return Err(HeadTalkError::InvalidInput(format!(
+                "capture has {} channel(s) giving feature width {width}, but the \
+                 orientation model was trained on feature width {expected}",
+                channels.len()
+            )));
+        }
 
         // Liveness on channel 0.
         let prepared = prepare_input(&denoised[0], self.liveness.input_len())?;
-        let live_probability = self.liveness.live_probability(&prepared);
-        let live = self.liveness.predict(&prepared) == LIVE_HUMAN;
+        let (live_probability, live) = {
+            let _s = ht_obs::span("wake.liveness_infer");
+            (
+                self.liveness.live_probability(&prepared),
+                self.liveness.predict(&prepared) == LIVE_HUMAN,
+            )
+        };
 
         // Orientation on the full array.
         let fv = features::extract(&denoised, &self.config)?;
-        let facing_score = self.orientation.decision_score(&fv);
-        let facing = self.orientation.is_facing(&fv);
+        let (facing_score, facing) = {
+            let _s = ht_obs::span("wake.orientation_infer");
+            (
+                self.orientation.decision_score(&fv),
+                self.orientation.is_facing(&fv),
+            )
+        };
 
         Ok(WakeDecision {
             live,
@@ -198,6 +232,39 @@ mod tests {
         let ht = tiny_pipeline();
         assert!(ht.process_wake(&[]).is_err());
         assert!(ht.process_wake(&[vec![], vec![]]).is_err());
+    }
+
+    #[test]
+    fn channel_count_mismatch_is_rejected_up_front() {
+        let ht = tiny_pipeline(); // trained at the 2-channel feature width
+        let mut rng = StdRng::seed_from_u64(8);
+        let three: Vec<Vec<f64>> = (0..3)
+            .map(|_| ht_dsp::rng::white_noise(&mut rng, 4800))
+            .collect();
+        let err = ht.process_wake(&three).unwrap_err();
+        let msg = err.to_string();
+        // Both widths are named so the mismatch is debuggable.
+        let expected = crate::features::feature_width(2, ht.config());
+        let got = crate::features::feature_width(3, ht.config());
+        assert!(msg.contains("feature width"), "{msg}");
+        assert!(msg.contains(&expected.to_string()), "{msg}");
+        assert!(msg.contains(&got.to_string()), "{msg}");
+        // A single-channel capture fails the same structured way.
+        let one = vec![ht_dsp::rng::white_noise(&mut rng, 4800)];
+        assert!(ht.process_wake(&one).is_err());
+    }
+
+    #[test]
+    fn pathologically_short_capture_never_panics() {
+        let ht = tiny_pipeline();
+        let mut rng = StdRng::seed_from_u64(9);
+        for len in [1usize, 3, 8, 37, 200] {
+            let ch0 = ht_dsp::rng::white_noise(&mut rng, len);
+            let ch1 = ch0.clone();
+            // Ok or a structured error are both acceptable; a panic is the
+            // bug this test guards against.
+            let _ = ht.process_wake(&[ch0, ch1]);
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@ impl Preprocessor {
     /// Returns [`HeadTalkError::InvalidInput`] for an empty capture or
     /// mismatched channel lengths.
     pub fn denoise_channels(&self, channels: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, HeadTalkError> {
+        let _span = ht_obs::span("wake.denoise");
         if channels.is_empty() || channels[0].is_empty() {
             return Err(HeadTalkError::InvalidInput(
                 "capture must have at least one non-empty channel".into(),

@@ -226,6 +226,11 @@ impl Standardizer {
         Ok(Standardizer { means, stds })
     }
 
+    /// The feature width the scaler was fitted on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
     /// Transforms one feature vector.
     ///
     /// # Panics

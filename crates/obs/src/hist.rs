@@ -1,0 +1,222 @@
+//! Log-scale latency histograms.
+//!
+//! An HDR-style bucketing: values below 16 ns get exact buckets, larger
+//! values share 8 sub-buckets per power of two (relative error ≤ 12.5 %),
+//! which spans nanoseconds to hours in 488 fixed buckets. Quantiles are
+//! read from bucket midpoints, so two histograms with the same recorded
+//! values always snapshot identically — ordering of observations never
+//! matters.
+
+/// Sub-bucket resolution: 2^SUB buckets per power of two.
+const SUB: u32 = 3;
+/// Values below this get one exact bucket each.
+const EXACT: u64 = 1 << (SUB + 1);
+/// Total bucket count (covers the full `u64` nanosecond range).
+const BUCKETS: usize = ((64 - SUB as usize) + 1) << SUB;
+
+/// A log-scale histogram of nanosecond latencies plus exact count/sum/
+/// min/max side-channels.
+#[derive(Debug, Clone)]
+pub struct Hist {
+    buckets: Vec<u32>,
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+/// The bucket index for a nanosecond value.
+fn bucket_index(v: u64) -> usize {
+    if v < EXACT {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // ≥ SUB + 1
+    let octave = msb - SUB;
+    let sub = ((v >> octave) & ((1 << SUB) - 1)) as usize;
+    (((octave + 1) as usize) << SUB) + sub
+}
+
+/// The midpoint of a bucket's value range (the quantile representative).
+fn bucket_mid(idx: usize) -> u64 {
+    if idx < EXACT as usize {
+        return idx as u64;
+    }
+    let octave = (idx >> SUB) as u32 - 1;
+    let sub = (idx & ((1 << SUB) - 1)) as u64;
+    let lo = ((1u64 << SUB) + sub) << octave;
+    lo + (1u64 << octave) / 2
+}
+
+impl Hist {
+    /// Records one observation.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (bucket midpoint; exact for
+    /// values under 16 ns, within 12.5 % above, clamped into the exact
+    /// observed `[min, max]` so a midpoint can never report a latency
+    /// outside the recorded range). 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the target observation, 1-based, clamped into range.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += u64::from(c);
+            if seen >= rank {
+                return bucket_mid(idx).clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Summarizes as count, mean and the p50/p95/p99 latencies.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count,
+            mean_ns: if self.count == 0 {
+                0.0
+            } else {
+                self.sum_ns as f64 / self.count as f64
+            },
+            p50_ns: self.quantile(0.50),
+            p95_ns: self.quantile(0.95),
+            p99_ns: self.quantile(0.99),
+            min_ns: if self.count == 0 { 0 } else { self.min_ns },
+            max_ns: self.max_ns,
+        }
+    }
+}
+
+/// A point-in-time summary of one span's latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSnapshot {
+    /// Number of recorded scopes.
+    pub count: u64,
+    /// Exact mean latency in nanoseconds.
+    pub mean_ns: f64,
+    /// Median latency (log-bucket midpoint).
+    pub p50_ns: u64,
+    /// 95th-percentile latency.
+    pub p95_ns: u64,
+    /// 99th-percentile latency.
+    pub p99_ns: u64,
+    /// Exact fastest observation.
+    pub min_ns: u64,
+    /// Exact slowest observation.
+    pub max_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_continuous() {
+        let mut prev = bucket_index(0);
+        assert_eq!(prev, 0);
+        for v in 1..10_000u64 {
+            let idx = bucket_index(v);
+            assert!(
+                idx == prev || idx == prev + 1,
+                "jump at {v}: {prev} -> {idx}"
+            );
+            prev = idx;
+        }
+        // Spot-check octave boundaries.
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(31), 23);
+        assert_eq!(bucket_index(32), 24);
+        // The largest value stays in range.
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn bucket_mid_lands_inside_its_bucket() {
+        for v in [0u64, 1, 7, 15, 16, 100, 1_000, 123_456, 9_999_999_999] {
+            let idx = bucket_index(v);
+            let mid = bucket_mid(idx);
+            assert_eq!(bucket_index(mid), idx, "value {v} mid {mid}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let mut h = Hist::default();
+        for v in 1..=100u64 {
+            h.record(v * 1_000); // 1µs … 100µs
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        // Log-bucket resolution is 12.5%; allow double that for midpointing.
+        let close = |got: u64, want: f64| (got as f64 - want).abs() / want < 0.25;
+        assert!(close(s.p50_ns, 50_000.0), "p50 {}", s.p50_ns);
+        assert!(close(s.p95_ns, 95_000.0), "p95 {}", s.p95_ns);
+        assert!(close(s.p99_ns, 99_000.0), "p99 {}", s.p99_ns);
+        assert_eq!(s.min_ns, 1_000);
+        assert_eq!(s.max_ns, 100_000);
+        assert!((s.mean_ns - 50_500.0).abs() < 1e-9);
+        // Midpoint quantiles are clamped into the observed range.
+        for q in [s.p50_ns, s.p95_ns, s.p99_ns] {
+            assert!((s.min_ns..=s.max_ns).contains(&q));
+        }
+    }
+
+    #[test]
+    fn order_of_observations_does_not_matter() {
+        let values: Vec<u64> = (0..500).map(|i| (i * 7919) % 100_000).collect();
+        let mut forward = Hist::default();
+        let mut backward = Hist::default();
+        for &v in &values {
+            forward.record(v);
+        }
+        for &v in values.iter().rev() {
+            backward.record(v);
+        }
+        assert_eq!(forward.snapshot(), backward.snapshot());
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_to_zeros() {
+        let s = Hist::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_ns, 0);
+        assert_eq!(s.min_ns, 0);
+        assert_eq!(s.max_ns, 0);
+        assert_eq!(s.mean_ns, 0.0);
+    }
+
+    #[test]
+    fn single_observation_is_every_quantile() {
+        let mut h = Hist::default();
+        h.record(5); // exact bucket range
+        assert_eq!(h.quantile(0.0), 5);
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 5);
+    }
+}

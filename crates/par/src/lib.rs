@@ -35,7 +35,7 @@
 mod deque;
 mod pool;
 
-pub use pool::{default_threads, Pool, REDUCE_CHUNK};
+pub use pool::{default_threads, Pool, PoolStats, WorkerStats, REDUCE_CHUNK};
 
 /// [`Pool::par_map`] on the current pool (the innermost [`Pool::install`]
 /// on this thread, else the global pool).
@@ -239,5 +239,40 @@ mod tests {
     fn many_threads_few_items_is_fine() {
         let pool = Pool::new(16);
         assert_eq!(pool.par_map(&[5, 6], |&x| x), vec![5, 6]);
+    }
+
+    #[test]
+    fn stats_totals_are_identical_across_thread_counts() {
+        let items: Vec<usize> = (0..500).collect();
+        let mut totals = Vec::new();
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let _ = pool.par_map(&items, |&x| x * 2);
+            let _ = pool.par_chunks(&items, 32, |_, c| c.len());
+            let stats = pool.stats();
+            assert_eq!(stats.threads, threads);
+            assert_eq!(stats.jobs, 2);
+            assert_eq!(stats.per_worker.len(), threads);
+            // Stealing moves items between workers but never duplicates or
+            // drops them, so the totals must not depend on the width.
+            totals.push((stats.total_tasks(), stats.jobs));
+        }
+        assert_eq!(totals[0], totals[1]);
+        // 500 map items plus ceil(500/32) = 16 chunk tasks.
+        assert_eq!(totals[0].0, 516);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_every_counter() {
+        let items: Vec<usize> = (0..100).collect();
+        let pool = Pool::new(2);
+        let _ = pool.par_map(&items, |&x| x);
+        assert!(pool.stats().total_tasks() > 0);
+        pool.reset_stats();
+        let s = pool.stats();
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.total_tasks(), 0);
+        assert_eq!(s.total_steals(), 0);
+        assert!(s.per_worker.iter().all(|w| w.queue_hwm == 0));
     }
 }

@@ -10,9 +10,72 @@ use crate::deque::IndexDeque;
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+
+/// One worker's lifetime counters (see [`PoolStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerStats {
+    /// Items this worker executed.
+    pub tasks: u64,
+    /// Successful back-half steals this worker performed.
+    pub steals: u64,
+    /// High-water mark of this worker's deque depth (items), observed at
+    /// initial partition and after every refill.
+    pub queue_hwm: u64,
+}
+
+/// A snapshot of a pool's scheduling counters since construction (or the
+/// last [`Pool::reset_stats`]).
+///
+/// The *sum* of per-worker task counts always equals the total number of
+/// items submitted — work stealing moves items between workers but never
+/// duplicates or drops them — so the total is identical for any thread
+/// count; only the per-worker split varies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total participants (worker threads + the submitting thread).
+    pub threads: usize,
+    /// Jobs (one `par_*` dispatch each) the pool has run.
+    pub jobs: u64,
+    /// Per-worker counters, indexed by worker id (0 = the submitting
+    /// thread).
+    pub per_worker: Vec<WorkerStats>,
+}
+
+impl PoolStats {
+    /// Total items executed across all workers.
+    pub fn total_tasks(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.tasks).sum()
+    }
+
+    /// Total successful steals across all workers.
+    pub fn total_steals(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.steals).sum()
+    }
+}
+
+/// Lock-free scheduling counters, bumped with relaxed atomics on the job
+/// paths (one add per popped chunk, not per item, so the hot loop stays
+/// hot).
+struct StatsCells {
+    jobs: AtomicU64,
+    tasks: Vec<AtomicU64>,
+    steals: Vec<AtomicU64>,
+    queue_hwm: Vec<AtomicU64>,
+}
+
+impl StatsCells {
+    fn new(threads: usize) -> StatsCells {
+        StatsCells {
+            jobs: AtomicU64::new(0),
+            tasks: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            steals: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            queue_hwm: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
 
 /// A lifetime-erased pointer to the current job's worker body.
 ///
@@ -86,6 +149,7 @@ pub struct Pool {
     threads: usize,
     /// Serializes concurrent job submissions from different threads.
     submit: Mutex<()>,
+    stats: StatsCells,
 }
 
 impl Pool {
@@ -117,6 +181,33 @@ impl Pool {
             handles,
             threads,
             submit: Mutex::new(()),
+            stats: StatsCells::new(threads),
+        }
+    }
+
+    /// A snapshot of the pool's scheduling counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.threads,
+            jobs: self.stats.jobs.load(Ordering::Relaxed),
+            per_worker: (0..self.threads)
+                .map(|w| WorkerStats {
+                    tasks: self.stats.tasks[w].load(Ordering::Relaxed),
+                    steals: self.stats.steals[w].load(Ordering::Relaxed),
+                    queue_hwm: self.stats.queue_hwm[w].load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
+    /// Zeroes the scheduling counters (per-phase attribution in benches and
+    /// tests).
+    pub fn reset_stats(&self) {
+        self.stats.jobs.store(0, Ordering::Relaxed);
+        for w in 0..self.threads {
+            self.stats.tasks[w].store(0, Ordering::Relaxed);
+            self.stats.steals[w].store(0, Ordering::Relaxed);
+            self.stats.queue_hwm[w].store(0, Ordering::Relaxed);
         }
     }
 
@@ -256,18 +347,29 @@ impl Pool {
             return;
         }
         // Inline paths: trivial input, a serial pool, or a nested call from
-        // inside a pool job (workers must not wait on their own pool).
+        // inside a pool job (workers must not wait on their own pool). The
+        // inline work is attributed to worker 0 so total task counts match
+        // the parallel path exactly.
         if n == 1 || self.threads == 1 || IN_POOL.with(Cell::get) {
+            self.stats.jobs.fetch_add(1, Ordering::Relaxed);
+            self.stats.queue_hwm[0].fetch_max(n as u64, Ordering::Relaxed);
             for i in 0..n {
                 f(i);
             }
+            self.stats.tasks[0].fetch_add(n as u64, Ordering::Relaxed);
+            publish_obs(n);
             return;
         }
 
         let p = self.threads;
+        self.stats.jobs.fetch_add(1, Ordering::Relaxed);
         // Even initial partition: one contiguous range per participant.
         let deques: Vec<IndexDeque> = (0..p)
-            .map(|w| IndexDeque::new(w * n / p, (w + 1) * n / p))
+            .map(|w| {
+                let (lo, hi) = (w * n / p, (w + 1) * n / p);
+                self.stats.queue_hwm[w].fetch_max((hi - lo) as u64, Ordering::Relaxed);
+                IndexDeque::new(lo, hi)
+            })
             .collect();
         // Owner pop granularity: coarse enough to amortize the CAS, fine
         // enough to leave work stealable.
@@ -292,6 +394,7 @@ impl Pool {
                         return;
                     }
                 }
+                self.stats.tasks[w].fetch_add((hi - lo) as u64, Ordering::Relaxed);
             }
             if panicked.load(Ordering::Relaxed) {
                 return;
@@ -305,6 +408,8 @@ impl Pool {
                 Some((remaining, v)) if remaining > 0 => {
                     if let Some((lo, hi)) = deques[v].steal_half() {
                         deques[w].refill(lo, hi);
+                        self.stats.steals[w].fetch_add(1, Ordering::Relaxed);
+                        self.stats.queue_hwm[w].fetch_max((hi - lo) as u64, Ordering::Relaxed);
                     }
                     // Raced steal: rescan.
                 }
@@ -313,6 +418,7 @@ impl Pool {
         };
 
         self.run_job(&worker);
+        publish_obs(n);
 
         if panicked.load(Ordering::Relaxed) {
             let p = payload
@@ -422,6 +528,14 @@ impl<U> SlotWriter<U> {
     unsafe fn write(&self, i: usize, value: U) {
         *self.0.add(i) = Some(value);
     }
+}
+
+/// Mirrors a finished job into the ht-obs registry (no-op when `HT_OBS` is
+/// off). Per-worker detail stays in [`PoolStats`]; the registry gets the
+/// aggregate counters every layer shares.
+fn publish_obs(n: usize) {
+    ht_obs::counter_add("par.jobs", 1);
+    ht_obs::counter_add("par.tasks", n as u64);
 }
 
 /// The default pool width: `HT_THREADS` when set, otherwise the machine's
