@@ -43,4 +43,13 @@ HT_OBS=json cargo test -q --offline --release
 echo "==> obs overhead gate (bench obs)"
 HT_BENCH_FAST=1 HT_BENCH_DIR=target/bench_out cargo bench -q --offline -p ht-bench --bench obs
 
+# FFT plan-cache gate: the fft_plans bench ends with a steady-state workload
+# run under HT_OBS recording and asserts, via the fft.plan_hits /
+# fft.plan_misses counters, that misses stay bounded by the number of
+# distinct transform sizes and that the warmed steady state adds zero
+# misses. A regression that rebuilds plans per call fails here.
+# BENCH_fft.json lands in target/bench_out.
+echo "==> fft plan-cache gate (bench fft_plans)"
+HT_BENCH_FAST=1 HT_BENCH_DIR=target/bench_out cargo bench -q --offline -p ht-bench --bench fft_plans
+
 echo "CI green"

@@ -8,7 +8,8 @@
 
 use crate::complex::Complex;
 use crate::error::DspError;
-use crate::fft;
+use crate::fft::{self, RealFftPlan, RealFftScratch};
+use std::sync::Arc;
 
 /// A lag-domain correlation curve restricted to `±max_lag` samples.
 ///
@@ -74,6 +75,190 @@ fn validate_pair(x: &[f64], y: &[f64]) -> Result<(), DspError> {
     Ok(())
 }
 
+/// PHAT whitening of a one-sided cross-power spectrum, in place.
+///
+/// Silences bins whose cross-power is numerically insignificant (more than
+/// 80 dB below the strongest bin): PHAT would otherwise amplify pure
+/// round-off noise to unit weight. One-sided whitening is equivalent to
+/// whitening the full spectrum — the mirrored bins have the same magnitude
+/// by conjugate symmetry.
+fn whiten(cross: &mut [Complex]) {
+    let max_mag = cross.iter().map(|c| c.abs()).fold(0.0, f64::max);
+    let floor = max_mag * 1e-4;
+    for c in cross {
+        let m = c.abs();
+        *c = if m > floor && m > 1e-15 {
+            *c / m
+        } else {
+            Complex::ZERO
+        };
+    }
+}
+
+/// Copies the circular correlation `r` into the `±max_lag` window: lag
+/// `l >= 0` lives at index `l`, lag `l < 0` at index `r.len() + l`.
+fn extract_lags(r: &[f64], max_lag: usize, values: &mut [f64]) {
+    let total = r.len();
+    let lags = -(max_lag as isize)..=(max_lag as isize);
+    for (slot, l) in values.iter_mut().zip(lags) {
+        let idx = if l >= 0 {
+            l as usize
+        } else {
+            (total as isize + l) as usize
+        };
+        *slot = r[idx];
+    }
+}
+
+/// A reusable correlation engine for one channel length and lag window:
+/// the FFT plan and every intermediate buffer are allocated once, so each
+/// [`gcc_phat_into`](Correlator::gcc_phat_into) /
+/// [`xcorr_into`](Correlator::xcorr_into) call is allocation-free — the
+/// right shape for per-frame streaming use.
+///
+/// The one-shot free functions ([`gcc_phat`], [`xcorr`]) build a throwaway
+/// `Correlator` per call (sharing the cached plan) and produce identical
+/// values.
+#[derive(Debug, Clone)]
+pub struct Correlator {
+    plan: Arc<RealFftPlan>,
+    n: usize,
+    max_lag: usize,
+    scratch: RealFftScratch,
+    xf: Vec<Complex>,
+    yf: Vec<Complex>,
+    cross: Vec<Complex>,
+    r: Vec<f64>,
+}
+
+impl Correlator {
+    /// Builds a correlator for equal-length channels of `n` samples over
+    /// lags `±max_lag` (clamped to `n − 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidLength`] if `n == 0`.
+    pub fn new(n: usize, max_lag: usize) -> Result<Correlator, DspError> {
+        if n == 0 {
+            return Err(DspError::length("signal", "must be non-empty"));
+        }
+        let max_lag = max_lag.min(n - 1);
+        // Pad to avoid circular aliasing of lags we care about.
+        let size = fft::next_pow2(n + max_lag + 1);
+        let plan = fft::rfft_plan(size);
+        let bins = plan.onesided_len();
+        Ok(Correlator {
+            n,
+            max_lag,
+            scratch: RealFftScratch::new(),
+            xf: vec![Complex::ZERO; bins],
+            yf: vec![Complex::ZERO; bins],
+            cross: vec![Complex::ZERO; bins],
+            r: vec![0.0; plan.len()],
+            plan,
+        })
+    }
+
+    /// The channel length this correlator was built for.
+    pub fn channel_len(&self) -> usize {
+        self.n
+    }
+
+    /// The effective half-width of the lag window (after clamping).
+    pub fn max_lag(&self) -> usize {
+        self.max_lag
+    }
+
+    /// Length of the lag window, `2 · max_lag + 1` — the required size of
+    /// the `values` buffer passed to the `_into` methods.
+    pub fn window_len(&self) -> usize {
+        2 * self.max_lag + 1
+    }
+
+    /// GCC-PHAT into a caller-provided lag window (allocation-free).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidLength`] for empty, mismatched, or
+    /// wrong-length inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.window_len()`.
+    pub fn gcc_phat_into(
+        &mut self,
+        x: &[f64],
+        y: &[f64],
+        values: &mut [f64],
+    ) -> Result<(), DspError> {
+        self.correlate_into(x, y, true, values)
+    }
+
+    /// Plain cross-correlation into a caller-provided lag window
+    /// (allocation-free).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidLength`] for empty, mismatched, or
+    /// wrong-length inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.window_len()`.
+    pub fn xcorr_into(&mut self, x: &[f64], y: &[f64], values: &mut [f64]) -> Result<(), DspError> {
+        self.correlate_into(x, y, false, values)
+    }
+
+    fn correlate_into(
+        &mut self,
+        x: &[f64],
+        y: &[f64],
+        phat: bool,
+        values: &mut [f64],
+    ) -> Result<(), DspError> {
+        validate_pair(x, y)?;
+        if x.len() != self.n {
+            return Err(DspError::length(
+                "signal",
+                format!("correlator built for length {}, got {}", self.n, x.len()),
+            ));
+        }
+        assert_eq!(values.len(), self.window_len(), "lag window length");
+        self.plan.forward_into(x, &mut self.xf, &mut self.scratch);
+        self.plan.forward_into(y, &mut self.yf, &mut self.scratch);
+        for ((c, a), b) in self.cross.iter_mut().zip(&self.xf).zip(&self.yf) {
+            *c = *a * b.conj();
+        }
+        if phat {
+            whiten(&mut self.cross);
+        }
+        // The cross spectrum of two real signals is conjugate-symmetric, so
+        // its inverse is real and the one-sided inverse applies directly.
+        self.plan
+            .inverse_into(&self.cross, &mut self.r, &mut self.scratch);
+        extract_lags(&self.r, self.max_lag, values);
+        Ok(())
+    }
+}
+
+/// GCC-PHAT from two already-transformed one-sided spectra (as produced by
+/// `plan.forward_into` on the padded channels). Lets SRP-PHAT forward each
+/// channel once instead of once per pair; values are identical to
+/// [`gcc_phat`] on the time-domain channels.
+pub(crate) fn gcc_phat_from_spectra(
+    xf: &[Complex],
+    yf: &[Complex],
+    plan: &RealFftPlan,
+    max_lag: usize,
+) -> LagCurve {
+    let mut cross: Vec<Complex> = xf.iter().zip(yf).map(|(a, b)| *a * b.conj()).collect();
+    whiten(&mut cross);
+    let r = plan.inverse(&cross);
+    let mut values = vec![0.0; 2 * max_lag + 1];
+    extract_lags(&r, max_lag, &mut values);
+    LagCurve { values, max_lag }
+}
+
 /// Computes the whitened (`phat = true`) or plain cross-correlation of two
 /// equal-length channels over lags `±max_lag`.
 ///
@@ -82,45 +267,13 @@ fn validate_pair(x: &[f64], y: &[f64]) -> Result<(), DspError> {
 /// Returns [`DspError::InvalidLength`] for empty or length-mismatched inputs.
 fn cross_correlate(x: &[f64], y: &[f64], max_lag: usize, phat: bool) -> Result<LagCurve, DspError> {
     validate_pair(x, y)?;
-    let n = x.len();
-    let max_lag = max_lag.min(n - 1);
-    // Pad to avoid circular aliasing of lags we care about.
-    let size = fft::next_pow2(n + max_lag + 1);
-    let xf = fft::rfft_n(x, size);
-    let yf = fft::rfft_n(y, size);
-    let mut cross: Vec<Complex> = xf
-        .iter()
-        .zip(yf.iter())
-        .map(|(a, b)| *a * b.conj())
-        .collect();
-    if phat {
-        // Whiten, but silence bins whose cross-power is numerically
-        // insignificant (more than 80 dB below the strongest bin): PHAT
-        // would otherwise amplify pure round-off noise to unit weight.
-        let max_mag = cross.iter().map(|c| c.abs()).fold(0.0, f64::max);
-        let floor = max_mag * 1e-4;
-        for c in &mut cross {
-            let m = c.abs();
-            *c = if m > floor && m > 1e-15 {
-                *c / m
-            } else {
-                Complex::ZERO
-            };
-        }
-    }
-    let r = fft::ifft(&cross);
-    let total = r.len();
-    // Lag l >= 0 lives at index l; lag l < 0 at index total + l.
-    let mut values = Vec::with_capacity(2 * max_lag + 1);
-    for l in -(max_lag as isize)..=(max_lag as isize) {
-        let idx = if l >= 0 {
-            l as usize
-        } else {
-            (total as isize + l) as usize
-        };
-        values.push(r[idx].re);
-    }
-    Ok(LagCurve { values, max_lag })
+    let mut correlator = Correlator::new(x.len(), max_lag)?;
+    let mut values = vec![0.0; correlator.window_len()];
+    correlator.correlate_into(x, y, phat, &mut values)?;
+    Ok(LagCurve {
+        values,
+        max_lag: correlator.max_lag(),
+    })
 }
 
 /// Plain cross-correlation over lags `±max_lag`.
@@ -276,5 +429,38 @@ mod tests {
         let z = vec![0.0; 256];
         let g = gcc_phat(&z, &z, 8).unwrap();
         assert!(g.values.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn reused_correlator_matches_one_shot_bit_for_bit() {
+        let x = chirp(1024);
+        let y = fractional_delay(&x, 4.0, 16);
+        let mut c = Correlator::new(1024, 12).unwrap();
+        let mut values = vec![0.0; c.window_len()];
+        for _ in 0..3 {
+            c.gcc_phat_into(&x, &y, &mut values).unwrap();
+            let one_shot = gcc_phat(&x, &y, 12).unwrap();
+            assert_eq!(values, one_shot.values, "reused buffers changed the result");
+            c.xcorr_into(&x, &y, &mut values).unwrap();
+            let one_shot = xcorr(&x, &y, 12).unwrap();
+            assert_eq!(values, one_shot.values);
+        }
+    }
+
+    #[test]
+    fn correlator_rejects_wrong_channel_length() {
+        let mut c = Correlator::new(256, 8).unwrap();
+        assert_eq!(c.channel_len(), 256);
+        let short = vec![1.0; 128];
+        let mut values = vec![0.0; c.window_len()];
+        assert!(c.gcc_phat_into(&short, &short, &mut values).is_err());
+        assert!(Correlator::new(0, 8).is_err());
+    }
+
+    #[test]
+    fn correlator_clamps_lag_window() {
+        let c = Correlator::new(3, 100).unwrap();
+        assert_eq!(c.max_lag(), 2);
+        assert_eq!(c.window_len(), 5);
     }
 }

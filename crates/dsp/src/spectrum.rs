@@ -52,11 +52,19 @@ impl Spectrum {
         k.min(self.magnitudes.len() - 1)
     }
 
-    /// The slice of magnitudes spanning `[lo_hz, hi_hz)`.
+    /// The slice of magnitudes spanning `[lo_hz, hi_hz)`, except that an
+    /// upper edge at or above Nyquist includes the Nyquist bin — a band
+    /// "up to sr/2" means the whole remaining spectrum, and there is no
+    /// higher band for the edge to be exclusive against. (This used to
+    /// silently drop the top bin for any `hi_hz >= sr/2`.)
     pub fn band(&self, lo_hz: f64, hi_hz: f64) -> &[f64] {
         let lo = self.hz_to_bin(lo_hz);
-        let hi = self.hz_to_bin(hi_hz).max(lo);
-        &self.magnitudes[lo..hi]
+        let hi = if hi_hz >= self.sample_rate / 2.0 {
+            self.magnitudes.len()
+        } else {
+            self.hz_to_bin(hi_hz)
+        };
+        &self.magnitudes[lo..hi.max(lo)]
     }
 
     /// Mean magnitude over `[lo_hz, hi_hz)` (0 if the band is empty).
@@ -135,17 +143,17 @@ pub fn welch_psd(x: &[f64], segment: usize, sample_rate: f64) -> Result<Spectrum
         ));
     }
     let frames = stft::frames(x, segment, segment / 2);
-    let n_fft = fft::next_pow2(segment);
-    let mut acc = vec![0.0; n_fft / 2 + 1];
     let w = Window::Hann.coefficients(segment);
     let wnorm: f64 = w.iter().map(|v| v * v).sum();
+    // One windowing processor reused across segments: the plan, window and
+    // working buffers are allocated once for the whole estimate.
+    let mut processor = stft::StftProcessor::new(segment, Window::Hann);
+    let n_fft = processor.n_fft();
+    let mut acc = vec![0.0; processor.onesided_len()];
+    let mut spec = vec![crate::complex::Complex::ZERO; processor.onesided_len()];
     for frame in &frames {
-        let mut buf = frame.clone();
-        for (s, wv) in buf.iter_mut().zip(w.iter()) {
-            *s *= wv;
-        }
-        let spec = fft::rfft_n(&buf, n_fft);
-        for (a, z) in acc.iter_mut().zip(spec[..=n_fft / 2].iter()) {
+        processor.process_into(frame, &mut spec);
+        for (a, z) in acc.iter_mut().zip(spec.iter()) {
             *a += z.norm_sqr();
         }
     }
@@ -305,5 +313,36 @@ mod tests {
     fn empty_signal_is_rejected() {
         assert!(Spectrum::of(&[], FS).is_err());
         assert!(Spectrum::of(&[1.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn band_ending_at_nyquist_includes_nyquist_bin() {
+        // An alternating ±1 signal has all its energy in the Nyquist bin,
+        // so any band that claims to reach sr/2 must see it.
+        let x: Vec<f64> = (0..1024)
+            .map(|k| if k % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let s = Spectrum::of(&x, FS).unwrap();
+        let nyq = FS / 2.0;
+        // Ending exactly at Nyquist: covers the full one-sided spectrum.
+        assert_eq!(s.band(0.0, nyq).len(), s.magnitudes.len());
+        assert!(s.band_energy(nyq * 0.9, nyq) > 1e5);
+        // Ending above Nyquist behaves the same (no bins exist up there).
+        assert_eq!(s.band(0.0, FS).len(), s.magnitudes.len());
+        assert!(s.band_energy(nyq * 0.9, nyq * 1.5) > 1e5);
+        // A band straddling Nyquist from just below it still ends at (and
+        // includes) the top bin.
+        let straddle = s.band(nyq - 3.0 * FS / 1024.0, nyq + 100.0);
+        assert_eq!(straddle.last(), s.magnitudes.last());
+    }
+
+    #[test]
+    fn band_below_nyquist_keeps_exclusive_upper_edge() {
+        let x = tone(1000.0, FS, 4096, 1.0);
+        let s = Spectrum::of(&x, FS).unwrap();
+        // [lo, hi) below Nyquist: the bin at hi itself is excluded.
+        let lo = s.hz_to_bin(500.0);
+        let hi = s.hz_to_bin(2000.0);
+        assert_eq!(s.band(500.0, 2000.0).len(), hi - lo);
     }
 }

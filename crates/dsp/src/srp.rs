@@ -7,8 +7,10 @@
 //! The top peak values of this summed curve, together with the raw pairwise
 //! GCC values and TDoAs, form the speech-reverberation feature set (§III-B3).
 
-use crate::correlate::{gcc_phat, LagCurve};
+use crate::complex::Complex;
+use crate::correlate::{gcc_phat_from_spectra, LagCurve};
 use crate::error::DspError;
+use crate::fft;
 
 /// Result of an SRP-PHAT analysis over a multichannel frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,14 +91,22 @@ pub fn srp_phat(channels: &[&[f64]], max_lag: usize) -> Result<SrpAnalysis, DspE
             pairs.push((i, j));
         }
     }
-    // One GCC-PHAT per microphone pair, in parallel. Each curve lands at its
-    // pair's index, and the SRP sum below runs over that fixed order, so the
-    // result is byte-identical to the serial loop for any thread count.
+    // Forward-FFT every channel exactly once (parallel per channel): the
+    // C(n, 2) pairs below would otherwise recompute each channel's spectrum
+    // n − 1 times. Same padded size and plan as `gcc_phat` on the raw
+    // channels, so the per-pair curves are bit-identical to the pairwise
+    // path.
+    let max_lag = max_lag.min(n - 1);
+    let size = fft::next_pow2(n + max_lag + 1);
+    let plan = fft::rfft_plan(size);
+    let specs: Vec<Vec<Complex>> = ht_par::par_map(channels, |c| plan.forward(c));
+    // One whitened cross-spectrum + inverse per pair, in parallel. Each
+    // curve lands at its pair's index, and the SRP sum below runs over that
+    // fixed order, so the result is byte-identical to the serial loop for
+    // any thread count.
     let gccs: Vec<LagCurve> = ht_par::par_map(&pairs, |&(i, j)| {
-        gcc_phat(channels[i], channels[j], max_lag)
-    })
-    .into_iter()
-    .collect::<Result<_, _>>()?;
+        gcc_phat_from_spectra(&specs[i], &specs[j], &plan, max_lag)
+    });
     let width = gccs[0].values.len();
     let mut srp_values = vec![0.0; width];
     for g in &gccs {
@@ -205,6 +215,22 @@ mod tests {
         let a = chirp(128);
         let b = chirp(64);
         assert!(srp_phat(&[a.as_slice(), b.as_slice()], 4).is_err());
+    }
+
+    #[test]
+    fn shared_spectra_match_pairwise_gcc_phat_bitwise() {
+        // The forward-once optimization must be invisible: every per-pair
+        // curve equals the standalone GCC-PHAT of that pair, bit for bit.
+        let x = chirp(1024);
+        let mics: Vec<Vec<f64>> = (0..4)
+            .map(|k| fractional_delay(&x, k as f64 * 1.3, 16))
+            .collect();
+        let refs: Vec<&[f64]> = mics.iter().map(|m| m.as_slice()).collect();
+        let a = srp_phat(&refs, 8).unwrap();
+        for (g, &(i, j)) in a.gccs.iter().zip(&a.pairs) {
+            let direct = crate::correlate::gcc_phat(refs[i], refs[j], 8).unwrap();
+            assert_eq!(g.values, direct.values, "pair ({i}, {j})");
+        }
     }
 
     #[test]

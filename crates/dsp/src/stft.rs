@@ -29,6 +29,76 @@ pub fn frames(x: &[f64], size: usize, hop: usize) -> Vec<Vec<f64>> {
     out
 }
 
+/// A streaming single-frame STFT engine: window coefficients, the FFT plan
+/// and all working buffers are allocated once at construction, so
+/// [`process_into`](StftProcessor::process_into) is allocation-free — one
+/// processor serves every frame of a capture (and the next capture of the
+/// same geometry).
+#[derive(Debug, Clone)]
+pub struct StftProcessor {
+    plan: std::sync::Arc<fft::RealFftPlan>,
+    window: Vec<f64>,
+    buf: Vec<f64>,
+    scratch: fft::RealFftScratch,
+}
+
+impl StftProcessor {
+    /// Builds a processor for frames of `frame_size` samples, zero-padded
+    /// to `next_pow2(frame_size)` and weighted by `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_size == 0`.
+    pub fn new(frame_size: usize, window: Window) -> StftProcessor {
+        assert!(frame_size > 0, "frame size must be positive");
+        StftProcessor {
+            plan: fft::rfft_plan(frame_size),
+            window: window.coefficients(frame_size),
+            buf: vec![0.0; frame_size],
+            scratch: fft::RealFftScratch::new(),
+        }
+    }
+
+    /// The frame size the window was built for.
+    pub fn frame_size(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The FFT length frames are zero-padded to.
+    pub fn n_fft(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Number of one-sided output bins, `n_fft/2 + 1` — the required
+    /// length of the `out` buffer for
+    /// [`process_into`](StftProcessor::process_into).
+    pub fn onesided_len(&self) -> usize {
+        self.plan.onesided_len()
+    }
+
+    /// Windows one frame and writes its one-sided spectrum into `out`.
+    /// Frames shorter than [`frame_size`](StftProcessor::frame_size) are
+    /// zero-padded. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame.len() > self.frame_size()` or
+    /// `out.len() != self.onesided_len()`.
+    pub fn process_into(&mut self, frame: &[f64], out: &mut [Complex]) {
+        assert!(
+            frame.len() <= self.frame_size(),
+            "frame length {} exceeds the processor's frame size {}",
+            frame.len(),
+            self.frame_size()
+        );
+        for ((b, w), s) in self.buf.iter_mut().zip(&self.window).zip(frame) {
+            *b = s * w;
+        }
+        self.buf[frame.len()..].fill(0.0);
+        self.plan.forward_into(&self.buf, out, &mut self.scratch);
+    }
+}
+
 /// A complex STFT matrix: `bins[t][k]` is frequency bin `k` of frame `t`
 /// (one-sided, `n_fft/2 + 1` bins).
 #[derive(Debug, Clone, PartialEq)]
@@ -56,21 +126,19 @@ impl Stft {
         hop: usize,
         window: Window,
     ) -> Stft {
-        let n_fft = fft::next_pow2(frame_size);
-        let w = window.coefficients(frame_size);
+        // One processor (plan + window + scratch) shared by every frame.
+        let mut processor = StftProcessor::new(frame_size, window);
         let bins = frames(x, frame_size, hop)
             .into_iter()
-            .map(|mut frame| {
-                for (s, wv) in frame.iter_mut().zip(w.iter()) {
-                    *s *= wv;
-                }
-                let spec = fft::rfft_n(&frame, n_fft);
-                spec[..=n_fft / 2].to_vec()
+            .map(|frame| {
+                let mut row = vec![Complex::ZERO; processor.onesided_len()];
+                processor.process_into(&frame, &mut row);
+                row
             })
             .collect();
         Stft {
             bins,
-            n_fft,
+            n_fft: processor.n_fft(),
             hop,
             sample_rate,
         }
@@ -160,5 +228,33 @@ mod tests {
         let s = Stft::compute(&[], 8000.0, 256, 128, Window::Hann);
         assert_eq!(s.n_frames(), 0);
         assert!(s.mean_magnitude().is_empty());
+    }
+
+    #[test]
+    fn reused_processor_matches_batch_compute_bitwise() {
+        let sr = 16_000.0;
+        let x = tone(1200.0, sr, 2000, 0.8);
+        let s = Stft::compute(&x, sr, 512, 256, Window::Hann);
+        let mut p = StftProcessor::new(512, Window::Hann);
+        assert_eq!(p.n_fft(), 512);
+        assert_eq!(p.onesided_len(), 257);
+        let mut out = vec![Complex::ZERO; p.onesided_len()];
+        for (t, frame) in frames(&x, 512, 256).iter().enumerate() {
+            p.process_into(frame, &mut out);
+            assert_eq!(out, s.bins[t], "frame {t} diverged on buffer reuse");
+        }
+    }
+
+    #[test]
+    fn processor_zero_pads_short_frames() {
+        let mut p = StftProcessor::new(64, Window::Rect);
+        let mut out = vec![Complex::ZERO; p.onesided_len()];
+        // A half-filled frame equals a fully zero-padded one.
+        p.process_into(&[1.0; 32], &mut out);
+        let mut padded = [0.0; 64];
+        padded[..32].fill(1.0);
+        let mut expect = vec![Complex::ZERO; p.onesided_len()];
+        p.process_into(&padded, &mut expect);
+        assert_eq!(out, expect);
     }
 }

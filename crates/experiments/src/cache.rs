@@ -47,7 +47,8 @@ impl FromJson for Meta {
 }
 
 /// Bump when feature extraction or the simulator changes incompatibly.
-const CACHE_VERSION: u32 = 4;
+/// v5: planned FFT engine (table twiddles) shifts feature bit patterns.
+const CACHE_VERSION: u32 = 5;
 
 /// The cache directory (`target/ht_cache`, created on demand).
 pub fn cache_dir() -> PathBuf {
