@@ -5,43 +5,73 @@
 # --offline and must pass with no registry reachable. Run from the repo root:
 #
 #   ./ci.sh
-set -eu
+#
+# Each step is timed; the run fails fast on the first broken step (naming
+# it) and always ends with a per-step summary table.
+set -u
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+SUMMARY=$(mktemp)
+trap 'rm -f "$SUMMARY"' EXIT
 
-echo "==> cargo clippy (all targets, warnings are errors)"
-cargo clippy --offline --all-targets -- -D warnings
+print_summary() {
+    echo ""
+    echo "== step summary =="
+    cat "$SUMMARY"
+}
 
-echo "==> cargo build --release"
-cargo build --release --offline
+# step <name> <command...> — run, time, and record one CI step; on failure
+# print the failing step's name and the summary so far, then exit.
+step() {
+    STEP_NAME=$1
+    shift
+    echo "==> $STEP_NAME"
+    STEP_START=$(date +%s)
+    "$@"
+    STEP_RC=$?
+    STEP_ELAPSED=$(( $(date +%s) - STEP_START ))
+    if [ "$STEP_RC" -ne 0 ]; then
+        printf '%-42s %5ss  FAIL\n' "$STEP_NAME" "$STEP_ELAPSED" >> "$SUMMARY"
+        echo ""
+        echo "CI FAILED at step: $STEP_NAME (exit $STEP_RC after ${STEP_ELAPSED}s)"
+        print_summary
+        exit "$STEP_RC"
+    fi
+    printf '%-42s %5ss  ok\n' "$STEP_NAME" "$STEP_ELAPSED" >> "$SUMMARY"
+}
 
-echo "==> cargo test"
-cargo test -q --offline --release
+step "cargo fmt --check" cargo fmt --check
+
+step "cargo clippy (all targets, -D warnings)" \
+    cargo clippy --offline --all-targets -- -D warnings
+
+step "cargo build --release" cargo build --release --offline
+
+step "cargo test" cargo test -q --offline --release
 
 # The ht-par determinism contract says thread count must never change any
 # result, so the whole suite must stay green at both extremes of the
 # HT_THREADS override (1 = serial global pool, 4 = oversubscribed on small
 # runners).
-echo "==> cargo test (HT_THREADS=1)"
-HT_THREADS=1 cargo test -q --offline --release
+step "cargo test (HT_THREADS=1)" \
+    env HT_THREADS=1 cargo test -q --offline --release
 
-echo "==> cargo test (HT_THREADS=4)"
-HT_THREADS=4 cargo test -q --offline --release
+step "cargo test (HT_THREADS=4)" \
+    env HT_THREADS=4 cargo test -q --offline --release
 
 # Observability must be read-only: recording spans/counters through every
 # instrumented layer may cost time but can never change a computed result
 # (the golden-determinism test additionally proves report-byte identity).
-echo "==> cargo test (HT_OBS=json)"
-HT_OBS=json cargo test -q --offline --release
+step "cargo test (HT_OBS=json)" \
+    env HT_OBS=json cargo test -q --offline --release
 
 # Disabled-path overhead gate: spans compiled into the hot layers must cost
 # an atomic load + branch when HT_OBS is off. The obs bench binary asserts
 # a 50 ns median bound on the disabled span/counter paths (the measured
 # cost is ~2 ns; the bound's headroom absorbs CI-runner noise) and fails
 # the run on violation. BENCH_obs.json lands in target/bench_out.
-echo "==> obs overhead gate (bench obs)"
-HT_BENCH_FAST=1 HT_BENCH_DIR=target/bench_out cargo bench -q --offline -p ht-bench --bench obs
+step "obs overhead gate (bench obs)" \
+    env HT_BENCH_FAST=1 HT_BENCH_DIR=target/bench_out \
+    cargo bench -q --offline -p ht-bench --bench obs
 
 # FFT plan-cache gate: the fft_plans bench ends with a steady-state workload
 # run under HT_OBS recording and asserts, via the fft.plan_hits /
@@ -49,7 +79,19 @@ HT_BENCH_FAST=1 HT_BENCH_DIR=target/bench_out cargo bench -q --offline -p ht-ben
 # distinct transform sizes and that the warmed steady state adds zero
 # misses. A regression that rebuilds plans per call fails here.
 # BENCH_fft.json lands in target/bench_out.
-echo "==> fft plan-cache gate (bench fft_plans)"
-HT_BENCH_FAST=1 HT_BENCH_DIR=target/bench_out cargo bench -q --offline -p ht-bench --bench fft_plans
+step "fft plan-cache gate (bench fft_plans)" \
+    env HT_BENCH_FAST=1 HT_BENCH_DIR=target/bench_out \
+    cargo bench -q --offline -p ht-bench --bench fft_plans
 
+# Streaming latency gate: the stream_latency bench drives the frame-by-frame
+# wake pipeline over rendered scenarios with observability on and asserts
+# (a) the stream.frame p95 stays inside half the 10 ms hop deadline and
+# (b) the steady-state push loop makes zero heap allocations, counted by a
+# wrapping global allocator. BENCH_stream.json lands in target/bench_out.
+step "stream latency gate (bench stream_latency)" \
+    env HT_BENCH_FAST=1 HT_BENCH_DIR=target/bench_out \
+    cargo bench -q --offline -p ht-bench --bench stream_latency
+
+print_summary
+echo ""
 echo "CI green"

@@ -241,21 +241,85 @@ impl Correlator {
     }
 }
 
+/// Reusable working storage for [`gcc_phat_from_spectra_into`]: the cross
+/// spectrum, the lag-domain inverse and the FFT scratch. Buffers grow to the
+/// plan's size on first use and are reused verbatim afterwards, so a warmed
+/// scratch makes every subsequent call allocation-free — the shape per-frame
+/// streaming needs.
+#[derive(Debug, Clone)]
+pub struct SpectraGccScratch {
+    cross: Vec<Complex>,
+    r: Vec<f64>,
+    fft: RealFftScratch,
+}
+
+impl SpectraGccScratch {
+    /// An empty scratch; buffers are sized lazily by the first call.
+    pub fn new() -> SpectraGccScratch {
+        SpectraGccScratch {
+            cross: Vec::new(),
+            r: Vec::new(),
+            fft: RealFftScratch::new(),
+        }
+    }
+}
+
+impl Default for SpectraGccScratch {
+    fn default() -> Self {
+        SpectraGccScratch::new()
+    }
+}
+
 /// GCC-PHAT from two already-transformed one-sided spectra (as produced by
-/// `plan.forward_into` on the padded channels). Lets SRP-PHAT forward each
-/// channel once instead of once per pair; values are identical to
-/// [`gcc_phat`] on the time-domain channels.
-pub(crate) fn gcc_phat_from_spectra(
+/// `plan.forward_into` on the padded channels) into a caller-provided
+/// `±max_lag` window. Lets SRP-PHAT and the streaming frame analyzer forward
+/// each channel once instead of once per pair; values are identical to
+/// [`gcc_phat`] on the time-domain channels. Allocation-free once `scratch`
+/// has warmed up to the plan's size.
+///
+/// # Panics
+///
+/// Panics if a spectrum's length differs from `plan.onesided_len()`, if
+/// `values.len() != 2 * max_lag + 1`, or if `max_lag >= plan.len()` (the
+/// circular correlation has no such lag).
+pub fn gcc_phat_from_spectra_into(
+    xf: &[Complex],
+    yf: &[Complex],
+    plan: &RealFftPlan,
+    max_lag: usize,
+    scratch: &mut SpectraGccScratch,
+    values: &mut [f64],
+) {
+    let bins = plan.onesided_len();
+    assert_eq!(xf.len(), bins, "x spectrum length");
+    assert_eq!(yf.len(), bins, "y spectrum length");
+    assert_eq!(values.len(), 2 * max_lag + 1, "lag window length");
+    assert!(
+        max_lag < plan.len(),
+        "max_lag {} outside the {}-point circular correlation",
+        max_lag,
+        plan.len()
+    );
+    scratch.cross.resize(bins, Complex::ZERO);
+    scratch.r.resize(plan.len(), 0.0);
+    for ((c, a), b) in scratch.cross.iter_mut().zip(xf).zip(yf) {
+        *c = *a * b.conj();
+    }
+    whiten(&mut scratch.cross);
+    plan.inverse_into(&scratch.cross, &mut scratch.r, &mut scratch.fft);
+    extract_lags(&scratch.r, max_lag, values);
+}
+
+/// Allocating convenience wrapper around [`gcc_phat_from_spectra_into`].
+pub fn gcc_phat_from_spectra(
     xf: &[Complex],
     yf: &[Complex],
     plan: &RealFftPlan,
     max_lag: usize,
 ) -> LagCurve {
-    let mut cross: Vec<Complex> = xf.iter().zip(yf).map(|(a, b)| *a * b.conj()).collect();
-    whiten(&mut cross);
-    let r = plan.inverse(&cross);
+    let mut scratch = SpectraGccScratch::new();
     let mut values = vec![0.0; 2 * max_lag + 1];
-    extract_lags(&r, max_lag, &mut values);
+    gcc_phat_from_spectra_into(xf, yf, plan, max_lag, &mut scratch, &mut values);
     LagCurve { values, max_lag }
 }
 
@@ -455,6 +519,39 @@ mod tests {
         let mut values = vec![0.0; c.window_len()];
         assert!(c.gcc_phat_into(&short, &short, &mut values).is_err());
         assert!(Correlator::new(0, 8).is_err());
+    }
+
+    #[test]
+    fn spectra_gcc_matches_time_domain_gcc_bitwise() {
+        // The streaming path (shared forward FFTs + scratch reuse) must be
+        // indistinguishable from the one-shot time-domain GCC-PHAT.
+        let x = chirp(960);
+        let y = fractional_delay(&x, 6.0, 16);
+        let max_lag = 13;
+        let plan = fft::rfft_plan(fft::next_pow2(x.len() + max_lag + 1));
+        let xf = plan.forward(&x);
+        let yf = plan.forward(&y);
+        let reference = gcc_phat(&x, &y, max_lag).unwrap();
+        let curve = gcc_phat_from_spectra(&xf, &yf, &plan, max_lag);
+        assert_eq!(curve, reference);
+        // Scratch reuse across calls changes nothing.
+        let mut scratch = SpectraGccScratch::new();
+        let mut values = vec![0.0; 2 * max_lag + 1];
+        for _ in 0..3 {
+            gcc_phat_from_spectra_into(&xf, &yf, &plan, max_lag, &mut scratch, &mut values);
+            assert_eq!(values, reference.values);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lag window length")]
+    fn spectra_gcc_rejects_wrong_window_length() {
+        let x = chirp(256);
+        let plan = fft::rfft_plan(512);
+        let xf = plan.forward(&x);
+        let mut scratch = SpectraGccScratch::new();
+        let mut values = vec![0.0; 3];
+        gcc_phat_from_spectra_into(&xf, &xf, &plan, 8, &mut scratch, &mut values);
     }
 
     #[test]

@@ -50,9 +50,26 @@ impl StftProcessor {
     ///
     /// Panics if `frame_size == 0`.
     pub fn new(frame_size: usize, window: Window) -> StftProcessor {
+        StftProcessor::with_n_fft(frame_size, frame_size, window)
+    }
+
+    /// Builds a processor whose frames are zero-padded to at least `n_fft`
+    /// samples (rounded up to a power of two by the plan cache) instead of
+    /// the default `next_pow2(frame_size)`. Streaming correlation wants the
+    /// extra pad margin: circular GCC lags up to `±max_lag` only stay
+    /// alias-free when `n_fft ≥ frame_size + max_lag + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_size == 0` or `n_fft < frame_size`.
+    pub fn with_n_fft(frame_size: usize, n_fft: usize, window: Window) -> StftProcessor {
         assert!(frame_size > 0, "frame size must be positive");
+        assert!(
+            n_fft >= frame_size,
+            "n_fft {n_fft} must cover the frame size {frame_size}"
+        );
         StftProcessor {
-            plan: fft::rfft_plan(frame_size),
+            plan: fft::rfft_plan(n_fft),
             window: window.coefficients(frame_size),
             buf: vec![0.0; frame_size],
             scratch: fft::RealFftScratch::new(),
@@ -243,6 +260,29 @@ mod tests {
             p.process_into(frame, &mut out);
             assert_eq!(out, s.bins[t], "frame {t} diverged on buffer reuse");
         }
+    }
+
+    #[test]
+    fn with_n_fft_adds_pad_margin_without_changing_covered_bins() {
+        // A 960-sample frame padded to 1024 (the streaming geometry: pad
+        // margin ≥ max_lag keeps circular GCC lags alias-free).
+        let mut p = StftProcessor::with_n_fft(960, 1024, Window::Hann);
+        assert_eq!(p.frame_size(), 960);
+        assert_eq!(p.n_fft(), 1024);
+        // Identical to hand-padding the windowed frame through the plan.
+        let x = tone(997.0, 48_000.0, 960, 0.7);
+        let mut out = vec![Complex::ZERO; p.onesided_len()];
+        p.process_into(&x, &mut out);
+        let coeffs = Window::Hann.coefficients(960);
+        let windowed: Vec<f64> = x.iter().zip(&coeffs).map(|(s, w)| s * w).collect();
+        let expect = crate::fft::rfft_plan(1024).forward(&windowed);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover")]
+    fn with_n_fft_rejects_short_fft() {
+        StftProcessor::with_n_fft(960, 512, Window::Hann);
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod objects;
 pub mod placement;
 pub mod runtime;
 pub mod sitting;
+pub mod stream;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -48,6 +48,7 @@ pub const EXPERIMENT_IDS: &[&str] = &[
     "objects",
     "fig16",
     "ablation",
+    "stream",
     "runtime",
     "table5",
 ];
@@ -82,6 +83,7 @@ pub fn run_experiment(id: &str, ctx: &Context) -> Result<ExperimentResult, Strin
         "loudness" => exp::loudness::run(ctx),
         "objects" => exp::objects::run(ctx),
         "fig16" => exp::fig16::run(ctx),
+        "stream" => exp::stream::run(ctx),
         "runtime" => exp::runtime::run(ctx),
         "table5" => exp::table5::run(ctx),
         _ => return Err(format!("unknown experiment `{id}`")),

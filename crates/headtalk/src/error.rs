@@ -14,6 +14,9 @@ pub enum HeadTalkError {
     InvalidInput(String),
     /// A component was used before it was trained.
     NotTrained(&'static str),
+    /// The streaming layer rejected an ingest (mid-stream geometry change,
+    /// ragged chunk, bad frame/hop setup).
+    Stream(ht_stream::StreamError),
 }
 
 impl fmt::Display for HeadTalkError {
@@ -23,6 +26,7 @@ impl fmt::Display for HeadTalkError {
             HeadTalkError::Ml(e) => write!(f, "ml error: {e}"),
             HeadTalkError::InvalidInput(m) => write!(f, "invalid input: {m}"),
             HeadTalkError::NotTrained(c) => write!(f, "component not trained: {c}"),
+            HeadTalkError::Stream(e) => write!(f, "stream error: {e}"),
         }
     }
 }
@@ -32,6 +36,7 @@ impl Error for HeadTalkError {
         match self {
             HeadTalkError::Dsp(e) => Some(e),
             HeadTalkError::Ml(e) => Some(e),
+            HeadTalkError::Stream(e) => Some(e),
             _ => None,
         }
     }
@@ -49,6 +54,12 @@ impl From<ht_ml::MlError> for HeadTalkError {
     }
 }
 
+impl From<ht_stream::StreamError> for HeadTalkError {
+    fn from(e: ht_stream::StreamError) -> Self {
+        HeadTalkError::Stream(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,5 +73,12 @@ mod tests {
         let e = HeadTalkError::NotTrained("liveness");
         assert!(e.to_string().contains("liveness"));
         assert!(e.source().is_none());
+        let e: HeadTalkError = ht_stream::StreamError::ChannelCountChanged {
+            expected: 4,
+            got: 2,
+        }
+        .into();
+        assert!(e.to_string().contains("stream error"));
+        assert!(e.source().is_some());
     }
 }

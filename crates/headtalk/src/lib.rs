@@ -22,6 +22,8 @@
 //! * [`orientation`] — the facing classifier (SVM by default; RF/DT/kNN for
 //!   the §IV-A comparison),
 //! * [`pipeline`] — the end-to-end wake-command decision,
+//! * [`stream`] — the frame-by-frame streaming engine with the early-exit
+//!   soft-mute gate (`process_wake` is a batch adapter over it),
 //! * [`control`] — the privacy-mode state machine of Fig. 1 (Normal, Mute,
 //!   HeadTalk; soft mute; session semantics),
 //! * [`userstudy`] — SUS scoring and the paper's Table V survey data.
@@ -48,8 +50,10 @@ pub mod liveness;
 pub mod orientation;
 pub mod pipeline;
 pub mod preprocess;
+pub mod stream;
 pub mod userstudy;
 
 pub use config::PipelineConfig;
 pub use error::HeadTalkError;
 pub use pipeline::{HeadTalk, WakeDecision};
+pub use stream::{StreamConfig, StreamOutcome, WakeStream};

@@ -71,15 +71,26 @@ impl HeadTalk {
     /// Processes one multichannel wake-word capture (raw 48 kHz channels)
     /// and returns the accept/soft-mute decision.
     ///
+    /// This is a thin batch adapter over the streaming engine
+    /// ([`crate::stream::WakeStream`]): the capture is fed hop-sized chunk
+    /// by chunk — exercising the exact ingest → frame → gate path a live
+    /// microphone would — and then finalized, which runs the reference
+    /// batch analysis ([`decide_batch`](HeadTalk::decide_batch)) over the
+    /// accumulated capture. The returned decision is byte-identical to
+    /// calling the batch path directly (the stream's advisory gate never
+    /// alters it); the golden tests pin this equivalence.
+    ///
     /// Liveness runs on a single channel (the paper: "we needed one channel
     /// of audio data to detect liveliness and 4-channel audio data to detect
     /// speaker orientation", §IV-B15); orientation runs on all channels.
     ///
-    /// Each stage runs under an `ht_obs` span (`wake.denoise`,
+    /// Each stage runs under an `ht_obs` span (per-frame
+    /// `stream.ingest/stft/srp/score/gate`, then the batch `wake.denoise`,
     /// `wake.liveness_prepare`, `wake.liveness_infer`,
     /// `wake.feature_extract`, `wake.orientation_infer`), so with `HT_OBS`
-    /// enabled the per-stage latency breakdown of §IV-B15 falls out of the
-    /// registry. With `HT_OBS=off` the spans cost an atomic load each.
+    /// enabled both the per-frame latency histograms and the per-stage
+    /// breakdown of §IV-B15 fall out of the registry. With `HT_OBS=off`
+    /// the spans cost an atomic load each.
     ///
     /// # Errors
     ///
@@ -88,23 +99,58 @@ impl HeadTalk {
     /// not match the width the orientation model was trained on.
     pub fn process_wake(&self, channels: &[Vec<f64>]) -> Result<WakeDecision, HeadTalkError> {
         let _wake = ht_obs::span("wake.process");
+        // The same up-front shape validation the batch path performs, so
+        // the adapter reports identical errors for degenerate captures.
+        if channels.is_empty() || channels[0].is_empty() {
+            return Err(HeadTalkError::InvalidInput(
+                "capture must have at least one non-empty channel".into(),
+            ));
+        }
+        let len = channels[0].len();
+        if channels.iter().any(|c| c.len() != len) {
+            return Err(HeadTalkError::InvalidInput(
+                "all channels must share one length".into(),
+            ));
+        }
+        let stream_config = crate::stream::StreamConfig {
+            capacity_hint: len,
+            ..crate::stream::StreamConfig::for_pipeline(&self.config)
+        };
+        let mut stream = self.streamer_with(channels.len(), stream_config)?;
+        let hop = stream.hop();
+        let mut chunk: Vec<&[f64]> = Vec::with_capacity(channels.len());
+        let mut pos = 0;
+        while pos < len {
+            let end = (pos + hop).min(len);
+            chunk.clear();
+            chunk.extend(channels.iter().map(|c| &c[pos..end]));
+            stream.push(&chunk)?;
+            pos = end;
+        }
+        let outcome = stream.finalize()?;
+        Ok(outcome
+            .decision
+            .expect("advisory streaming always carries the batch decision"))
+    }
+
+    /// The reference batch analysis: denoise the whole capture, run the
+    /// trained liveness and orientation models, and return the decision
+    /// together with the orientation feature vector it was based on. The
+    /// streaming engine calls this at finalization; the golden tests assert
+    /// the two paths are byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeadTalkError::InvalidInput`] as documented on
+    /// [`process_wake`](HeadTalk::process_wake).
+    pub fn decide_batch(
+        &self,
+        channels: &[Vec<f64>],
+    ) -> Result<(WakeDecision, Vec<f64>), HeadTalkError> {
         // `denoise_channels` records the `wake.denoise` span itself, so the
         // training-path helpers below share the same timing breakdown.
         let denoised = self.preprocessor.denoise_channels(channels)?;
-
-        // The feature width is a pure function of the channel count; a
-        // capture from a different geometry than the orientation model was
-        // trained on must be rejected here, not fed to the classifier
-        // (whose distance/kernel code would index out of the trained width).
-        let expected = self.orientation.input_dim();
-        let width = features::feature_width(channels.len(), &self.config);
-        if width != expected {
-            return Err(HeadTalkError::InvalidInput(format!(
-                "capture has {} channel(s) giving feature width {width}, but the \
-                 orientation model was trained on feature width {expected}",
-                channels.len()
-            )));
-        }
+        self.validate_feature_width(channels.len())?;
 
         // Liveness on channel 0.
         let prepared = prepare_input(&denoised[0], self.liveness.input_len())?;
@@ -126,12 +172,32 @@ impl HeadTalk {
             )
         };
 
-        Ok(WakeDecision {
-            live,
-            live_probability,
-            facing,
-            facing_score,
-        })
+        Ok((
+            WakeDecision {
+                live,
+                live_probability,
+                facing,
+                facing_score,
+            },
+            fv,
+        ))
+    }
+
+    /// Rejects a channel count whose feature width differs from the width
+    /// the orientation model was trained on. The width is a pure function
+    /// of the channel count; a capture from a different geometry must be
+    /// rejected up front, not fed to the classifier (whose distance/kernel
+    /// code would index out of the trained width).
+    pub(crate) fn validate_feature_width(&self, n_channels: usize) -> Result<(), HeadTalkError> {
+        let expected = self.orientation.input_dim();
+        let width = features::feature_width(n_channels, &self.config);
+        if width != expected {
+            return Err(HeadTalkError::InvalidInput(format!(
+                "capture has {n_channels} channel(s) giving feature width {width}, but the \
+                 orientation model was trained on feature width {expected}"
+            )));
+        }
+        Ok(())
     }
 
     /// Extracts the orientation feature vector from a raw capture (used by

@@ -1,0 +1,343 @@
+//! The streaming wake engine: frame-by-frame ingest with an early-exit
+//! soft-mute gate in front of the batch-identical final decision.
+//!
+//! [`WakeStream`] composes the `ht-stream` substrate (ring ingest, per-frame
+//! STFT + sliding SRP-PHAT, evidence gate) with this crate's trained
+//! models. While audio arrives, every frame is analyzed incrementally and
+//! scored by the [`EarlyExitGate`] using the cheap per-frame evidence
+//! ([`crate::liveness::frame_live_evidence`],
+//! [`crate::orientation::frame_facing_evidence`]); at
+//! [`finalize`](WakeStream::finalize) the accumulated capture runs through
+//! the reference batch path ([`HeadTalk::decide_batch`]), so in the default
+//! advisory gate mode the outcome is byte-identical to batch processing —
+//! the golden tests pin this.
+//!
+//! ```no_run
+//! # fn main() -> Result<(), headtalk::HeadTalkError> {
+//! # let ht: headtalk::HeadTalk = unimplemented!();
+//! let mut stream = ht.streamer(4)?;
+//! // Feed 10 ms chunks as the microphone delivers them:
+//! # let chunk: Vec<&[f64]> = Vec::new();
+//! let verdict = stream.push(&chunk)?;
+//! if verdict == headtalk::stream::WakeVerdict::SoftMute {
+//!     // the gate concluded mid-utterance: not live, or not facing
+//! }
+//! let outcome = stream.finalize()?;
+//! # Ok(()) }
+//! ```
+
+use crate::config::PipelineConfig;
+use crate::liveness::frame_live_evidence;
+use crate::orientation::frame_facing_evidence;
+use crate::pipeline::{HeadTalk, WakeDecision};
+use crate::HeadTalkError;
+use ht_stream::{EarlyExitGate, FrameAnalyzer, FrameRing};
+
+pub use ht_stream::{
+    AudioChunk, EarlyExit, ExitReason, GateConfig, GateMode, StreamError, WakeVerdict,
+};
+
+/// Geometry and gate tuning for a [`WakeStream`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    /// Analysis frame length in samples.
+    pub frame_len: usize,
+    /// Hop between frames in samples (the real-time deadline: each frame's
+    /// processing must finish within `hop / sample_rate` seconds).
+    pub hop: usize,
+    /// Early-exit gate tuning.
+    pub gate: GateConfig,
+    /// Expected capture length in samples (presizes the accumulator so
+    /// steady-state pushes don't reallocate it); 0 for a modest default.
+    pub capacity_hint: usize,
+}
+
+impl StreamConfig {
+    /// The default geometry for a pipeline configuration: 20 ms frames
+    /// advancing by 10 ms (960/480 samples at the paper's 48 kHz), the
+    /// classic speech-analysis framing, with an advisory gate.
+    pub fn for_pipeline(config: &PipelineConfig) -> StreamConfig {
+        let hop = (config.sample_rate / 100.0).round().max(1.0) as usize;
+        StreamConfig {
+            frame_len: 2 * hop,
+            hop,
+            gate: GateConfig::default(),
+            capacity_hint: 0,
+        }
+    }
+
+    /// The per-frame real-time budget in seconds: one hop of audio.
+    pub fn hop_deadline_secs(&self, sample_rate: f64) -> f64 {
+        self.hop as f64 / sample_rate
+    }
+}
+
+/// Everything a finished stream knows.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// The stream's verdict: [`WakeVerdict::Allow`] only when the finalized
+    /// batch decision accepted; [`WakeVerdict::SoftMute`] when the batch
+    /// decision rejected *or* an enforcing gate stopped the stream early.
+    pub verdict: WakeVerdict,
+    /// The batch decision over the accumulated capture. `None` only when an
+    /// enforcing gate stopped ingestion before a decidable capture
+    /// accumulated.
+    pub decision: Option<WakeDecision>,
+    /// The orientation feature vector behind `decision` (empty when
+    /// `decision` is `None`). Byte-identical to the batch path's features.
+    pub features: Vec<f64>,
+    /// The gate's early exit, if it fired (recorded in advisory mode,
+    /// enforced in enforcing mode).
+    pub early_exit: Option<EarlyExit>,
+    /// Frames analyzed.
+    pub frames: u64,
+    /// Samples ingested per channel.
+    pub samples_per_channel: usize,
+}
+
+/// A live streaming session borrowing a [`HeadTalk`] pipeline.
+#[derive(Debug, Clone)]
+pub struct WakeStream<'a> {
+    ht: &'a HeadTalk,
+    config: StreamConfig,
+    ring: FrameRing,
+    analyzer: FrameAnalyzer,
+    gate: EarlyExitGate,
+    /// The full capture, accumulated for finalization.
+    capture: Vec<Vec<f64>>,
+    /// Scratch frame the ring pops into.
+    frame: Vec<Vec<f64>>,
+    /// `true` once an enforcing gate has stopped ingestion.
+    muted: bool,
+}
+
+impl HeadTalk {
+    /// Opens a streaming session for an `n_channels` microphone array with
+    /// the default [`StreamConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeadTalkError::InvalidInput`] when `n_channels` gives a
+    /// feature width the orientation model wasn't trained on (the same
+    /// up-front check as [`process_wake`](HeadTalk::process_wake)), or
+    /// [`HeadTalkError::Stream`] for bad geometry.
+    pub fn streamer(&self, n_channels: usize) -> Result<WakeStream<'_>, HeadTalkError> {
+        self.streamer_with(n_channels, StreamConfig::for_pipeline(self.config()))
+    }
+
+    /// Opens a streaming session with explicit geometry and gate tuning.
+    ///
+    /// # Errors
+    ///
+    /// As for [`streamer`](HeadTalk::streamer).
+    pub fn streamer_with(
+        &self,
+        n_channels: usize,
+        config: StreamConfig,
+    ) -> Result<WakeStream<'_>, HeadTalkError> {
+        self.validate_feature_width(n_channels)?;
+        let ring = FrameRing::with_capacity(
+            n_channels,
+            config.frame_len,
+            config.hop,
+            config.frame_len + 2 * config.hop,
+        )?;
+        let analyzer = FrameAnalyzer::new(
+            n_channels,
+            config.frame_len,
+            self.config().max_lag,
+            self.config().sample_rate,
+        )?;
+        let capacity = if config.capacity_hint > 0 {
+            config.capacity_hint
+        } else {
+            // Default to 4 s of audio at the configured rate.
+            (self.config().sample_rate * 4.0) as usize
+        };
+        Ok(WakeStream {
+            ht: self,
+            ring,
+            analyzer,
+            gate: EarlyExitGate::new(config.gate),
+            capture: (0..n_channels)
+                .map(|_| Vec::with_capacity(capacity))
+                .collect(),
+            frame: vec![vec![0.0; config.frame_len]; n_channels],
+            muted: false,
+            config,
+        })
+    }
+}
+
+impl WakeStream<'_> {
+    /// Ingests one chunk (any length; hop-aligned or ragged) and processes
+    /// every frame that becomes ready. Returns the rolling verdict.
+    ///
+    /// After an enforcing gate has fired, further pushes are dropped and
+    /// return [`WakeVerdict::SoftMute`] immediately — the soft mute is the
+    /// point: no more audio leaves the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeadTalkError::Stream`] for a chunk whose channel count
+    /// differs from the stream's or whose channels have unequal lengths;
+    /// the stream state is untouched and subsequent valid pushes work.
+    pub fn push(&mut self, chunk: &[&[f64]]) -> Result<WakeVerdict, HeadTalkError> {
+        if self.muted {
+            return Ok(WakeVerdict::SoftMute);
+        }
+        {
+            let _ingest = ht_obs::span("stream.ingest");
+            self.ring.push(chunk)?;
+            for (cap, c) in self.capture.iter_mut().zip(chunk) {
+                cap.extend_from_slice(c);
+            }
+        }
+        while !self.muted && self.ring.pop_frame_into(&mut self.frame) {
+            let _frame_span = ht_obs::span("stream.frame");
+            let (rms, live_evidence, facing_evidence) = {
+                let features = self.analyzer.analyze(&self.frame)?;
+                let _score = ht_obs::span("stream.score");
+                (
+                    features.rms,
+                    frame_live_evidence(features),
+                    frame_facing_evidence(features),
+                )
+            };
+            let verdict = {
+                let _gate = ht_obs::span("stream.gate");
+                self.gate.observe(rms, live_evidence, facing_evidence)
+            };
+            if verdict == WakeVerdict::SoftMute && self.config.gate.mode == GateMode::Enforcing {
+                self.muted = true;
+            }
+        }
+        Ok(self.verdict())
+    }
+
+    /// Like [`push`](WakeStream::push), but verifies the chunk's claimed
+    /// sample rate against the pipeline's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeadTalkError::Stream`] with
+    /// [`StreamError::SampleRateChanged`] for a rate mismatch (compared at
+    /// integer-Hz resolution), plus everything [`push`](WakeStream::push)
+    /// returns.
+    pub fn push_audio(&mut self, chunk: AudioChunk<'_>) -> Result<WakeVerdict, HeadTalkError> {
+        let expected_hz = self.ht.config().sample_rate.round() as u32;
+        let got_hz = chunk.sample_rate.round() as u32;
+        if got_hz != expected_hz {
+            return Err(StreamError::SampleRateChanged {
+                expected_hz,
+                got_hz,
+            }
+            .into());
+        }
+        self.push(chunk.channels)
+    }
+
+    /// The rolling verdict: [`WakeVerdict::SoftMute`] once the gate has
+    /// fired, [`WakeVerdict::Undecided`] otherwise. (An Allow only ever
+    /// comes from [`finalize`](WakeStream::finalize) — the models, not the
+    /// gate, grant it.)
+    pub fn verdict(&self) -> WakeVerdict {
+        if self.gate.fired().is_some() {
+            WakeVerdict::SoftMute
+        } else {
+            WakeVerdict::Undecided
+        }
+    }
+
+    /// The gate's early exit, if it has fired.
+    pub fn early_exit(&self) -> Option<EarlyExit> {
+        self.gate.fired()
+    }
+
+    /// Frames analyzed so far.
+    pub fn frames(&self) -> u64 {
+        self.analyzer.frames_analyzed()
+    }
+
+    /// Samples ingested per channel so far.
+    pub fn samples_per_channel(&self) -> usize {
+        self.capture[0].len()
+    }
+
+    /// The stream's hop in samples (the natural push granularity).
+    pub fn hop(&self) -> usize {
+        self.config.hop
+    }
+
+    /// The stream's configuration.
+    pub fn stream_config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Finalizes the stream: runs the reference batch analysis
+    /// ([`HeadTalk::decide_batch`]) over the accumulated capture and folds
+    /// in the gate's early exit.
+    ///
+    /// In advisory mode the decision and features are byte-identical to
+    /// batch-processing the same capture. In enforcing mode the capture may
+    /// have been truncated at the mute point; if too little audio
+    /// accumulated for the batch path to decide, the outcome carries the
+    /// gate's soft-mute with `decision: None` instead of an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates batch-path errors (empty/short/degenerate captures) when
+    /// the gate did not stop the stream.
+    pub fn finalize(self) -> Result<StreamOutcome, HeadTalkError> {
+        let early_exit = self.gate.fired();
+        let frames = self.analyzer.frames_analyzed();
+        let samples_per_channel = self.capture[0].len();
+        match self.ht.decide_batch(&self.capture) {
+            Ok((decision, features)) => Ok(StreamOutcome {
+                verdict: if self.muted || !decision.accepted() {
+                    WakeVerdict::SoftMute
+                } else {
+                    WakeVerdict::Allow
+                },
+                decision: Some(decision),
+                features,
+                early_exit,
+                frames,
+                samples_per_channel,
+            }),
+            Err(_) if self.muted => Ok(StreamOutcome {
+                verdict: WakeVerdict::SoftMute,
+                decision: None,
+                features: Vec::new(),
+                early_exit,
+                frames,
+                samples_per_channel,
+            }),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_is_20ms_frames_10ms_hop() {
+        let cfg = StreamConfig::for_pipeline(&PipelineConfig::default());
+        assert_eq!(cfg.frame_len, 960);
+        assert_eq!(cfg.hop, 480);
+        assert!((cfg.hop_deadline_secs(48_000.0) - 0.010).abs() < 1e-12);
+        assert_eq!(cfg.gate.mode, GateMode::Advisory);
+    }
+
+    #[test]
+    fn odd_sample_rates_round_to_positive_hops() {
+        let cfg = StreamConfig::for_pipeline(&PipelineConfig {
+            sample_rate: 44_100.0,
+            ..PipelineConfig::default()
+        });
+        assert_eq!(cfg.hop, 441);
+        assert_eq!(cfg.frame_len, 882);
+    }
+}

@@ -1,0 +1,397 @@
+//! Per-frame spectral analysis: one shared forward FFT per channel, then
+//! sliding SRP-PHAT across every microphone pair from those shared spectra.
+//!
+//! The analyzer owns every buffer it needs — STFT plan and scratch,
+//! per-channel spectra, GCC cross/lag workspaces, the summed SRP curve —
+//! so [`analyze`](FrameAnalyzer::analyze) is allocation-free after
+//! construction. Frames are zero-padded to
+//! `next_pow2(frame_len + max_lag + 1)` so circular GCC lags up to
+//! `±max_lag` never alias (the same pad rule as the batch
+//! `ht_dsp::srp::srp_phat`).
+
+use crate::error::StreamError;
+use ht_dsp::complex::Complex;
+use ht_dsp::correlate::{gcc_phat_from_spectra_into, SpectraGccScratch};
+use ht_dsp::fft::{self, RealFftPlan};
+use ht_dsp::spectrum::{HIGH_BAND_HZ, LOW_BAND_HZ};
+use ht_dsp::stft::StftProcessor;
+use ht_dsp::window::Window;
+use std::sync::Arc;
+
+/// Spectral evidence extracted from one analysis frame.
+///
+/// These are *incremental* observations for the early-exit gate and the
+/// latency instrumentation — deliberately cheaper and coarser than the
+/// batch feature vector, which remains the sole input to the trained
+/// models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameFeatures {
+    /// 0-based index of the frame within the stream.
+    pub frame_index: u64,
+    /// RMS of the first channel's frame (the gate's voicing signal).
+    pub rms: f64,
+    /// Peak of the summed SRP-PHAT curve across all pairs.
+    pub srp_peak: f64,
+    /// Mean absolute value of the summed SRP-PHAT curve.
+    pub srp_mean_abs: f64,
+    /// Interpolated GCC-PHAT peak lag (samples) per microphone pair, in
+    /// `(i, j)` pair order.
+    pub tdoas: Vec<f64>,
+    /// Mean magnitude of the paper's 100–400 Hz low band (channel 0).
+    pub low_band: f64,
+    /// Mean magnitude of the paper's 500–4000 Hz high band (channel 0).
+    pub high_band: f64,
+}
+
+impl FrameFeatures {
+    /// SRP peak-to-mean ratio: a sharp dominant peak means a strong direct
+    /// path — the frontal-orientation signature. ≥ 1 by construction, 0
+    /// for a silent frame.
+    pub fn srp_sharpness(&self) -> f64 {
+        if self.srp_mean_abs > 0.0 {
+            self.srp_peak / self.srp_mean_abs
+        } else {
+            0.0
+        }
+    }
+
+    /// High/low band ratio of this frame (the per-frame analogue of
+    /// `ht_dsp::spectrum::hlbr`): replay speakers attenuate highs, so live
+    /// speech scores higher. 0 when the low band is silent.
+    pub fn band_ratio(&self) -> f64 {
+        if self.low_band > 0.0 {
+            self.high_band / self.low_band
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A reusable per-frame analysis engine for one stream geometry.
+#[derive(Debug, Clone)]
+pub struct FrameAnalyzer {
+    channels: usize,
+    frame_len: usize,
+    max_lag: usize,
+    stft: StftProcessor,
+    plan: Arc<RealFftPlan>,
+    spectra: Vec<Vec<Complex>>,
+    pairs: Vec<(usize, usize)>,
+    gcc: SpectraGccScratch,
+    lag_window: Vec<f64>,
+    srp: Vec<f64>,
+    /// `[lo, hi)` bin ranges of the paper's low/high bands for this
+    /// geometry (fixed at construction — this is why a mid-stream sample
+    /// rate change must be rejected upstream).
+    low_bins: (usize, usize),
+    high_bins: (usize, usize),
+    frames: u64,
+    features: FrameFeatures,
+}
+
+impl FrameAnalyzer {
+    /// Builds an analyzer for `channels`-channel frames of `frame_len`
+    /// samples at `sample_rate`, correlating every pair over `±max_lag`
+    /// (clamped to `frame_len − 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::BadGeometry`] for fewer than two channels, a
+    /// zero frame length, or a non-positive sample rate.
+    pub fn new(
+        channels: usize,
+        frame_len: usize,
+        max_lag: usize,
+        sample_rate: f64,
+    ) -> Result<FrameAnalyzer, StreamError> {
+        if channels < 2 {
+            return Err(StreamError::BadGeometry(format!(
+                "analyzer needs at least two channels for TDoA, got {channels}"
+            )));
+        }
+        if frame_len == 0 {
+            return Err(StreamError::BadGeometry(
+                "frame length must be positive".into(),
+            ));
+        }
+        if sample_rate <= 0.0 || !sample_rate.is_finite() {
+            return Err(StreamError::BadGeometry(format!(
+                "sample rate must be positive and finite, got {sample_rate}"
+            )));
+        }
+        let max_lag = max_lag.min(frame_len - 1);
+        // Same pad rule as the batch SRP-PHAT: room for every lag we read.
+        let n_fft = fft::next_pow2(frame_len + max_lag + 1);
+        let stft = StftProcessor::with_n_fft(frame_len, n_fft, Window::Hann);
+        let plan = fft::rfft_plan(n_fft);
+        let bins = plan.onesided_len();
+        let pairs: Vec<(usize, usize)> = (0..channels)
+            .flat_map(|i| ((i + 1)..channels).map(move |j| (i, j)))
+            .collect();
+        let hz_to_bin = |hz: f64| {
+            let k = (hz * n_fft as f64 / sample_rate).round() as usize;
+            k.min(bins - 1)
+        };
+        let n_pairs = pairs.len();
+        Ok(FrameAnalyzer {
+            channels,
+            frame_len,
+            max_lag,
+            stft,
+            spectra: vec![vec![Complex::ZERO; bins]; channels],
+            pairs,
+            gcc: SpectraGccScratch::new(),
+            lag_window: vec![0.0; 2 * max_lag + 1],
+            srp: vec![0.0; 2 * max_lag + 1],
+            low_bins: (hz_to_bin(LOW_BAND_HZ.0), hz_to_bin(LOW_BAND_HZ.1)),
+            high_bins: (hz_to_bin(HIGH_BAND_HZ.0), hz_to_bin(HIGH_BAND_HZ.1)),
+            frames: 0,
+            features: FrameFeatures {
+                frame_index: 0,
+                rms: 0.0,
+                srp_peak: 0.0,
+                srp_mean_abs: 0.0,
+                tdoas: vec![0.0; n_pairs],
+                low_band: 0.0,
+                high_band: 0.0,
+            },
+            plan,
+        })
+    }
+
+    /// Analyzes one frame (`channels` buffers of exactly `frame_len`
+    /// samples) and returns the evidence. Allocation-free; the returned
+    /// reference borrows internal storage that the next call overwrites.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::ChannelCountChanged`] /
+    /// [`StreamError::BadGeometry`] for a frame of the wrong shape.
+    pub fn analyze(&mut self, frame: &[Vec<f64>]) -> Result<&FrameFeatures, StreamError> {
+        if frame.len() != self.channels {
+            return Err(StreamError::ChannelCountChanged {
+                expected: self.channels,
+                got: frame.len(),
+            });
+        }
+        for c in frame {
+            if c.len() != self.frame_len {
+                return Err(StreamError::BadGeometry(format!(
+                    "frame length {} differs from the analyzer's {}",
+                    c.len(),
+                    self.frame_len
+                )));
+            }
+        }
+        {
+            let _stft = ht_obs::span("stream.stft");
+            for (spec, c) in self.spectra.iter_mut().zip(frame) {
+                self.stft.process_into(c, spec);
+            }
+        }
+        {
+            let _srp = ht_obs::span("stream.srp");
+            self.srp.fill(0.0);
+            for (p, &(i, j)) in self.pairs.iter().enumerate() {
+                gcc_phat_from_spectra_into(
+                    &self.spectra[i],
+                    &self.spectra[j],
+                    &self.plan,
+                    self.max_lag,
+                    &mut self.gcc,
+                    &mut self.lag_window,
+                );
+                self.features.tdoas[p] = peak_lag_interpolated(&self.lag_window, self.max_lag);
+                for (acc, v) in self.srp.iter_mut().zip(&self.lag_window) {
+                    *acc += v;
+                }
+            }
+        }
+        let f = &mut self.features;
+        f.frame_index = self.frames;
+        f.rms = ht_dsp::signal::rms(&frame[0]);
+        f.srp_peak = self.srp.iter().copied().fold(f64::MIN, f64::max);
+        f.srp_mean_abs = self.srp.iter().map(|v| v.abs()).sum::<f64>() / self.srp.len() as f64;
+        let mags = &self.spectra[0];
+        f.low_band = band_mean(mags, self.low_bins);
+        f.high_band = band_mean(mags, self.high_bins);
+        self.frames += 1;
+        Ok(&self.features)
+    }
+
+    /// The configured channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The configured frame length in samples.
+    pub fn frame_len(&self) -> usize {
+        self.frame_len
+    }
+
+    /// The effective lag half-width (after clamping).
+    pub fn max_lag(&self) -> usize {
+        self.max_lag
+    }
+
+    /// The microphone pairs correlated per frame, in feature order.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// The FFT length frames are padded to.
+    pub fn n_fft(&self) -> usize {
+        self.stft.n_fft()
+    }
+
+    /// Frames analyzed so far.
+    pub fn frames_analyzed(&self) -> u64 {
+        self.frames
+    }
+}
+
+/// Mean magnitude over the one-sided bins `[lo, hi)` (0 for an empty band).
+fn band_mean(spec: &[Complex], (lo, hi): (usize, usize)) -> f64 {
+    if hi <= lo {
+        return 0.0;
+    }
+    spec[lo..hi].iter().map(|z| z.abs()).sum::<f64>() / (hi - lo) as f64
+}
+
+/// Sub-sample peak of a `±max_lag` window via parabolic interpolation
+/// (mirrors `LagCurve::peak_lag_interpolated`).
+fn peak_lag_interpolated(values: &[f64], max_lag: usize) -> f64 {
+    let mut idx = 0;
+    let mut best = f64::MIN;
+    for (k, &v) in values.iter().enumerate() {
+        if v > best {
+            best = v;
+            idx = k;
+        }
+    }
+    let coarse = idx as f64 - max_lag as f64;
+    if idx == 0 || idx + 1 >= values.len() {
+        return coarse;
+    }
+    let (ym1, y0, yp1) = (values[idx - 1], values[idx], values[idx + 1]);
+    let denom = ym1 - 2.0 * y0 + yp1;
+    if denom.abs() < 1e-15 {
+        coarse
+    } else {
+        coarse + 0.5 * (ym1 - yp1) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ht_dsp::signal::{fractional_delay, tone};
+
+    fn noise(n: usize, mut state: u64) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_the_inter_channel_delay() {
+        let x = noise(960, 7);
+        let y = fractional_delay(&x, 4.0, 16);
+        let mut a = FrameAnalyzer::new(2, 960, 13, 48_000.0).unwrap();
+        let f = a.analyze(&[x, y]).unwrap();
+        // Negative lag: the first channel leads (mirrors gcc_phat).
+        assert!((f.tdoas[0] + 4.0).abs() < 0.3, "tdoa {}", f.tdoas[0]);
+        assert!(f.srp_sharpness() > 1.0);
+    }
+
+    #[test]
+    fn pair_order_matches_the_batch_srp_convention() {
+        let a = FrameAnalyzer::new(4, 960, 13, 48_000.0).unwrap();
+        assert_eq!(a.pairs(), &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(a.n_fft(), 1024);
+    }
+
+    #[test]
+    fn band_ratio_separates_bright_from_dull_frames() {
+        let sr = 48_000.0;
+        let n = 960;
+        // Bright: energy at 2 kHz (high band). Dull: 200 Hz (low band).
+        let bright = tone(2000.0, sr, n, 1.0);
+        let dull = tone(200.0, sr, n, 1.0);
+        let mut a = FrameAnalyzer::new(2, n, 13, sr).unwrap();
+        let rb = a.analyze(&[bright.clone(), bright]).unwrap().band_ratio();
+        let rd = a.analyze(&[dull.clone(), dull]).unwrap().band_ratio();
+        assert!(rb > 10.0 * rd.max(1e-12), "bright {rb} dull {rd}");
+    }
+
+    #[test]
+    fn silent_frames_are_finite_and_flat() {
+        let mut a = FrameAnalyzer::new(2, 480, 13, 48_000.0).unwrap();
+        let z = vec![0.0; 480];
+        let f = a.analyze(&[z.clone(), z]).unwrap();
+        assert_eq!(f.rms, 0.0);
+        assert_eq!(f.srp_sharpness(), 0.0);
+        assert_eq!(f.band_ratio(), 0.0);
+        assert!(f.tdoas.iter().all(|t| t.is_finite()));
+    }
+
+    #[test]
+    fn frame_indices_count_up() {
+        let mut a = FrameAnalyzer::new(2, 64, 8, 48_000.0).unwrap();
+        let z = vec![0.1; 64];
+        for i in 0..3 {
+            let f = a.analyze(&[z.clone(), z.clone()]).unwrap();
+            assert_eq!(f.frame_index, i);
+        }
+        assert_eq!(a.frames_analyzed(), 3);
+    }
+
+    #[test]
+    fn wrong_shapes_are_rejected() {
+        let mut a = FrameAnalyzer::new(2, 64, 8, 48_000.0).unwrap();
+        let z = vec![0.0; 64];
+        assert!(matches!(
+            a.analyze(std::slice::from_ref(&z)),
+            Err(StreamError::ChannelCountChanged {
+                expected: 2,
+                got: 1
+            })
+        ));
+        assert!(matches!(
+            a.analyze(&[z.clone(), vec![0.0; 32]]),
+            Err(StreamError::BadGeometry(_))
+        ));
+        // Still usable after a rejection.
+        assert!(a.analyze(&[z.clone(), z]).is_ok());
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(FrameAnalyzer::new(1, 64, 8, 48_000.0).is_err());
+        assert!(FrameAnalyzer::new(2, 0, 8, 48_000.0).is_err());
+        assert!(FrameAnalyzer::new(2, 64, 8, 0.0).is_err());
+        assert!(FrameAnalyzer::new(2, 64, 8, f64::NAN).is_err());
+        // Lag clamps like the batch Correlator.
+        let a = FrameAnalyzer::new(2, 8, 100, 48_000.0).unwrap();
+        assert_eq!(a.max_lag(), 7);
+    }
+
+    #[test]
+    fn repeated_analysis_is_deterministic() {
+        let x = noise(960, 11);
+        let y = fractional_delay(&x, 2.5, 16);
+        let mut a = FrameAnalyzer::new(2, 960, 13, 48_000.0).unwrap();
+        let first = a.analyze(&[x.clone(), y.clone()]).unwrap().clone();
+        for _ in 0..3 {
+            let again = a.analyze(&[x.clone(), y.clone()]).unwrap();
+            assert_eq!(again.tdoas, first.tdoas);
+            assert_eq!(again.srp_peak.to_bits(), first.srp_peak.to_bits());
+            assert_eq!(again.low_band.to_bits(), first.low_band.to_bits());
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! The early-exit gate: frame-granular soft-mute before the utterance ends.
+//!
+//! The paper's privacy control only helps if the decision lands before the
+//! assistant wakes. The gate watches cheap per-frame evidence — the
+//! high/low band ratio (replay speakers cut highs, Fig. 3) and the SRP
+//! peak sharpness (a frontal speaker has a dominant direct path) — through
+//! an EWMA, and soft-mutes once the evidence has stayed below its floor
+//! for `patience` consecutive voiced frames. Silence never counts against
+//! the speaker: unvoiced frames leave the EWMAs and strike counters alone.
+//!
+//! Two modes with different determinism contracts:
+//!
+//! * [`GateMode::Advisory`] (default): the verdict is recorded (when the
+//!   gate would have muted) but the stream keeps ingesting, and the final
+//!   decision is the batch-identical model verdict. Use this when the
+//!   byte-identity contract with the batch pipeline matters.
+//! * [`GateMode::Enforcing`]: the stream stops ingesting at the exit frame
+//!   — genuine early mute, at the cost of deciding on a truncated capture.
+
+/// The stream's rolling verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeVerdict {
+    /// Not enough evidence yet; keep listening.
+    Undecided,
+    /// The finalized pipeline accepted the capture (live *and* facing).
+    /// Only ever produced at finalization — the models, not the gate,
+    /// grant an Allow.
+    Allow,
+    /// The gate (mid-stream) or the finalized pipeline rejected the
+    /// capture; the assistant should stay muted.
+    SoftMute,
+}
+
+/// What the gate does when it concludes the speaker isn't addressing the
+/// device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateMode {
+    /// Record the would-be exit but keep ingesting; the final verdict is
+    /// byte-identical to the batch pipeline.
+    Advisory,
+    /// Stop ingesting at the exit frame (true early mute).
+    Enforcing,
+}
+
+/// Why the gate fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// The band-ratio EWMA stayed under its floor: replay-like spectrum.
+    NotLive,
+    /// The SRP-sharpness EWMA stayed under its floor: no dominant direct
+    /// path toward the array.
+    NotFacing,
+}
+
+/// A fired early exit: which frame, and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EarlyExit {
+    /// 0-based index of the frame at which the gate fired.
+    pub frame: u64,
+    /// The failing evidence stream.
+    pub reason: ExitReason,
+}
+
+/// Tuning for the early-exit gate.
+///
+/// The default floors are calibrated on the `ht-datagen` scenario suite
+/// (the `probe_evidence_floors` probe in the golden tests): a facing live
+/// speaker's evidence EWMAs never dip below roughly 0.029 (band ratio) and
+/// 1.42 (SRP sharpness) on any rendered scenario, so the defaults sit just
+/// under those minima — the advisory gate stays silent for legitimate
+/// speakers while averted speech and the worst replays (whose EWMAs reach
+/// 0.021 and 1.14) can still strike.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateConfig {
+    /// Advisory (default) or enforcing; see [`GateMode`].
+    pub mode: GateMode,
+    /// Voiced frames to observe before the gate may judge at all.
+    pub min_voiced_frames: usize,
+    /// Consecutive below-floor voiced frames required to fire.
+    pub patience: usize,
+    /// Floor for the band-ratio EWMA (liveness evidence).
+    pub live_floor: f64,
+    /// Floor for the SRP-sharpness EWMA (orientation evidence).
+    pub facing_floor: f64,
+    /// EWMA smoothing factor in `(0, 1]`; 1 means no smoothing.
+    pub ewma_alpha: f64,
+    /// A frame is voiced when its RMS exceeds this fraction of the running
+    /// peak RMS.
+    pub voiced_rms_fraction: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> GateConfig {
+        GateConfig {
+            mode: GateMode::Advisory,
+            min_voiced_frames: 10,
+            patience: 8,
+            live_floor: 0.025,
+            facing_floor: 1.3,
+            ewma_alpha: 0.25,
+            voiced_rms_fraction: 0.1,
+        }
+    }
+}
+
+impl GateConfig {
+    /// The default advisory configuration.
+    pub fn advisory() -> GateConfig {
+        GateConfig::default()
+    }
+
+    /// The default thresholds with [`GateMode::Enforcing`].
+    pub fn enforcing() -> GateConfig {
+        GateConfig {
+            mode: GateMode::Enforcing,
+            ..GateConfig::default()
+        }
+    }
+
+    /// A gate that never fires (floors at −∞) — streaming becomes pure
+    /// instrumentation.
+    pub fn disabled() -> GateConfig {
+        GateConfig {
+            live_floor: f64::NEG_INFINITY,
+            facing_floor: f64::NEG_INFINITY,
+            ..GateConfig::default()
+        }
+    }
+}
+
+/// Incremental evidence accumulator implementing the early-exit policy.
+#[derive(Debug, Clone)]
+pub struct EarlyExitGate {
+    cfg: GateConfig,
+    frames: u64,
+    voiced: usize,
+    peak_rms: f64,
+    live_ewma: Option<f64>,
+    facing_ewma: Option<f64>,
+    live_strikes: usize,
+    facing_strikes: usize,
+    fired: Option<EarlyExit>,
+}
+
+impl EarlyExitGate {
+    /// A fresh gate with the given tuning.
+    pub fn new(cfg: GateConfig) -> EarlyExitGate {
+        EarlyExitGate {
+            cfg,
+            frames: 0,
+            voiced: 0,
+            peak_rms: 0.0,
+            live_ewma: None,
+            facing_ewma: None,
+            live_strikes: 0,
+            facing_strikes: 0,
+            fired: None,
+        }
+    }
+
+    /// Feeds one frame's evidence and returns the rolling verdict. Once
+    /// fired the gate latches: every later observation returns
+    /// [`WakeVerdict::SoftMute`] without touching the evidence state.
+    pub fn observe(&mut self, rms: f64, live_evidence: f64, facing_evidence: f64) -> WakeVerdict {
+        let frame = self.frames;
+        self.frames += 1;
+        if self.fired.is_some() {
+            return WakeVerdict::SoftMute;
+        }
+        self.peak_rms = self.peak_rms.max(rms);
+        let voiced = rms > self.cfg.voiced_rms_fraction * self.peak_rms && rms > 1e-12;
+        if !voiced {
+            return WakeVerdict::Undecided;
+        }
+        self.voiced += 1;
+        let a = self.cfg.ewma_alpha;
+        let live = ewma(&mut self.live_ewma, live_evidence, a);
+        let facing = ewma(&mut self.facing_ewma, facing_evidence, a);
+        if self.voiced < self.cfg.min_voiced_frames {
+            return WakeVerdict::Undecided;
+        }
+        step_strikes(&mut self.live_strikes, live, self.cfg.live_floor);
+        step_strikes(&mut self.facing_strikes, facing, self.cfg.facing_floor);
+        // Liveness first: a fixed check order keeps the reported reason
+        // deterministic when both streams cross on the same frame.
+        let reason = if self.live_strikes >= self.cfg.patience {
+            Some(ExitReason::NotLive)
+        } else if self.facing_strikes >= self.cfg.patience {
+            Some(ExitReason::NotFacing)
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            self.fired = Some(EarlyExit { frame, reason });
+            return WakeVerdict::SoftMute;
+        }
+        WakeVerdict::Undecided
+    }
+
+    /// The fired exit, if any.
+    pub fn fired(&self) -> Option<EarlyExit> {
+        self.fired
+    }
+
+    /// The current liveness EWMA (None before the first voiced frame).
+    pub fn live_score(&self) -> Option<f64> {
+        self.live_ewma
+    }
+
+    /// The current orientation EWMA (None before the first voiced frame).
+    pub fn facing_score(&self) -> Option<f64> {
+        self.facing_ewma
+    }
+
+    /// Frames observed (voiced or not).
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Voiced frames observed.
+    pub fn voiced_frames(&self) -> usize {
+        self.voiced
+    }
+
+    /// The configuration this gate runs under.
+    pub fn config(&self) -> &GateConfig {
+        &self.cfg
+    }
+}
+
+fn ewma(state: &mut Option<f64>, value: f64, alpha: f64) -> f64 {
+    let next = match *state {
+        None => value,
+        Some(prev) => prev + alpha * (value - prev),
+    };
+    *state = Some(next);
+    next
+}
+
+fn step_strikes(strikes: &mut usize, value: f64, floor: f64) {
+    if value < floor {
+        *strikes += 1;
+    } else {
+        *strikes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GateConfig {
+        GateConfig {
+            min_voiced_frames: 3,
+            patience: 2,
+            live_floor: 0.5,
+            facing_floor: 2.0,
+            ewma_alpha: 1.0,
+            ..GateConfig::default()
+        }
+    }
+
+    #[test]
+    fn strong_evidence_never_fires() {
+        let mut g = EarlyExitGate::new(cfg());
+        for _ in 0..100 {
+            assert_eq!(g.observe(1.0, 2.0, 5.0), WakeVerdict::Undecided);
+        }
+        assert!(g.fired().is_none());
+        assert_eq!(g.voiced_frames(), 100);
+    }
+
+    #[test]
+    fn sustained_low_liveness_fires_not_live() {
+        let mut g = EarlyExitGate::new(cfg());
+        let mut verdicts = Vec::new();
+        for _ in 0..6 {
+            verdicts.push(g.observe(1.0, 0.1, 5.0));
+        }
+        // Judging starts once min_voiced_frames=3 is reached (frame 2);
+        // patience=2 strikes → fires on frame 3.
+        assert_eq!(verdicts[2], WakeVerdict::Undecided);
+        assert_eq!(verdicts[3], WakeVerdict::SoftMute);
+        let exit = g.fired().unwrap();
+        assert_eq!(exit.reason, ExitReason::NotLive);
+        assert_eq!(exit.frame, 3);
+        // Latched.
+        assert_eq!(g.observe(1.0, 9.9, 9.9), WakeVerdict::SoftMute);
+    }
+
+    #[test]
+    fn sustained_low_facing_fires_not_facing() {
+        let mut g = EarlyExitGate::new(cfg());
+        for _ in 0..10 {
+            g.observe(1.0, 2.0, 0.5);
+        }
+        assert_eq!(g.fired().unwrap().reason, ExitReason::NotFacing);
+    }
+
+    #[test]
+    fn liveness_wins_a_tie() {
+        let mut g = EarlyExitGate::new(cfg());
+        for _ in 0..10 {
+            g.observe(1.0, 0.1, 0.1);
+        }
+        assert_eq!(g.fired().unwrap().reason, ExitReason::NotLive);
+    }
+
+    #[test]
+    fn silence_does_not_accumulate_strikes() {
+        let mut g = EarlyExitGate::new(cfg());
+        // Establish a voiced baseline.
+        for _ in 0..3 {
+            g.observe(1.0, 2.0, 5.0);
+        }
+        // Long silence with (meaningless) low evidence: no strikes.
+        for _ in 0..50 {
+            assert_eq!(g.observe(1e-6, 0.0, 0.0), WakeVerdict::Undecided);
+        }
+        assert!(g.fired().is_none());
+        assert_eq!(g.voiced_frames(), 3);
+        // Voiced good frames still pass afterwards.
+        assert_eq!(g.observe(1.0, 2.0, 5.0), WakeVerdict::Undecided);
+        assert!(g.fired().is_none());
+    }
+
+    #[test]
+    fn recovery_resets_the_strike_counter() {
+        let mut g = EarlyExitGate::new(cfg());
+        for _ in 0..4 {
+            g.observe(1.0, 2.0, 5.0);
+        }
+        // One bad frame, then recovery, repeatedly: patience=2 never met.
+        for _ in 0..10 {
+            g.observe(1.0, 0.1, 5.0);
+            g.observe(1.0, 2.0, 5.0);
+        }
+        assert!(g.fired().is_none());
+    }
+
+    #[test]
+    fn disabled_gate_never_fires() {
+        let mut g = EarlyExitGate::new(GateConfig::disabled());
+        for _ in 0..200 {
+            g.observe(1.0, -1e9, -1e9);
+        }
+        assert!(g.fired().is_none());
+    }
+
+    #[test]
+    fn ewma_smooths_a_single_outlier_past_alpha() {
+        let mut g = EarlyExitGate::new(GateConfig {
+            ewma_alpha: 0.1,
+            ..cfg()
+        });
+        for _ in 0..5 {
+            g.observe(1.0, 2.0, 5.0);
+        }
+        // One extreme outlier barely moves the smoothed score.
+        g.observe(1.0, 0.0, 5.0);
+        assert!(g.live_score().unwrap() > 1.5);
+    }
+}

@@ -1,0 +1,85 @@
+//! Proof of the streaming pipeline's core claim: once warmed, the
+//! ingest → STFT → SRP → gate path makes zero heap allocations per frame,
+//! even with JSON observability recording on. Same counting-allocator
+//! harness as `ht-dsp`'s alloc_free suite.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use ht_stream::{EarlyExitGate, FrameAnalyzer, FrameRing, GateConfig};
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.with(|c| c.get());
+    f();
+    ALLOCS.with(|c| c.get()) - before
+}
+
+#[test]
+fn steady_state_frame_loop_is_allocation_free() {
+    // JSON mode: the guarantee must hold in fully instrumented runs.
+    ht_obs::set_mode(ht_obs::Mode::Json);
+    let (channels, frame_len, hop) = (4, 960, 480);
+    let mut ring = FrameRing::new(channels, frame_len, hop).unwrap();
+    let mut analyzer = FrameAnalyzer::new(channels, frame_len, 13, 48_000.0).unwrap();
+    let mut gate = EarlyExitGate::new(GateConfig::default());
+    let mut frame = vec![vec![0.0; frame_len]; channels];
+    let chunk: Vec<Vec<f64>> = (0..channels)
+        .map(|c| {
+            (0..hop)
+                .map(|k| ((k + c * 31) as f64 * 0.01).sin())
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[f64]> = chunk.iter().map(Vec::as_slice).collect();
+
+    // Warm-up: sizes the FFT scratch and creates the registry histograms.
+    for _ in 0..4 {
+        ring.push(&refs).unwrap();
+        while ring.pop_frame_into(&mut frame) {
+            let f = analyzer.analyze(&frame).unwrap();
+            gate.observe(f.rms, f.band_ratio(), f.srp_sharpness());
+        }
+    }
+
+    let n = allocs_during(|| {
+        for _ in 0..128 {
+            ring.push(&refs).unwrap();
+            while ring.pop_frame_into(&mut frame) {
+                let f = analyzer.analyze(&frame).unwrap();
+                gate.observe(f.rms, f.band_ratio(), f.srp_sharpness());
+            }
+        }
+    });
+    ht_obs::set_mode(ht_obs::Mode::Off);
+    assert_eq!(n, 0, "steady-state streaming frames allocated {n} times");
+}
