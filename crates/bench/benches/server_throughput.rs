@@ -1,0 +1,196 @@
+//! Sustained multi-tenant serving throughput and tail latency.
+//!
+//! Drives the deterministic load generator (`ht_serve::run_load`) over a
+//! sharded [`WakeServer`] — thousands of sessions, ragged seeded
+//! interleavings — with observability on, then reads the serving-layer
+//! histograms back out of the `ht-obs` registry. Doubles as CI's gate on
+//! the serving budgets:
+//!
+//! * sustained wake decisions per second must stay above
+//!   [`DECISIONS_PER_SEC_FLOOR`],
+//! * the per-chunk `serve.push` p99 must stay under
+//!   [`PUSH_P99_CEILING_NS`] (the tail a fleet feels as added wake
+//!   latency).
+//!
+//! Writes `BENCH_server.json` (throughput, span percentiles, serve
+//! counters, replay checksum) into `HT_BENCH_DIR`.
+
+use std::time::Instant;
+
+use ht_bench::format_ns;
+use ht_dsp::json::Json;
+use ht_obs::HistSnapshot;
+use ht_serve::{
+    noise_captures, run_load, toy_pipeline, LoadConfig, ServeConfig, TokenBucketConfig, WakeServer,
+};
+
+/// CI floor on sustained wake decisions per second. Measured ~144/s in
+/// fast mode on a single core (the finalize-time batch decision dominates
+/// at ~4.5 ms per session); the floor sits well below so only a serving
+/// regression (lock contention, lost parallelism, per-session rebuild
+/// costs) can cross it, not machine noise.
+const DECISIONS_PER_SEC_FLOOR: f64 = 50.0;
+
+/// CI ceiling on the `serve.push` p99 in nanoseconds. Measured ~0.56 ms;
+/// 5 ms (half a hop of audio) is the point where per-chunk tail latency
+/// would threaten the real-time budget.
+const PUSH_P99_CEILING_NS: u64 = 5_000_000;
+
+fn hist_json(name: &str, h: &HistSnapshot) -> Json {
+    Json::obj()
+        .set("name", name)
+        .set("count", h.count)
+        .set("mean_ns", h.mean_ns)
+        .set("p50_ns", h.p50_ns)
+        .set("p95_ns", h.p95_ns)
+        .set("p99_ns", h.p99_ns)
+        .set("min_ns", h.min_ns)
+        .set("max_ns", h.max_ns)
+}
+
+fn main() {
+    let fast = std::env::var("HT_BENCH_FAST").is_ok_and(|v| v != "0");
+    let n_sessions = if fast { 300 } else { 2000 };
+
+    let ht = toy_pipeline();
+    let serve_config = ServeConfig {
+        n_shards: 4,
+        sessions_per_shard: 32,
+        bucket: TokenBucketConfig {
+            capacity: u64::MAX,
+            refill_per_sec: 0,
+        },
+        ..ServeConfig::for_pipeline(ht.config())
+    };
+    let load_config = LoadConfig {
+        seed: 0xBE7C,
+        n_sessions,
+        ..LoadConfig::default()
+    };
+    let captures = noise_captures(8, serve_config.n_channels, 4800, 0, 0x5E55);
+
+    eprintln!(
+        "suite server: {n_sessions} sessions, {} shards x {} slots, {} threads",
+        serve_config.n_shards,
+        serve_config.sessions_per_shard,
+        ht_par::current_threads(),
+    );
+
+    // Warmup drive: builds the arena slots, grows every buffer, settles
+    // the FFT plan cache — the steady state the throughput claim is about.
+    {
+        let server = WakeServer::new(&ht, serve_config);
+        let warm = LoadConfig {
+            n_sessions: 2 * serve_config.n_shards * serve_config.sessions_per_shard,
+            ..load_config
+        };
+        run_load(&server, &captures, &warm).expect("warmup drive");
+    }
+
+    ht_obs::set_mode(ht_obs::Mode::Json);
+    ht_obs::registry().reset();
+
+    let server = WakeServer::new(&ht, serve_config);
+    let start = Instant::now();
+    let report = run_load(&server, &captures, &load_config).expect("measured drive");
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let snapshot = ht_obs::registry().snapshot();
+    ht_obs::set_mode(ht_obs::Mode::Off);
+
+    assert_eq!(report.decided, n_sessions, "every session must decide");
+    let decisions_per_sec = report.decided as f64 / elapsed.max(1e-9);
+    eprintln!(
+        "  decided {} ({} accepted, {} muted) in {elapsed:.3} s  ->  {decisions_per_sec:.0} decisions/s",
+        report.decided, report.accepted, report.soft_muted,
+    );
+    eprintln!("  checksum {:#018x}", report.checksum);
+
+    let span_names = ["serve.open", "serve.push", "serve.decision"];
+    let mut spans = Vec::new();
+    for name in span_names {
+        let h = snapshot
+            .span(name)
+            .unwrap_or_else(|| panic!("span {name} was never recorded"));
+        eprintln!(
+            "  {name:<16} p50 {:>10}  p95 {:>10}  p99 {:>10}  ({} samples)",
+            format_ns(h.p50_ns as f64),
+            format_ns(h.p95_ns as f64),
+            format_ns(h.p99_ns as f64),
+            h.count,
+        );
+        spans.push(hist_json(name, h));
+    }
+    let push = *snapshot.span("serve.push").expect("push span");
+
+    let counters = Json::obj()
+        .set("admitted", snapshot.counter("serve.admitted").unwrap_or(0))
+        .set(
+            "decisions",
+            snapshot.counter("serve.decisions").unwrap_or(0),
+        )
+        .set(
+            "shard_sessions_hwm",
+            snapshot.counter("serve.shard_sessions_hwm").unwrap_or(0),
+        )
+        .set(
+            "arena_slots_hwm",
+            snapshot.counter("serve.arena_slots_hwm").unwrap_or(0),
+        );
+
+    let json = Json::obj()
+        .set("suite", "server")
+        .set(
+            "config",
+            Json::obj()
+                .set("sessions", n_sessions)
+                .set("n_shards", serve_config.n_shards)
+                .set("sessions_per_shard", serve_config.sessions_per_shard)
+                .set("threads", ht_par::current_threads())
+                .set("seed", load_config.seed),
+        )
+        .set("decisions_per_sec", decisions_per_sec)
+        .set("decisions_per_sec_floor", DECISIONS_PER_SEC_FLOOR)
+        .set("push_p99_ceiling_ns", PUSH_P99_CEILING_NS)
+        .set("elapsed_s", elapsed)
+        .set("decided", report.decided)
+        .set("accepted", report.accepted)
+        .set("soft_muted", report.soft_muted)
+        .set("frames", report.frames)
+        .set("samples", report.samples)
+        .set("checksum", format!("{:#018x}", report.checksum))
+        .set("slots_built", server.stats().slots_built)
+        .set("spans", Json::Arr(spans))
+        .set("counters", counters);
+    let dir = std::env::var("HT_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    let _ = std::fs::create_dir_all(&dir);
+    let path = std::path::Path::new(&dir).join("BENCH_server.json");
+    std::fs::write(&path, json.pretty() + "\n")
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("suite server: wrote {}", path.display());
+
+    // The CI gates: sustained throughput and bounded push tails.
+    let mut violations = Vec::new();
+    if decisions_per_sec < DECISIONS_PER_SEC_FLOOR {
+        violations.push(format!(
+            "{decisions_per_sec:.0} decisions/s is under the {DECISIONS_PER_SEC_FLOOR:.0}/s floor"
+        ));
+    }
+    if push.p99_ns > PUSH_P99_CEILING_NS {
+        violations.push(format!(
+            "serve.push p99 {} exceeds the {} ceiling",
+            format_ns(push.p99_ns as f64),
+            format_ns(PUSH_P99_CEILING_NS as f64),
+        ));
+    }
+    assert!(
+        violations.is_empty(),
+        "server throughput gate failed:\n{}",
+        violations.join("\n")
+    );
+    eprintln!(
+        "suite server: gate ok ({decisions_per_sec:.0} decisions/s >= {DECISIONS_PER_SEC_FLOOR:.0}, push p99 {} < {})",
+        format_ns(push.p99_ns as f64),
+        format_ns(PUSH_P99_CEILING_NS as f64),
+    );
+}

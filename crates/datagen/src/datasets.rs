@@ -367,6 +367,38 @@ pub fn asvspoof_sim(n_per_class: usize, seed: u64) -> (Vec<CaptureSpec>, Vec<usi
     (specs, labels)
 }
 
+/// A mixed-traffic scenario suite for the serving load generator
+/// (`ht-serve`): `n` specs cycling through facing / side / backward human
+/// speakers and a facing loudspeaker replay, so a multi-tenant drive
+/// exercises accepts, orientation rejects, and liveness rejects in one
+/// run. Deterministic: each spec gets its own seed derived from
+/// `base_seed` and its index.
+pub fn serve_scenarios(n: usize, base_seed: u64) -> Vec<CaptureSpec> {
+    let voice = experimenter_voice();
+    let mix: [(f64, SourceKind); 4] = [
+        (0.0, SourceKind::Human { voice }),
+        (90.0, SourceKind::Human { voice }),
+        (180.0, SourceKind::Human { voice }),
+        (
+            0.0,
+            SourceKind::Replay {
+                model: SpeakerModel::SonySrsX5,
+                voice,
+            },
+        ),
+    ];
+    (0..n)
+        .map(|i| {
+            let (angle_deg, source) = mix[i % mix.len()];
+            CaptureSpec {
+                angle_deg,
+                source,
+                ..CaptureSpec::baseline(seed_for(12, i) ^ base_seed)
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +465,23 @@ mod tests {
         let raised = specs.iter().filter(|s| s.raised).count();
         assert_eq!(raised, 84);
         assert!(specs.iter().all(|s| s.obstruction != Obstruction::None));
+    }
+
+    #[test]
+    fn serve_scenarios_cycle_the_mix_with_unique_seeds() {
+        use std::collections::HashSet;
+        let specs = serve_scenarios(9, 0xFEED);
+        assert_eq!(specs.len(), 9);
+        let seeds: HashSet<_> = specs.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds.len(), 9, "every spec renders from its own seed");
+        // The 4-way mix cycles: live facing, live side, live backward, replay.
+        assert!(specs[0].source.is_live() && specs[0].angle_deg == 0.0);
+        assert!(specs[1].source.is_live() && specs[1].angle_deg == 90.0);
+        assert!(specs[2].source.is_live() && specs[2].angle_deg == 180.0);
+        assert!(!specs[3].source.is_live());
+        assert_eq!(specs[4].angle_deg, specs[0].angle_deg);
+        // Seeds differ under a different base.
+        assert_ne!(serve_scenarios(1, 1)[0].seed, specs[0].seed);
     }
 
     #[test]

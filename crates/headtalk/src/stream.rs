@@ -289,6 +289,18 @@ impl WakeStream<'_> {
     /// Propagates batch-path errors (empty/short/degenerate captures) when
     /// the gate did not stop the stream.
     pub fn finalize(self) -> Result<StreamOutcome, HeadTalkError> {
+        self.outcome()
+    }
+
+    /// [`finalize`](WakeStream::finalize) without consuming the stream, so
+    /// a pooled session slot can be [`reset`](WakeStream::reset) and reused
+    /// afterwards (the multi-tenant server's steady state). Identical
+    /// semantics and byte-identical results.
+    ///
+    /// # Errors
+    ///
+    /// As for [`finalize`](WakeStream::finalize).
+    pub fn outcome(&self) -> Result<StreamOutcome, HeadTalkError> {
         let early_exit = self.gate.fired();
         let frames = self.analyzer.frames_analyzed();
         let samples_per_channel = self.capture[0].len();
@@ -315,6 +327,22 @@ impl WakeStream<'_> {
             }),
             Err(e) => Err(e),
         }
+    }
+
+    /// Returns the stream to its just-opened state — empty ring, rewound
+    /// analyzer, fresh gate, cleared capture — while keeping every buffer
+    /// at its grown capacity. A reset stream produces byte-identical
+    /// results to a freshly opened one, but reusing it costs no heap
+    /// allocations once its buffers have grown to the working capture
+    /// length; the serving layer's session arenas depend on this.
+    pub fn reset(&mut self) {
+        self.ring.reset();
+        self.analyzer.reset();
+        self.gate.reset();
+        for cap in &mut self.capture {
+            cap.clear();
+        }
+        self.muted = false;
     }
 }
 

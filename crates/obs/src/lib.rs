@@ -167,6 +167,18 @@ pub fn counter_add(name: &'static str, n: u64) {
     }
 }
 
+/// Raises a named high-water-mark counter to `v` if `v` exceeds its current
+/// value (gauge maxima: queue depths, arena occupancy, in-flight sessions).
+/// No-op when off. Use names distinct from [`counter_add`] counters — both
+/// share one namespace, and mixing sum and max semantics on one name would
+/// corrupt it.
+#[inline]
+pub fn counter_max(name: &'static str, v: u64) {
+    if enabled() {
+        registry().counter_max(name, v);
+    }
+}
+
 /// The global registry.
 pub fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
@@ -212,6 +224,13 @@ impl Registry {
     /// Adds to the counter `name`.
     pub fn counter_add(&self, name: &'static str, n: u64) {
         *self.lock().counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Raises the counter `name` to `v` if `v` exceeds its current value.
+    pub fn counter_max(&self, name: &'static str, v: u64) {
+        let mut inner = self.lock();
+        let slot = inner.counters.entry(name).or_insert(0);
+        *slot = (*slot).max(v);
     }
 
     /// Clears every counter and histogram (per-experiment scoping).
@@ -348,6 +367,25 @@ mod tests {
         registry().reset();
         assert!(registry().snapshot().is_empty());
         set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn counter_max_keeps_the_high_water_mark() {
+        let _g = lock_global();
+        set_mode(Mode::Json);
+        registry().reset();
+        counter_max("test.hwm", 3);
+        counter_max("test.hwm", 9);
+        counter_max("test.hwm", 5);
+        assert_eq!(registry().snapshot().counter("test.hwm"), Some(9));
+        set_mode(Mode::Off);
+        counter_max("test.hwm", 100);
+        assert_eq!(
+            registry().snapshot().counter("test.hwm"),
+            Some(9),
+            "disabled counter_max must not record"
+        );
+        registry().reset();
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Token-bucket admission control with typed backpressure.
+//!
+//! The server admits a new device session only when the bucket holds a
+//! token; a drained bucket answers with a typed
+//! [`RejectReason::RateLimited`] carrying the earliest retry time instead
+//! of silently queueing unbounded work (the smart-speaker fleet at the
+//! other end retries with that hint).
+//!
+//! Determinism contract: the bucket never reads a wall clock. Every
+//! operation takes the caller's logical `now_ns`, so a load-generator run
+//! driven by a seeded schedule is replayable tick for tick. Refill
+//! arithmetic is exact over `u128` intermediates — a bucket left idle for
+//! centuries of logical time refills to exactly `capacity`, never wraps,
+//! and keeps sub-token remainders by only advancing its refill epoch by
+//! the time that produced whole tokens.
+
+/// Tuning for a [`TokenBucket`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenBucketConfig {
+    /// Maximum tokens the bucket holds (burst size). Zero means "admit
+    /// nothing": every take is rejected with no retry hint.
+    pub capacity: u64,
+    /// Tokens added per second of logical time. Zero means the bucket
+    /// never refills (the initial `capacity` tokens are all there is).
+    pub refill_per_sec: u64,
+}
+
+impl Default for TokenBucketConfig {
+    fn default() -> TokenBucketConfig {
+        TokenBucketConfig {
+            capacity: 64,
+            refill_per_sec: 256,
+        }
+    }
+}
+
+/// Why the server refused work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The admission bucket is empty. `retry_after_ns` is the logical
+    /// nanoseconds until a token will exist, or `None` when one never will
+    /// (zero capacity or zero refill).
+    RateLimited {
+        /// Logical ns until the next token, if tokens ever accrue.
+        retry_after_ns: Option<u64>,
+    },
+    /// Every session slot of the target shard is in flight; the client
+    /// should back off and re-open (finishing sessions free slots).
+    ShardFull {
+        /// The shard that was full.
+        shard: usize,
+        /// Its slot capacity.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::RateLimited {
+                retry_after_ns: Some(ns),
+            } => write!(f, "rate limited: retry in {ns} ns"),
+            RejectReason::RateLimited {
+                retry_after_ns: None,
+            } => write!(f, "rate limited: no tokens will accrue"),
+            RejectReason::ShardFull { shard, capacity } => {
+                write!(
+                    f,
+                    "shard {shard} full: all {capacity} session slots in flight"
+                )
+            }
+        }
+    }
+}
+
+const NS_PER_SEC: u128 = 1_000_000_000;
+
+/// A deterministic token bucket over a caller-supplied logical clock.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    config: TokenBucketConfig,
+    tokens: u64,
+    /// Logical time the fractional-token remainder is measured from.
+    epoch_ns: u64,
+}
+
+impl TokenBucket {
+    /// A full bucket whose refill epoch starts at logical time zero.
+    pub fn new(config: TokenBucketConfig) -> TokenBucket {
+        TokenBucket {
+            config,
+            tokens: config.capacity,
+            epoch_ns: 0,
+        }
+    }
+
+    /// The configuration this bucket runs under.
+    pub fn config(&self) -> &TokenBucketConfig {
+        &self.config
+    }
+
+    /// Tokens available at logical time `now_ns` (refills first).
+    pub fn available(&mut self, now_ns: u64) -> u64 {
+        self.refill(now_ns);
+        self.tokens
+    }
+
+    /// Takes one token at logical time `now_ns`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RejectReason::RateLimited`] with the earliest retry time
+    /// when the bucket is empty.
+    pub fn try_take(&mut self, now_ns: u64) -> Result<(), RejectReason> {
+        self.refill(now_ns);
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            return Ok(());
+        }
+        Err(RejectReason::RateLimited {
+            retry_after_ns: self.ns_until_next_token(now_ns),
+        })
+    }
+
+    /// Credits whole tokens accrued since the epoch, keeping the
+    /// sub-token remainder by advancing the epoch only by the time that
+    /// produced whole tokens. Time never flows backwards: a stale `now_ns`
+    /// is a no-op, so out-of-order observations cannot mint tokens.
+    fn refill(&mut self, now_ns: u64) {
+        if self.config.refill_per_sec == 0 || now_ns <= self.epoch_ns {
+            // Still pin the epoch forward for the rate-zero case so retry
+            // hints stay meaningful relative to `now_ns`.
+            if self.config.refill_per_sec == 0 {
+                self.epoch_ns = self.epoch_ns.max(now_ns);
+            }
+            return;
+        }
+        let elapsed = (now_ns - self.epoch_ns) as u128;
+        let rate = self.config.refill_per_sec as u128;
+        // elapsed < 2^64 and rate < 2^64, so the product fits u128 exactly.
+        let accrued = elapsed * rate / NS_PER_SEC;
+        if accrued == 0 {
+            return;
+        }
+        let headroom = (self.config.capacity - self.tokens) as u128;
+        if accrued >= headroom {
+            // Full: any fractional remainder is forfeit (a full bucket
+            // stores no credit), so the epoch snaps to now.
+            self.tokens = self.config.capacity;
+            self.epoch_ns = now_ns;
+        } else {
+            self.tokens += accrued as u64;
+            // Advance by exactly the time that minted `accrued` tokens;
+            // the remainder keeps accruing from the new epoch.
+            let consumed_ns = accrued * NS_PER_SEC / rate;
+            self.epoch_ns += consumed_ns as u64;
+        }
+    }
+
+    /// Logical ns from `now_ns` until one token exists, or `None` when
+    /// tokens never accrue.
+    fn ns_until_next_token(&self, now_ns: u64) -> Option<u64> {
+        if self.config.capacity == 0 || self.config.refill_per_sec == 0 {
+            return None;
+        }
+        let rate = self.config.refill_per_sec as u128;
+        // First instant t with (t - epoch) * rate / 1e9 >= 1.
+        let target = self.epoch_ns as u128 + NS_PER_SEC.div_ceil(rate);
+        Some(target.saturating_sub(now_ns as u128).max(1) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ht_dsp::check::property;
+
+    #[test]
+    fn full_bucket_grants_exactly_capacity_as_a_burst() {
+        // Burst exactly at capacity: all succeed, the very next is typed.
+        let mut b = TokenBucket::new(TokenBucketConfig {
+            capacity: 7,
+            refill_per_sec: 0,
+        });
+        for i in 0..7 {
+            assert!(b.try_take(0).is_ok(), "take {i}");
+        }
+        assert_eq!(
+            b.try_take(0),
+            Err(RejectReason::RateLimited {
+                retry_after_ns: None
+            })
+        );
+    }
+
+    #[test]
+    fn zero_capacity_bucket_rejects_everything_forever() {
+        let mut b = TokenBucket::new(TokenBucketConfig {
+            capacity: 0,
+            refill_per_sec: 1_000_000,
+        });
+        for now in [0u64, 1, 1_000_000_000, u64::MAX] {
+            assert_eq!(
+                b.try_take(now),
+                Err(RejectReason::RateLimited {
+                    retry_after_ns: None
+                }),
+                "at {now}"
+            );
+            assert_eq!(b.available(now), 0);
+        }
+    }
+
+    #[test]
+    fn refill_is_exact_and_keeps_subtoken_remainders() {
+        let mut b = TokenBucket::new(TokenBucketConfig {
+            capacity: 10,
+            refill_per_sec: 2, // one token per 500 ms
+        });
+        for _ in 0..10 {
+            b.try_take(0).unwrap();
+        }
+        // 499 ms: still empty, retry hint points at the 500 ms boundary.
+        assert_eq!(
+            b.try_take(499_000_000),
+            Err(RejectReason::RateLimited {
+                retry_after_ns: Some(1_000_000)
+            })
+        );
+        // 500 ms: exactly one token.
+        assert!(b.try_take(500_000_000).is_ok());
+        assert_eq!(b.available(500_000_000), 0);
+        // 999 ms total: the 499 ms remainder carried over, so the next
+        // token lands at 1000 ms, not 1499 ms.
+        assert!(b.try_take(999_000_000).is_err());
+        assert!(b.try_take(1_000_000_000).is_ok());
+    }
+
+    #[test]
+    fn long_idle_gaps_never_saturate() {
+        // A bucket left idle for the maximum representable logical time
+        // refills to exactly capacity — no u64 wrap, no panic.
+        let mut b = TokenBucket::new(TokenBucketConfig {
+            capacity: 3,
+            refill_per_sec: u64::MAX,
+        });
+        for _ in 0..3 {
+            b.try_take(0).unwrap();
+        }
+        assert_eq!(b.available(u64::MAX), 3);
+        for _ in 0..3 {
+            b.try_take(u64::MAX).unwrap();
+        }
+        assert!(b.try_take(u64::MAX).is_err());
+    }
+
+    #[test]
+    fn stale_timestamps_mint_nothing() {
+        let mut b = TokenBucket::new(TokenBucketConfig {
+            capacity: 1,
+            refill_per_sec: 1_000_000_000,
+        });
+        b.try_take(1_000).unwrap();
+        // Time appears to run backwards (reordered events): no credit.
+        assert_eq!(b.available(0), 0);
+        assert_eq!(b.available(999), 0);
+    }
+
+    #[test]
+    fn prop_tokens_never_exceed_capacity_and_grants_are_bounded() {
+        property("bucket_invariants").cases(64).run(|g| {
+            let capacity = g.u64_in(0..20);
+            let refill_per_sec = *g.choose(&[0u64, 1, 3, 1_000, 1_000_000_000, u64::MAX]);
+            let mut b = TokenBucket::new(TokenBucketConfig {
+                capacity,
+                refill_per_sec,
+            });
+            let mut now: u64 = 0;
+            let mut granted: u64 = 0;
+            let mut max_elapsed: u128 = 0;
+            for _ in 0..g.usize_in(1..200) {
+                // Mostly small steps, occasionally a huge idle gap.
+                let step = if g.usize_in(0..10) == 0 {
+                    g.u64_in(0..u64::MAX / 2)
+                } else {
+                    g.u64_in(0..2_000_000_000)
+                };
+                now = now.saturating_add(step);
+                max_elapsed += step as u128;
+                if b.try_take(now).is_ok() {
+                    granted += 1;
+                }
+                assert!(b.available(now) <= capacity, "tokens exceed capacity");
+            }
+            // Conservation: grants never exceed the initial burst plus
+            // everything the refill rate could possibly have minted.
+            let minted_bound = if refill_per_sec == 0 {
+                0
+            } else {
+                // Saturating: the bound only ever needs to reach u64::MAX.
+                (max_elapsed.saturating_mul(refill_per_sec as u128) / NS_PER_SEC)
+                    .saturating_add(1)
+                    .min(u64::MAX as u128) as u64
+            };
+            assert!(
+                granted <= capacity.saturating_add(minted_bound),
+                "granted {granted} > capacity {capacity} + minted bound {minted_bound}"
+            );
+        });
+    }
+
+    #[test]
+    fn prop_retry_hint_is_honored() {
+        // Whenever a take is rejected with a finite retry hint, a take at
+        // exactly `now + hint` succeeds (provided no other taker raced).
+        property("bucket_retry_hint").cases(64).run(|g| {
+            let capacity = g.u64_in(1..8);
+            let refill_per_sec = *g.choose(&[1u64, 2, 7, 1_000, 48_000]);
+            let mut b = TokenBucket::new(TokenBucketConfig {
+                capacity,
+                refill_per_sec,
+            });
+            let mut now: u64 = 0;
+            for _ in 0..g.usize_in(1..60) {
+                now = now.saturating_add(g.u64_in(0..500_000_000));
+                match b.try_take(now) {
+                    Ok(()) => {}
+                    Err(RejectReason::RateLimited {
+                        retry_after_ns: Some(hint),
+                    }) => {
+                        now = now.saturating_add(hint);
+                        assert!(
+                            b.try_take(now).is_ok(),
+                            "retry at now+{hint} must be granted"
+                        );
+                    }
+                    Err(other) => panic!("unexpected rejection {other:?}"),
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,428 @@
+//! Deterministic load generation: seeded session schedules over a
+//! [`WakeServer`].
+//!
+//! The driver replays `n_sessions` synthetic wake events through the
+//! server in **waves** sized to the server's total slot capacity. Each
+//! wave runs in two phases:
+//!
+//! 1. **Admission (serial).** Sessions open one at a time in id order on a
+//!    logical clock that advances `open_spacing_ns` per attempt, so the
+//!    token bucket sees one well-defined arrival sequence regardless of
+//!    thread count.
+//! 2. **Streaming (shard-parallel).** Admitted sessions are grouped by
+//!    shard and the groups run on the `ht-par` pool. Within a group, a
+//!    per-`(seed, wave, shard)` RNG interleaves the sessions' pushes with
+//!    ragged chunk sizes drawn from `[chunk_min, chunk_max]` — thousands
+//!    of sessions' chunks arbitrarily interleaved, yet fully determined by
+//!    `(seed, scenario set)`.
+//!
+//! Because shards share no state and each shard's event order is fixed by
+//! the seed (never by scheduling), the whole run — every decision bit,
+//! every rejection — is byte-identical at any `HT_THREADS`. The
+//! [`LoadReport::checksum`] folds all of it into one replayable
+//! fingerprint; two runs agree iff their checksums do.
+
+use headtalk::liveness::LivenessDetector;
+use headtalk::orientation::{ModelKind, OrientationDetector};
+use headtalk::stream::WakeVerdict;
+use headtalk::{HeadTalk, PipelineConfig};
+use ht_dsp::rng::{derive_seed, gaussian, split_stream, Rng, SeedableRng, StdRng};
+use ht_ml::Dataset;
+
+use crate::admission::RejectReason;
+use crate::server::{ServeError, WakeServer};
+
+/// Tuning for one [`run_load`] drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadConfig {
+    /// Master seed; `(seed, captures)` fully determines the run.
+    pub seed: u64,
+    /// Synthetic wake events to replay.
+    pub n_sessions: usize,
+    /// Logical nanoseconds between admission attempts (what the token
+    /// bucket experiences as the arrival rate).
+    pub open_spacing_ns: u64,
+    /// Smallest push chunk in samples (≥ 1).
+    pub chunk_min: usize,
+    /// Largest push chunk in samples (≥ `chunk_min`).
+    pub chunk_max: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            seed: 0x10AD,
+            n_sessions: 1000,
+            open_spacing_ns: 1_000_000,
+            chunk_min: 120,
+            chunk_max: 960,
+        }
+    }
+}
+
+/// What one [`run_load`] drive did, deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoadReport {
+    /// Sessions admitted and streamed to a decision.
+    pub decided: usize,
+    /// Decisions that accepted the wake (live human, facing).
+    pub accepted: usize,
+    /// Decisions that soft-muted (rejected the wake).
+    pub soft_muted: usize,
+    /// Opens refused by the token bucket.
+    pub rejected_rate: usize,
+    /// Opens refused because the target shard was full.
+    pub rejected_capacity: usize,
+    /// Analysis frames processed across all sessions.
+    pub frames: u64,
+    /// Samples ingested across all sessions and channels.
+    pub samples: u64,
+    /// FNV-1a fold of every per-session result (decision bits, feature
+    /// bits, frame counts, rejections) in session-id order. Two runs are
+    /// byte-identical iff their checksums match.
+    pub checksum: u64,
+}
+
+/// FNV-1a over little-endian u64 words — the workspace's standard cheap
+/// fingerprint (same constants as `ht_dsp::check`'s seed streams).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn mix(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// One admitted session waiting to stream.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    id: u64,
+    capture: usize,
+}
+
+/// One finished session's result, reduced to comparison bits.
+#[derive(Debug, Clone, Copy)]
+struct SessionOutcome {
+    id: u64,
+    verdict: WakeVerdict,
+    accepted: bool,
+    live_bits: u64,
+    facing_bits: u64,
+    feature_fold: u64,
+    frames: u64,
+    samples: u64,
+}
+
+/// Replays `config.n_sessions` wake events from `captures` through
+/// `server` under the seeded interleaving schedule. Session `i` (id `i`)
+/// streams `captures[i % captures.len()]`.
+///
+/// # Errors
+///
+/// Propagates unexpected serving errors (the schedule itself never sends
+/// malformed chunks, so evictions and pipeline failures here mean the
+/// captures are degenerate).
+///
+/// # Panics
+///
+/// Panics when `captures` is empty or the chunk bounds are inverted/zero.
+pub fn run_load(
+    server: &WakeServer<'_>,
+    captures: &[Vec<Vec<f64>>],
+    config: &LoadConfig,
+) -> Result<LoadReport, ServeError> {
+    assert!(!captures.is_empty(), "load generation needs captures");
+    assert!(
+        config.chunk_min >= 1 && config.chunk_min <= config.chunk_max,
+        "chunk bounds must satisfy 1 <= min <= max"
+    );
+    let n_shards = server.config().n_shards;
+    let total_slots = n_shards * server.config().sessions_per_shard;
+
+    let mut report = LoadReport::default();
+    let mut checksum = Fnv::new();
+    let mut now_ns = 0u64;
+    let mut next_id = 0u64;
+    let mut remaining = config.n_sessions;
+    let mut wave_idx = 0u64;
+
+    while remaining > 0 {
+        let wave = remaining.min(total_slots);
+        // Phase 1: serial admission in id order on the logical clock.
+        let mut groups: Vec<Vec<Pending>> = vec![Vec::new(); n_shards];
+        for _ in 0..wave {
+            let id = next_id;
+            next_id += 1;
+            now_ns += config.open_spacing_ns;
+            match server.open(id, now_ns) {
+                Ok(()) => groups[server.shard_of(id)].push(Pending {
+                    id,
+                    capture: (id % captures.len() as u64) as usize,
+                }),
+                Err(ServeError::Rejected(RejectReason::RateLimited { .. })) => {
+                    report.rejected_rate += 1;
+                    checksum.mix(id);
+                    checksum.mix(u64::MAX - 1);
+                }
+                Err(ServeError::Rejected(RejectReason::ShardFull { .. })) => {
+                    report.rejected_capacity += 1;
+                    checksum.mix(id);
+                    checksum.mix(u64::MAX - 2);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        remaining -= wave;
+
+        // Phase 2: shard groups stream in parallel; each group's event
+        // order comes from its own (seed, wave, shard) RNG stream, so the
+        // pool's scheduling cannot reorder anything observable.
+        let wave_seed = derive_seed(config.seed, wave_idx);
+        let indexed: Vec<(usize, Vec<Pending>)> = groups.into_iter().enumerate().collect();
+        let shard_results: Vec<Result<Vec<SessionOutcome>, ServeError>> =
+            ht_par::par_map(&indexed, |(shard_idx, group)| {
+                run_shard_group(
+                    server, *shard_idx, group, wave_seed, config, captures, now_ns,
+                )
+            });
+
+        // Merge in session-id order so the checksum is schedule-free.
+        let mut outcomes: Vec<SessionOutcome> = Vec::new();
+        for r in shard_results {
+            outcomes.extend(r?);
+        }
+        outcomes.sort_by_key(|o| o.id);
+        for o in &outcomes {
+            report.decided += 1;
+            if o.accepted {
+                report.accepted += 1;
+            } else {
+                report.soft_muted += 1;
+            }
+            report.frames += o.frames;
+            report.samples += o.samples;
+            checksum.mix(o.id);
+            checksum.mix(match o.verdict {
+                WakeVerdict::Allow => 1,
+                WakeVerdict::SoftMute => 2,
+                WakeVerdict::Undecided => 3,
+            });
+            checksum.mix(o.live_bits);
+            checksum.mix(o.facing_bits);
+            checksum.mix(o.feature_fold);
+            checksum.mix(o.frames);
+            checksum.mix(o.samples);
+        }
+        wave_idx += 1;
+    }
+    report.checksum = checksum.0;
+    Ok(report)
+}
+
+/// Streams one shard's admitted sessions to completion under the group's
+/// seeded interleaving.
+fn run_shard_group(
+    server: &WakeServer<'_>,
+    shard_idx: usize,
+    group: &[Pending],
+    wave_seed: u64,
+    config: &LoadConfig,
+    captures: &[Vec<Vec<f64>>],
+    now_ns: u64,
+) -> Result<Vec<SessionOutcome>, ServeError> {
+    let mut rng = split_stream(wave_seed, shard_idx as u64);
+    let mut cursors: Vec<(Pending, usize)> = group.iter().map(|&p| (p, 0usize)).collect();
+    let mut outcomes = Vec::with_capacity(group.len());
+    let mut chunk: Vec<&[f64]> = Vec::new();
+    while !cursors.is_empty() {
+        let pick = rng.gen_range(0..cursors.len());
+        let (pending, pos) = cursors[pick];
+        let capture = &captures[pending.capture];
+        let len = capture[0].len();
+        let take = rng
+            .gen_range(config.chunk_min..config.chunk_max + 1)
+            .min(len - pos);
+        chunk.clear();
+        chunk.extend(capture.iter().map(|c| &c[pos..pos + take]));
+        server.push(pending.id, &chunk, now_ns)?;
+        let pos = pos + take;
+        cursors[pick].1 = pos;
+        if pos == len {
+            let outcome = server.finalize(pending.id, now_ns)?;
+            let mut fold = Fnv::new();
+            for f in &outcome.features {
+                fold.mix(f.to_bits());
+            }
+            outcomes.push(SessionOutcome {
+                id: pending.id,
+                verdict: outcome.verdict,
+                accepted: outcome.decision.as_ref().is_some_and(|d| d.accepted()),
+                live_bits: outcome
+                    .decision
+                    .as_ref()
+                    .map_or(0, |d| d.live_probability.to_bits()),
+                facing_bits: outcome
+                    .decision
+                    .as_ref()
+                    .map_or(0, |d| d.facing_score.to_bits()),
+                feature_fold: fold.0,
+                frames: outcome.frames,
+                samples: (outcome.samples_per_channel * capture.len()) as u64,
+            });
+            cursors.swap_remove(pick);
+        }
+    }
+    Ok(outcomes)
+}
+
+/// A pipeline with quickly trained stand-in models, for load generation,
+/// benches, and tests. The streaming path under load never consults the
+/// models until finalization, but every session borrows a full
+/// [`HeadTalk`]; tiny synthetic training sets keep startup in
+/// milliseconds. Fully seeded — two calls build byte-identical pipelines.
+pub fn toy_pipeline() -> HeadTalk {
+    let config = PipelineConfig::default();
+    let mut rng = StdRng::seed_from_u64(0x5E54);
+
+    let width = headtalk::features::feature_width(4, &config);
+    let mut orient = Dataset::new(width);
+    for i in 0..12 {
+        let offset = if i % 2 == 0 { 1.0 } else { -1.0 };
+        let row: Vec<f64> = (0..width)
+            .map(|_| offset + 0.3 * gaussian(&mut rng))
+            .collect();
+        orient.push(row, (i % 2 == 0) as usize).expect("push");
+    }
+    let orientation =
+        OrientationDetector::fit(&orient, ModelKind::Knn, 3).expect("orientation training");
+
+    let mut live = Dataset::new(config.liveness_input_len);
+    for i in 0..8 {
+        let offset = if i % 2 == 0 { 0.5 } else { -0.5 };
+        let row: Vec<f64> = (0..config.liveness_input_len)
+            .map(|_| offset + 0.1 * gaussian(&mut rng))
+            .collect();
+        live.push(row, (i % 2 == 0) as usize).expect("push");
+    }
+    let liveness = LivenessDetector::fit(&live, 8, 2).expect("liveness training");
+
+    HeadTalk::new(config, liveness, orientation).expect("pipeline assembly")
+}
+
+/// `n` deterministic multi-channel noise captures for load drives that
+/// don't need rendered acoustics (tests, the soak): capture `i` is
+/// `len + i * jitter` samples of seeded white noise per channel, so
+/// lengths are deliberately unequal across sessions.
+pub fn noise_captures(
+    n: usize,
+    n_channels: usize,
+    len: usize,
+    jitter: usize,
+    seed: u64,
+) -> Vec<Vec<Vec<f64>>> {
+    (0..n)
+        .map(|i| {
+            let mut rng = split_stream(seed, i as u64);
+            let this_len = len + i * jitter;
+            (0..n_channels)
+                .map(|_| (0..this_len).map(|_| 0.1 * gaussian(&mut rng)).collect())
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::TokenBucketConfig;
+    use crate::server::ServeConfig;
+
+    fn small_server_config(ht: &HeadTalk) -> ServeConfig {
+        ServeConfig {
+            n_shards: 2,
+            sessions_per_shard: 4,
+            bucket: TokenBucketConfig {
+                capacity: 16,
+                refill_per_sec: 1_000_000,
+            },
+            ..ServeConfig::for_pipeline(ht.config())
+        }
+    }
+
+    #[test]
+    fn same_seed_same_checksum_different_seed_different_schedule() {
+        let ht = toy_pipeline();
+        let captures = noise_captures(3, 4, 4800, 240, 0xCAFE);
+        let config = LoadConfig {
+            n_sessions: 24,
+            ..LoadConfig::default()
+        };
+
+        let a = {
+            let server = WakeServer::new(&ht, small_server_config(&ht));
+            run_load(&server, &captures, &config).unwrap()
+        };
+        let b = {
+            let server = WakeServer::new(&ht, small_server_config(&ht));
+            run_load(&server, &captures, &config).unwrap()
+        };
+        assert_eq!(a, b, "same (seed, captures) must replay identically");
+        assert_eq!(a.decided, 24);
+        assert_eq!(a.decided, a.accepted + a.soft_muted);
+        assert!(a.frames > 0 && a.samples > 0);
+
+        // The decision bits are seed-independent (they depend only on the
+        // captures), but the checksum also folds rejections — with this
+        // generous bucket there are none, so a different interleaving seed
+        // must still produce the same fingerprint: the point of the
+        // determinism contract.
+        let c = {
+            let server = WakeServer::new(&ht, small_server_config(&ht));
+            run_load(
+                &server,
+                &captures,
+                &LoadConfig {
+                    seed: 0xD00D,
+                    ..config
+                },
+            )
+            .unwrap()
+        };
+        assert_eq!(
+            a.checksum, c.checksum,
+            "outcomes must not depend on the interleaving"
+        );
+    }
+
+    #[test]
+    fn drained_bucket_rejections_are_deterministic() {
+        let ht = toy_pipeline();
+        let captures = noise_captures(2, 4, 4800, 0, 0xBEEF);
+        let mut server_config = small_server_config(&ht);
+        // 4 tokens, no refill: exactly 4 of 12 sessions admit.
+        server_config.bucket = TokenBucketConfig {
+            capacity: 4,
+            refill_per_sec: 0,
+        };
+        let config = LoadConfig {
+            n_sessions: 12,
+            ..LoadConfig::default()
+        };
+        let run = |_: ()| {
+            let server = WakeServer::new(&ht, server_config);
+            run_load(&server, &captures, &config).unwrap()
+        };
+        let a = run(());
+        assert_eq!(a.decided, 4);
+        assert_eq!(a.rejected_rate, 8);
+        assert_eq!(a.rejected_capacity, 0);
+        assert_eq!(a, run(()), "rejection pattern must replay");
+    }
+}

@@ -1,0 +1,560 @@
+//! The multi-tenant wake-word server.
+//!
+//! A [`WakeServer`] fronts one trained [`HeadTalk`] pipeline with many
+//! concurrent device sessions. Sessions are sharded by id (`id mod
+//! n_shards`); each shard owns a [`ShardArena`] of reusable
+//! [`WakeStream`](headtalk::WakeStream) slots behind its own lock, so
+//! streaming work for different shards proceeds in parallel on the
+//! `ht-par` pool with no cross-shard contention. Admission is a single
+//! [`TokenBucket`] over the caller's logical clock plus a per-shard slot
+//! cap — both produce typed [`RejectReason`]s instead of unbounded queues.
+//!
+//! Determinism contract: the server itself never reads a clock or an RNG.
+//! Every entry point takes a logical `now_ns`, every per-session result is
+//! produced by the same `WakeStream` → `decide_batch` path as solo batch
+//! processing, and the arena reuse is invisible to results (a reset slot
+//! is byte-identical to a fresh one — pinned by the interleaving suite).
+//!
+//! Failure policy: a mid-stream geometry violation (channel count change,
+//! ragged chunk) is not survivable for that session — the stream's state
+//! can no longer be trusted — so the session is **eagerly evicted**: its
+//! slot is reset and returned to the arena before the error reaches the
+//! caller. Nothing stays pinned until some later cleanup pass; repeated
+//! failing sessions leave the arena high-water marks flat (regression
+//! test: `eager_eviction_keeps_arena_marks_flat`).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use headtalk::stream::{StreamOutcome, WakeVerdict};
+use headtalk::{HeadTalk, HeadTalkError, PipelineConfig, StreamConfig};
+use ht_stream::StreamError;
+
+use crate::admission::{RejectReason, TokenBucket, TokenBucketConfig};
+use crate::arena::ShardArena;
+
+/// Tuning for a [`WakeServer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Number of session shards (parallelism grain; must be ≥ 1).
+    pub n_shards: usize,
+    /// Session-slot capacity per shard; the hard bound on in-flight
+    /// sessions is `n_shards * sessions_per_shard`.
+    pub sessions_per_shard: usize,
+    /// Admission-rate control for `open`.
+    pub bucket: TokenBucketConfig,
+    /// Sessions idle longer than this (no push/finalize) are evicted by
+    /// [`WakeServer::evict_idle`].
+    pub session_idle_timeout_ns: u64,
+    /// Microphone channels per session.
+    pub n_channels: usize,
+    /// Stream geometry and gate tuning shared by every session.
+    pub stream: StreamConfig,
+}
+
+impl ServeConfig {
+    /// Defaults for a pipeline configuration: 4 shards of 64 slots, the
+    /// default admission bucket, a 30 s (logical) idle timeout, and the
+    /// pipeline's natural stream geometry.
+    pub fn for_pipeline(config: &PipelineConfig) -> ServeConfig {
+        ServeConfig {
+            n_shards: 4,
+            sessions_per_shard: 64,
+            bucket: TokenBucketConfig::default(),
+            session_idle_timeout_ns: 30_000_000_000,
+            n_channels: 4,
+            stream: StreamConfig::for_pipeline(config),
+        }
+    }
+}
+
+/// An error from the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// `open` refused the session; the reason says when to retry.
+    Rejected(RejectReason),
+    /// The session id is not open on this server.
+    UnknownSession(u64),
+    /// `open` was called for an id that is already in flight.
+    DuplicateSession(u64),
+    /// The session hit a mid-stream geometry violation and was eagerly
+    /// evicted — its slot is already back in the arena; the id is closed.
+    Evicted {
+        /// The evicted session.
+        id: u64,
+        /// What the stream rejected.
+        cause: StreamError,
+    },
+    /// The underlying pipeline failed (finalization of a degenerate
+    /// capture, slot construction with an untrained width, …).
+    Pipeline(HeadTalkError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected(r) => write!(f, "admission rejected: {r}"),
+            ServeError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServeError::DuplicateSession(id) => write!(f, "session {id} is already open"),
+            ServeError::Evicted { id, cause } => {
+                write!(f, "session {id} evicted: {cause}")
+            }
+            ServeError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Evicted { cause, .. } => Some(cause),
+            ServeError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HeadTalkError> for ServeError {
+    fn from(e: HeadTalkError) -> Self {
+        ServeError::Pipeline(e)
+    }
+}
+
+/// One in-flight session's bookkeeping.
+#[derive(Debug)]
+struct Session {
+    slot: usize,
+    last_active_ns: u64,
+}
+
+#[derive(Debug)]
+struct Shard<'ht> {
+    arena: ShardArena<'ht>,
+    sessions: BTreeMap<u64, Session>,
+}
+
+/// Per-shard load numbers from [`WakeServer::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Sessions currently in flight on this shard.
+    pub live: usize,
+    /// Most sessions this shard ever held at once.
+    pub live_hwm: usize,
+    /// Session slots this shard's arena has constructed.
+    pub slots_built: usize,
+}
+
+/// A point-in-time load summary from [`WakeServer::stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Sessions currently in flight across all shards.
+    pub live: usize,
+    /// Session slots constructed across all shards (each construction is
+    /// one burst of heap allocations; flat in steady state).
+    pub slots_built: usize,
+    /// Per-shard breakdown, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+/// A sharded multi-tenant front end over one [`HeadTalk`] pipeline.
+///
+/// All entry points take `&self`; shards lock independently, so callers on
+/// different shards never contend. Lock order is fixed (bucket before
+/// shard, one shard at a time), so the server cannot deadlock against
+/// itself.
+#[derive(Debug)]
+pub struct WakeServer<'ht> {
+    config: ServeConfig,
+    bucket: Mutex<TokenBucket>,
+    shards: Vec<Mutex<Shard<'ht>>>,
+}
+
+impl<'ht> WakeServer<'ht> {
+    /// A server over `ht` with no sessions yet. Session slots are built
+    /// lazily on first use, per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.n_shards`, `config.sessions_per_shard`, or
+    /// `config.n_channels` is zero — a structurally useless server is a
+    /// deployment bug, not a runtime condition.
+    pub fn new(ht: &'ht HeadTalk, config: ServeConfig) -> WakeServer<'ht> {
+        assert!(config.n_shards > 0, "a server needs at least one shard");
+        assert!(
+            config.sessions_per_shard > 0,
+            "a shard needs at least one session slot"
+        );
+        assert!(config.n_channels > 0, "sessions need at least one channel");
+        let shards = (0..config.n_shards)
+            .map(|_| {
+                Mutex::new(Shard {
+                    arena: ShardArena::new(
+                        ht,
+                        config.n_channels,
+                        config.stream,
+                        config.sessions_per_shard,
+                    ),
+                    sessions: BTreeMap::new(),
+                })
+            })
+            .collect();
+        WakeServer {
+            config,
+            bucket: Mutex::new(TokenBucket::new(config.bucket)),
+            shards,
+        }
+    }
+
+    /// The configuration this server runs under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The shard a session id maps to.
+    pub fn shard_of(&self, id: u64) -> usize {
+        (id % self.config.n_shards as u64) as usize
+    }
+
+    /// Opens a session at logical time `now_ns`.
+    ///
+    /// Admission runs duplicate check → shard-slot check → token bucket,
+    /// in that order, so a rejected open consumes **nothing**: no token is
+    /// burned on a duplicate or a full shard, and no slot is touched on a
+    /// rate limit. Rejected sessions leave zero residual shard state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DuplicateSession`] for an id already in flight,
+    /// [`ServeError::Rejected`] when admission refuses.
+    pub fn open(&self, id: u64, now_ns: u64) -> Result<(), ServeError> {
+        let _span = ht_obs::span("serve.open");
+        let shard_idx = self.shard_of(id);
+        let mut shard = self.shards[shard_idx].lock().expect("shard lock");
+        if shard.sessions.contains_key(&id) {
+            return Err(ServeError::DuplicateSession(id));
+        }
+        if shard.arena.live() >= shard.arena.capacity() {
+            ht_obs::counter_add("serve.rejected.capacity", 1);
+            return Err(ServeError::Rejected(RejectReason::ShardFull {
+                shard: shard_idx,
+                capacity: shard.arena.capacity(),
+            }));
+        }
+        if let Err(reject) = self.bucket.lock().expect("bucket lock").try_take(now_ns) {
+            ht_obs::counter_add("serve.rejected.rate", 1);
+            return Err(ServeError::Rejected(reject));
+        }
+        // Cannot be `None`: the capacity check above held under this
+        // shard's lock.
+        let slot = shard.arena.acquire()?.expect("slot after capacity check");
+        shard.sessions.insert(
+            id,
+            Session {
+                slot,
+                last_active_ns: now_ns,
+            },
+        );
+        ht_obs::counter_add("serve.admitted", 1);
+        ht_obs::counter_max("serve.shard_sessions_hwm", shard.sessions.len() as u64);
+        ht_obs::counter_max("serve.arena_slots_hwm", shard.arena.live_hwm() as u64);
+        Ok(())
+    }
+
+    /// Streams one audio chunk into a session at logical time `now_ns`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for an id that isn't open. A
+    /// mid-stream geometry violation eagerly evicts the session (slot
+    /// reset and released before returning) and surfaces as
+    /// [`ServeError::Evicted`].
+    pub fn push(&self, id: u64, chunk: &[&[f64]], now_ns: u64) -> Result<WakeVerdict, ServeError> {
+        let _span = ht_obs::span("serve.push");
+        let mut shard = self.shards[self.shard_of(id)].lock().expect("shard lock");
+        let slot = match shard.sessions.get_mut(&id) {
+            Some(session) => {
+                session.last_active_ns = now_ns;
+                session.slot
+            }
+            None => return Err(ServeError::UnknownSession(id)),
+        };
+        match shard.arena.slot_mut(slot).push(chunk) {
+            Ok(verdict) => Ok(verdict),
+            Err(e) => {
+                // The stream can't be trusted past a geometry violation:
+                // evict eagerly so the slot (and its ring memory) goes
+                // straight back to the arena instead of staying pinned
+                // behind a dead session.
+                shard.sessions.remove(&id);
+                shard.arena.release(slot);
+                ht_obs::counter_add("serve.evicted.error", 1);
+                match e {
+                    HeadTalkError::Stream(cause) => Err(ServeError::Evicted { id, cause }),
+                    other => Err(ServeError::Pipeline(other)),
+                }
+            }
+        }
+    }
+
+    /// Finalizes a session at logical time `now_ns`: runs the
+    /// batch-identical decision over the accumulated capture, then closes
+    /// the session and recycles its slot — **also on error**, so a
+    /// degenerate capture cannot pin a slot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for an id that isn't open;
+    /// [`ServeError::Pipeline`] when the batch path cannot decide.
+    pub fn finalize(&self, id: u64, _now_ns: u64) -> Result<StreamOutcome, ServeError> {
+        let _span = ht_obs::span("serve.decision");
+        let mut shard = self.shards[self.shard_of(id)].lock().expect("shard lock");
+        let slot = match shard.sessions.get(&id) {
+            Some(session) => session.slot,
+            None => return Err(ServeError::UnknownSession(id)),
+        };
+        let outcome = shard.arena.slot(slot).outcome();
+        shard.sessions.remove(&id);
+        shard.arena.release(slot);
+        match outcome {
+            Ok(o) => {
+                ht_obs::counter_add("serve.decisions", 1);
+                Ok(o)
+            }
+            Err(e) => Err(ServeError::Pipeline(e)),
+        }
+    }
+
+    /// Evicts every session idle since before `now_ns -
+    /// session_idle_timeout_ns`, releasing their slots. Returns the number
+    /// evicted. Deterministic: sessions are scanned in shard order, then
+    /// id order.
+    pub fn evict_idle(&self, now_ns: u64) -> usize {
+        let timeout = self.config.session_idle_timeout_ns;
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("shard lock");
+            let stale: Vec<u64> = shard
+                .sessions
+                .iter()
+                .filter(|(_, s)| now_ns.saturating_sub(s.last_active_ns) > timeout)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in stale {
+                let slot = shard.sessions.remove(&id).expect("scanned session").slot;
+                shard.arena.release(slot);
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            ht_obs::counter_add("serve.evicted.idle", evicted as u64);
+        }
+        evicted
+    }
+
+    /// Admission tokens available at logical time `now_ns`.
+    pub fn tokens_available(&self, now_ns: u64) -> u64 {
+        self.bucket.lock().expect("bucket lock").available(now_ns)
+    }
+
+    /// A point-in-time load summary across all shards.
+    pub fn stats(&self) -> ServeStats {
+        let shards: Vec<ShardStats> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let shard = shard.lock().expect("shard lock");
+                ShardStats {
+                    live: shard.sessions.len(),
+                    live_hwm: shard.arena.live_hwm(),
+                    slots_built: shard.arena.built(),
+                }
+            })
+            .collect();
+        ServeStats {
+            live: shards.iter().map(|s| s.live).sum(),
+            slots_built: shards.iter().map(|s| s.slots_built).sum(),
+            shards,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::toy_pipeline;
+    use ht_dsp::rng::{gaussian, SeedableRng, StdRng};
+
+    fn noise_capture(seed: u64, n_channels: usize, len: usize) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n_channels)
+            .map(|_| (0..len).map(|_| 0.1 * gaussian(&mut rng)).collect())
+            .collect()
+    }
+
+    fn serve_config(ht: &HeadTalk) -> ServeConfig {
+        ServeConfig {
+            n_shards: 2,
+            sessions_per_shard: 2,
+            bucket: TokenBucketConfig {
+                capacity: 64,
+                refill_per_sec: 0,
+            },
+            session_idle_timeout_ns: 1_000_000_000,
+            ..ServeConfig::for_pipeline(ht.config())
+        }
+    }
+
+    fn push_all(server: &WakeServer<'_>, id: u64, capture: &[Vec<f64>], now_ns: u64) {
+        let hop = server.config().stream.hop;
+        let len = capture[0].len();
+        let mut pos = 0;
+        while pos < len {
+            let end = (pos + hop).min(len);
+            let chunk: Vec<&[f64]> = capture.iter().map(|c| &c[pos..end]).collect();
+            server.push(id, &chunk, now_ns).expect("push");
+            pos = end;
+        }
+    }
+
+    #[test]
+    fn session_outcome_matches_solo_batch() {
+        let ht = toy_pipeline();
+        let server = WakeServer::new(&ht, serve_config(&ht));
+        let capture = noise_capture(0x11, 4, 4800);
+
+        server.open(7, 0).unwrap();
+        push_all(&server, 7, &capture, 1);
+        let served = server.finalize(7, 2).unwrap();
+
+        let (decision, features) = ht.decide_batch(&capture).unwrap();
+        let d = served.decision.expect("decision");
+        assert_eq!(d.live, decision.live);
+        assert_eq!(d.facing, decision.facing);
+        assert_eq!(
+            d.live_probability.to_bits(),
+            decision.live_probability.to_bits()
+        );
+        assert_eq!(d.facing_score.to_bits(), decision.facing_score.to_bits());
+        assert_eq!(served.features.len(), features.len());
+        for (a, b) in served.features.iter().zip(&features) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(server.stats().live, 0, "finalize closes the session");
+    }
+
+    #[test]
+    fn duplicate_and_unknown_sessions_are_typed() {
+        let ht = toy_pipeline();
+        let server = WakeServer::new(&ht, serve_config(&ht));
+        server.open(1, 0).unwrap();
+        assert_eq!(server.open(1, 0), Err(ServeError::DuplicateSession(1)));
+        assert_eq!(
+            server.push(99, &[&[0.0][..]; 4], 0).unwrap_err(),
+            ServeError::UnknownSession(99)
+        );
+        assert!(matches!(
+            server.finalize(99, 0),
+            Err(ServeError::UnknownSession(99))
+        ));
+    }
+
+    #[test]
+    fn rejected_opens_consume_nothing_and_leave_no_state() {
+        let ht = toy_pipeline();
+        let mut config = serve_config(&ht);
+        config.bucket.capacity = 2;
+        let server = WakeServer::new(&ht, config);
+
+        // Shard 0 holds ids 0, 2, 4, …; fill its two slots.
+        server.open(0, 0).unwrap();
+        server.open(2, 0).unwrap();
+        // Shard full: refused *before* the bucket, so no token burns.
+        assert_eq!(
+            server.open(4, 0),
+            Err(ServeError::Rejected(RejectReason::ShardFull {
+                shard: 0,
+                capacity: 2
+            }))
+        );
+        assert_eq!(server.tokens_available(0), 0, "both tokens went to admits");
+        // Bucket empty: shard 1 has room but the rate limiter refuses.
+        assert_eq!(
+            server.open(1, 0),
+            Err(ServeError::Rejected(RejectReason::RateLimited {
+                retry_after_ns: None
+            }))
+        );
+        let stats = server.stats();
+        assert_eq!(stats.live, 2);
+        assert_eq!(stats.shards[1].live, 0, "rejected open left no state");
+        assert_eq!(stats.shards[1].slots_built, 0);
+    }
+
+    #[test]
+    fn geometry_violation_evicts_eagerly() {
+        let ht = toy_pipeline();
+        let server = WakeServer::new(&ht, serve_config(&ht));
+        server.open(3, 0).unwrap();
+        // 2 channels into a 4-channel session: geometry violation.
+        let bad: Vec<&[f64]> = vec![&[0.0; 16], &[0.0; 16]];
+        let err = server.push(3, &bad, 1).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Evicted {
+                id: 3,
+                cause: StreamError::ChannelCountChanged {
+                    expected: 4,
+                    got: 2
+                }
+            }
+        );
+        assert_eq!(server.stats().live, 0, "evicted immediately");
+        assert_eq!(
+            server.push(3, &bad, 2).unwrap_err(),
+            ServeError::UnknownSession(3),
+            "the id is closed after eviction"
+        );
+    }
+
+    #[test]
+    fn eager_eviction_keeps_arena_marks_flat() {
+        // Satellite regression: before eager eviction, each failed session
+        // left its slot pinned, so repeated failures grew the arena until
+        // the shard wedged. Now the marks must stay flat.
+        let ht = toy_pipeline();
+        let server = WakeServer::new(&ht, serve_config(&ht));
+        let bad: Vec<&[f64]> = vec![&[0.0; 16]; 2];
+        for round in 0..20 {
+            server.open(0, round).unwrap();
+            assert!(matches!(
+                server.push(0, &bad, round).unwrap_err(),
+                ServeError::Evicted { .. }
+            ));
+            let shard0 = server.stats().shards[0];
+            assert_eq!(shard0.slots_built, 1, "round {round}: slots never grow");
+            assert_eq!(shard0.live_hwm, 1, "round {round}: hwm stays flat");
+            assert_eq!(shard0.live, 0, "round {round}: nothing stays pinned");
+        }
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_and_slots_recycled() {
+        let ht = toy_pipeline();
+        let server = WakeServer::new(&ht, serve_config(&ht));
+        server.open(0, 0).unwrap();
+        server.open(1, 0).unwrap();
+        // id 1 stays active; id 0 goes idle past the 1 s timeout.
+        let chunk = noise_capture(0x22, 4, 480);
+        let views: Vec<&[f64]> = chunk.iter().map(Vec::as_slice).collect();
+        server.push(1, &views, 1_500_000_000).unwrap();
+        assert_eq!(server.evict_idle(2_000_000_000), 1);
+        assert_eq!(
+            server.push(0, &views, 2_000_000_001).unwrap_err(),
+            ServeError::UnknownSession(0)
+        );
+        assert_eq!(server.stats().live, 1, "active session survives");
+        // The freed slot serves a new session without building another.
+        server.open(2, 2_000_000_002).unwrap();
+        assert_eq!(server.stats().shards[0].slots_built, 1);
+    }
+}

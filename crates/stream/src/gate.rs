@@ -226,6 +226,13 @@ impl EarlyExitGate {
     pub fn config(&self) -> &GateConfig {
         &self.cfg
     }
+
+    /// Returns the gate to its just-constructed state (same tuning) so a
+    /// pooled gate can judge a new stream. Equivalent to
+    /// `*self = EarlyExitGate::new(*self.config())` but usable in place.
+    pub fn reset(&mut self) {
+        *self = EarlyExitGate::new(self.cfg);
+    }
 }
 
 fn ewma(state: &mut Option<f64>, value: f64, alpha: f64) -> f64 {
@@ -345,6 +352,27 @@ mod tests {
             g.observe(1.0, -1e9, -1e9);
         }
         assert!(g.fired().is_none());
+    }
+
+    #[test]
+    fn reset_unfires_and_unlatches() {
+        let mut g = EarlyExitGate::new(cfg());
+        for _ in 0..10 {
+            g.observe(1.0, 0.1, 0.1);
+        }
+        assert!(g.fired().is_some());
+        g.reset();
+        assert!(g.fired().is_none());
+        assert_eq!(g.frames(), 0);
+        assert_eq!(g.voiced_frames(), 0);
+        assert!(g.live_score().is_none());
+        // Behaves exactly like a fresh gate: fires on the same schedule.
+        let mut verdicts = Vec::new();
+        for _ in 0..6 {
+            verdicts.push(g.observe(1.0, 0.1, 5.0));
+        }
+        assert_eq!(verdicts[2], WakeVerdict::Undecided);
+        assert_eq!(verdicts[3], WakeVerdict::SoftMute);
     }
 
     #[test]

@@ -199,6 +199,16 @@ impl FrameRing {
         self.cap
     }
 
+    /// Empties the ring and zeroes its lifetime statistics while keeping
+    /// every buffer at its current capacity, so a pooled ring can serve a
+    /// new stream without touching the heap (multi-tenant slot reuse).
+    pub fn reset(&mut self) {
+        self.head = 0;
+        self.len = 0;
+        self.pushed = 0;
+        self.popped = 0;
+    }
+
     /// Reallocates to hold at least `need` samples, unwrapping the ring
     /// into logical order.
     fn grow(&mut self, need: usize) {
@@ -401,5 +411,24 @@ mod tests {
     fn with_capacity_preallocates() {
         let ring = FrameRing::with_capacity(1, 8, 4, 10_000).unwrap();
         assert!(ring.capacity() >= 10_000);
+    }
+
+    #[test]
+    fn reset_reuses_capacity_and_yields_identical_frames() {
+        let (frame_len, hop) = (16, 8);
+        let x = ramp(301, 0.5);
+        let mut ring = FrameRing::new(1, frame_len, hop).unwrap();
+        ring.push(&[&x]).unwrap();
+        let cap_after_growth = ring.capacity();
+        let first = drain(&mut ring);
+
+        ring.reset();
+        assert_eq!(ring.pending(), 0);
+        assert_eq!(ring.samples_pushed(), 0);
+        assert_eq!(ring.frames_popped(), 0);
+        assert_eq!(ring.capacity(), cap_after_growth, "reset must keep buffers");
+        ring.push(&[&x]).unwrap();
+        assert_eq!(drain(&mut ring), first, "a reset ring frames identically");
+        assert_eq!(ring.capacity(), cap_after_growth);
     }
 }

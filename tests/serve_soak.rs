@@ -1,0 +1,151 @@
+//! Soak: ten thousand sessions through the serving layer with a counting
+//! global allocator, asserting the steady-state contract that makes
+//! multi-tenant serving viable on device-class hardware:
+//!
+//! * after a short warmup, the **push path makes zero heap allocations**
+//!   per session — every ring, STFT scratch, gate, and capture buffer is
+//!   recycled from the shard arenas (finalization deliberately sits
+//!   outside the counted window: the batch decision allocates its
+//!   denoise/feature buffers by design);
+//! * the arenas never grow past warmup — ten thousand sessions are served
+//!   by the same handful of slots (`slots_built` flat).
+//!
+//! `#[ignore]`d in the default suite (it is a soak, not a unit test); the
+//! CI soak leg runs it with `-- --ignored`. `HT_SOAK_SESSIONS` overrides
+//! the session count for local iteration.
+//!
+//! The test drives the server serially from this thread: the allocation
+//! counter is thread-local, and what's under test is the serving layer's
+//! buffer reuse, not the pool (`tests/serve_interleaving.rs` covers the
+//! parallel schedule).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use ht_serve::{noise_captures, toy_pipeline, ServeConfig, TokenBucketConfig, WakeServer};
+
+struct CountingAlloc;
+
+thread_local! {
+    // Const-initialized `Cell<u64>`: no lazy-init allocation and no
+    // destructor, so the counter itself never perturbs the count.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Allocations made by `f` on this thread.
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.with(|c| c.get());
+    f();
+    ALLOCS.with(|c| c.get()) - before
+}
+
+#[test]
+#[ignore = "soak: minutes of work; the CI soak leg runs it with -- --ignored"]
+fn soak_sessions_make_zero_steady_state_push_allocations() {
+    let n_sessions: u64 = std::env::var("HT_SOAK_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let warmup: u64 = 64;
+    assert!(n_sessions > warmup, "soak needs more sessions than warmup");
+
+    let ht = toy_pipeline();
+    let server = WakeServer::new(
+        &ht,
+        ServeConfig {
+            n_shards: 4,
+            sessions_per_shard: 4,
+            bucket: TokenBucketConfig {
+                capacity: u64::MAX,
+                refill_per_sec: 0,
+            },
+            ..ServeConfig::for_pipeline(ht.config())
+        },
+    );
+    // Equal-length captures: buffers stabilize after the first use of each
+    // slot, which is exactly the steady state a fleet frontend reaches.
+    let captures = noise_captures(8, 4, 4800, 0, 0x50AC);
+    let hop = server.config().stream.hop;
+
+    let mut chunk: Vec<&[f64]> = Vec::with_capacity(4);
+    let mut steady_alloc_sessions = 0u64;
+    let mut worst = (0u64, 0u64); // (session, allocs)
+    let mut slots_after_warmup = 0;
+
+    for id in 0..n_sessions {
+        let capture = &captures[(id % captures.len() as u64) as usize];
+        let len = capture[0].len();
+        server.open(id, id).expect("open");
+
+        let mut push_loop = || {
+            let mut pos = 0;
+            while pos < len {
+                let end = (pos + hop).min(len);
+                chunk.clear();
+                chunk.extend(capture.iter().map(|c| &c[pos..end]));
+                server.push(id, &chunk, id).expect("push");
+                pos = end;
+            }
+        };
+        if id < warmup {
+            push_loop();
+        } else {
+            let allocs = allocs_during(push_loop);
+            if allocs > 0 {
+                steady_alloc_sessions += 1;
+                if allocs > worst.1 {
+                    worst = (id, allocs);
+                }
+            }
+        }
+        // Finalization (the batch decision) allocates by design; it sits
+        // outside the counted window on purpose.
+        let outcome = server.finalize(id, id).expect("finalize");
+        assert!(outcome.decision.is_some(), "session {id} decided");
+
+        if id + 1 == warmup {
+            slots_after_warmup = server.stats().slots_built;
+            assert!(slots_after_warmup >= 1);
+        }
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.live, 0, "all sessions closed");
+    assert_eq!(
+        stats.slots_built, slots_after_warmup,
+        "arena grew after warmup: slots must be recycled, not rebuilt"
+    );
+    assert_eq!(
+        steady_alloc_sessions,
+        0,
+        "{steady_alloc_sessions} of {} steady-state sessions allocated on the push path \
+         (worst: session {} with {} allocations)",
+        n_sessions - warmup,
+        worst.0,
+        worst.1,
+    );
+}
