@@ -94,16 +94,19 @@ step "stream latency gate (bench stream_latency)" \
 
 # Server throughput gate: the server_throughput bench replays a seeded
 # multi-tenant load drive (thousands of interleaved sessions) through the
-# sharded WakeServer and asserts (a) sustained wake decisions/sec stays
-# above the floor and (b) the per-chunk serve.push p99 stays under the
-# ceiling. BENCH_server.json lands in target/bench_out.
+# sharded WakeServer and asserts (a) sustained end-to-end wake
+# decisions/sec stays above the floor, (b) the incremental decision path
+# (serve.assemble + serve.decision) sustains 3x the pre-incremental
+# ~144/s ceiling, and (c) the serve.decision and serve.push p99 tails
+# stay under their ceilings. BENCH_server.json lands in target/bench_out.
 step "server throughput gate (bench server_throughput)" \
     env HT_BENCH_FAST=1 HT_BENCH_DIR=target/bench_out \
     cargo bench -q --offline -p ht-bench --bench server_throughput
 
 # Serving soak: 10k sessions through the load generator with a counting
-# global allocator — the steady-state push path must make zero heap
-# allocations and the session arenas must never grow past warmup.
+# global allocator — the steady-state push path AND the incremental
+# evidence assembly must make zero heap allocations, and the session
+# arenas must never grow past warmup.
 step "serve soak (10k sessions, zero steady-state allocs)" \
     cargo test -q --offline --release -p ht-serve --test serve_soak -- --ignored
 

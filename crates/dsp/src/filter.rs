@@ -182,6 +182,63 @@ impl Sos {
     }
 }
 
+/// A causal, chunk-streaming view of an [`Sos`] cascade.
+///
+/// [`Sos::filter`] runs section-major over a whole signal from zero state.
+/// This wrapper carries each section's direct-form-I state across calls
+/// instead, so a signal fed chunk by chunk — any chunk boundaries —
+/// produces exactly the bytes one `Sos::filter` call produces on the
+/// concatenation: every output sample is computed by the same recurrence
+/// expression from the same operand values (each section is an independent
+/// causal recurrence, so sample-major vs. section-major visiting order
+/// changes nothing), and no accumulation is reassociated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingSos {
+    sos: Sos,
+    /// Per-section `[x1, x2, y1, y2]` direct-form-I state.
+    state: Vec<[f64; 4]>,
+}
+
+impl StreamingSos {
+    /// Wraps a cascade with zeroed state.
+    pub fn new(sos: Sos) -> StreamingSos {
+        let n = sos.sections().len();
+        StreamingSos {
+            sos,
+            state: vec![[0.0; 4]; n],
+        }
+    }
+
+    /// The wrapped cascade.
+    pub fn sos(&self) -> &Sos {
+        &self.sos
+    }
+
+    /// Filters one chunk, appending the output samples to `out`.
+    /// Allocation-free once `out` has capacity for the chunk.
+    pub fn process(&mut self, x: &[f64], out: &mut Vec<f64>) {
+        out.reserve(x.len());
+        for &sample in x {
+            let mut v = sample;
+            for (s, st) in self.sos.sections().iter().zip(self.state.iter_mut()) {
+                let [x1, x2, y1, y2] = *st;
+                let yout = s.b[0] * v + s.b[1] * x1 + s.b[2] * x2 - s.a[0] * y1 - s.a[1] * y2;
+                *st = [v, x1, yout, y1];
+                v = yout;
+            }
+            out.push(v);
+        }
+    }
+
+    /// Zeroes the carried state: a reset filter is bit-identical to a
+    /// freshly built one (pooled stream slots depend on this).
+    pub fn reset(&mut self) {
+        for st in &mut self.state {
+            *st = [0.0; 4];
+        }
+    }
+}
+
 /// Butterworth filter designs, realized as [`Sos`] cascades.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Butterworth;
@@ -403,5 +460,59 @@ mod tests {
         let sos = Sos::new(vec![Biquad::IDENTITY]);
         let x = vec![1.0, -2.0, 3.0];
         assert_eq!(sos.filter(&x), x);
+    }
+
+    /// Deterministic noise in [-1, 1) (xorshift; tests must not use wall
+    /// clocks or OS entropy).
+    fn noise(n: usize, mut seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                (seed >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_sos_matches_batch_for_any_chunking() {
+        let sos = Butterworth::headtalk_preprocess(FS).unwrap();
+        for (len, seed) in [(1usize, 1u64), (7, 2), (960, 3), (4801, 4)] {
+            let x = noise(len, seed);
+            let want = sos.filter(&x);
+            for chunk in [1usize, 2, 13, 480, 5000] {
+                let mut stream = StreamingSos::new(sos.clone());
+                let mut got = Vec::new();
+                for c in x.chunks(chunk) {
+                    stream.process(c, &mut got);
+                }
+                assert_eq!(got.len(), want.len());
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "len {len} chunk {chunk} sample {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_sos_reset_matches_fresh() {
+        let sos = Butterworth::bandpass(3, 200.0, 4000.0, FS).unwrap();
+        let x = noise(500, 7);
+        let want = sos.filter(&x);
+        let mut stream = StreamingSos::new(sos);
+        let mut scratch = Vec::new();
+        stream.process(&noise(123, 8), &mut scratch);
+        stream.reset();
+        let mut got = Vec::new();
+        stream.process(&x, &mut got);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+        assert_eq!(stream.sos().sections().len(), 4);
     }
 }

@@ -90,6 +90,75 @@ pub fn top_k_peak_values(x: &[f64], k: usize) -> Vec<f64> {
     vals
 }
 
+/// Allocation-free equivalent of [`top_k_peak_values`]: appends exactly `k`
+/// values to `out` — peak values sorted descending, then the largest
+/// non-peak samples if fewer than `k` peaks exist, then zeros — bit- and
+/// order-identical to the allocating helper. Used on the streaming
+/// finalize path, where the feature vector is assembled into a reused
+/// scratch buffer.
+pub fn push_top_k_peak_values(x: &[f64], k: usize, out: &mut Vec<f64>) {
+    let start = out.len();
+    if k == 0 {
+        return;
+    }
+    let n = x.len();
+    // Mirrors `local_maxima` exactly: singletons and dominating endpoints
+    // count as peaks.
+    let is_peak = |i: usize| -> bool {
+        if n == 1 {
+            return true;
+        }
+        if i == 0 {
+            return x[0] > x[1];
+        }
+        if i == n - 1 {
+            return x[n - 1] > x[n - 2];
+        }
+        x[i] > x[i - 1] && x[i] >= x[i + 1]
+    };
+    if n > 0 {
+        for (i, &v) in x.iter().enumerate() {
+            if is_peak(i) {
+                insert_desc(out, start, k, v);
+            }
+        }
+        let peaks_taken = out.len() - start;
+        if peaks_taken < k {
+            // `top_k_peaks` only pads when NO peak was truncated, so the
+            // pad candidates are exactly the non-peak samples.
+            let mid = out.len();
+            for (i, &v) in x.iter().enumerate() {
+                if !is_peak(i) {
+                    insert_desc(out, mid, k - peaks_taken, v);
+                }
+            }
+        }
+    }
+    while out.len() < start + k {
+        out.push(0.0);
+    }
+}
+
+/// Bounded descending insertion into `out[from..]`, keeping at most `cap`
+/// values. Ties keep first-seen order — the same order the stable sort in
+/// [`top_k_peaks`] produces for equal values.
+fn insert_desc(out: &mut Vec<f64>, from: usize, cap: usize, v: f64) {
+    if cap == 0 {
+        return;
+    }
+    let mut pos = out.len();
+    while pos > from && v.total_cmp(&out[pos - 1]) == std::cmp::Ordering::Greater {
+        pos -= 1;
+    }
+    if out.len() - from < cap {
+        out.insert(pos, v);
+    } else if pos < out.len() {
+        let end = out.len();
+        out.copy_within(pos..end - 1, pos + 1);
+        out[pos] = v;
+    }
+}
+
 /// Index of the global maximum, or `None` for an empty slice.
 pub fn argmax(x: &[f64]) -> Option<usize> {
     x.iter()
@@ -151,5 +220,51 @@ mod tests {
     fn argmax_basics() {
         assert_eq!(argmax(&[]), None);
         assert_eq!(argmax(&[1.0, 9.0, 3.0]), Some(1));
+    }
+
+    #[test]
+    fn push_variant_matches_allocating_helper() {
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..200 {
+            let n = (next() % 40) as usize;
+            // Quantized values force frequent ties, exercising the stable
+            // ordering contract.
+            let x: Vec<f64> = (0..n).map(|_| (next() % 7) as f64 - 3.0).collect();
+            let k = (next() % 8) as usize;
+            let want = top_k_peak_values(&x, k);
+            let mut got = vec![f64::NAN; 2]; // existing prefix must survive
+            got.reserve(k);
+            push_top_k_peak_values(&x, k, &mut got);
+            assert_eq!(got.len(), 2 + k, "trial {trial}");
+            for (i, w) in want.iter().enumerate() {
+                assert_eq!(got[2 + i].to_bits(), w.to_bits(), "trial {trial} slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn push_variant_edge_cases() {
+        let mut out = Vec::new();
+        push_top_k_peak_values(&[], 3, &mut out);
+        assert_eq!(out, vec![0.0, 0.0, 0.0]);
+
+        out.clear();
+        push_top_k_peak_values(&[1.0, 5.0, 2.0], 0, &mut out);
+        assert!(out.is_empty());
+
+        out.clear();
+        push_top_k_peak_values(&[7.0], 2, &mut out);
+        assert_eq!(out, vec![7.0, 0.0]);
+
+        // Monotone ramp: single endpoint peak, padded with largest samples.
+        out.clear();
+        push_top_k_peak_values(&[1.0, 2.0, 3.0, 4.0], 3, &mut out);
+        assert_eq!(out, vec![4.0, 3.0, 2.0]);
     }
 }

@@ -60,6 +60,143 @@ pub fn decimate(x: &[f64], factor: usize) -> Result<Vec<f64>, DspError> {
     Ok(y)
 }
 
+/// A chunk-streaming counterpart of [`decimate`].
+///
+/// Feed arbitrary chunks with [`push`](Self::push); it emits exactly the
+/// samples a single [`decimate`] call emits on the concatenated input, bit
+/// for bit and in order. Output sample `m` depends on input samples up to
+/// its filter center `m·factor + delay`, so it is emitted eagerly the
+/// moment that input sample arrives; the pending tail — outputs whose
+/// center lies at or past the end of the input seen so far — is produced by
+/// [`flush_into`](Self::flush_into), which is non-destructive: streaming
+/// may continue afterwards, and a later flush re-derives the (new) tail.
+///
+/// Only the last `taps` input samples are retained (a fixed ring), so the
+/// memory footprint is independent of stream length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamDecimator {
+    factor: usize,
+    delay: usize,
+    h: Vec<f64>,
+    /// Ring of the most recent `taps` input samples, indexed by absolute
+    /// input position modulo `taps`.
+    ring: Vec<f64>,
+    /// Input samples consumed so far.
+    n_in: usize,
+    /// Output samples emitted by `push` so far.
+    n_out: usize,
+}
+
+impl StreamDecimator {
+    /// Builds a streaming decimator for the given integer factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `factor == 0`.
+    pub fn new(factor: usize) -> Result<StreamDecimator, DspError> {
+        if factor == 0 {
+            return Err(DspError::param("factor", "must be at least 1"));
+        }
+        if factor == 1 {
+            // Pass-through: `decimate` copies the input verbatim.
+            return Ok(StreamDecimator {
+                factor,
+                delay: 0,
+                h: Vec::new(),
+                ring: Vec::new(),
+                n_in: 0,
+                n_out: 0,
+            });
+        }
+        // Same kernel as `decimate`: any deviation would break bit parity.
+        let fc = 0.45 / factor as f64;
+        let taps = 24 * factor + 1;
+        let h = sinc_lowpass(taps, fc, Window::Blackman);
+        let delay = (taps - 1) / 2;
+        Ok(StreamDecimator {
+            factor,
+            delay,
+            h,
+            ring: vec![0.0; taps],
+            n_in: 0,
+            n_out: 0,
+        })
+    }
+
+    /// Consumes one chunk, appending every output sample that became ready.
+    /// Allocation-free once `out` has capacity for the emitted samples.
+    pub fn push(&mut self, x: &[f64], out: &mut Vec<f64>) {
+        if self.factor == 1 {
+            out.extend_from_slice(x);
+            self.n_in += x.len();
+            self.n_out += x.len();
+            return;
+        }
+        let taps = self.h.len();
+        for &v in x {
+            let i = self.n_in;
+            self.ring[i % taps] = v;
+            self.n_in = i + 1;
+            // Output m has filter center m·factor + delay: it is ready
+            // exactly when input sample i == that center arrives.
+            if i >= self.delay && (i - self.delay).is_multiple_of(self.factor) {
+                out.push(self.output_at((i - self.delay) / self.factor));
+                self.n_out += 1;
+            }
+        }
+    }
+
+    /// Appends the pending tail outputs (those [`decimate`] would produce
+    /// past the last eagerly emitted sample if the input ended here). Does
+    /// not consume state: call it repeatedly, or keep pushing afterwards.
+    pub fn flush_into(&self, out: &mut Vec<f64>) {
+        if self.factor == 1 {
+            return;
+        }
+        let total = self.n_in.div_ceil(self.factor);
+        for m in self.n_out..total {
+            out.push(self.output_at(m));
+        }
+    }
+
+    /// Output sample `m`, summed in the same term order as [`decimate`].
+    /// Every referenced input index is provably within the ring: for eager
+    /// outputs the center is the newest sample, and for tail outputs the
+    /// center is past the end, so all live indices are within `taps` of
+    /// `n_in`.
+    fn output_at(&self, m: usize) -> f64 {
+        let center = m * self.factor + self.delay;
+        let taps = self.h.len();
+        let mut acc = 0.0;
+        for (k, &hk) in self.h.iter().enumerate() {
+            let idx = center as isize - k as isize;
+            if idx >= 0 && (idx as usize) < self.n_in {
+                acc += hk * self.ring[idx as usize % taps];
+            }
+        }
+        acc
+    }
+
+    /// Zeroes the stream state: a reset decimator is bit-identical to a
+    /// freshly built one (pooled stream slots depend on this).
+    pub fn reset(&mut self) {
+        self.ring.fill(0.0);
+        self.n_in = 0;
+        self.n_out = 0;
+    }
+
+    /// Input samples consumed so far.
+    pub fn samples_consumed(&self) -> usize {
+        self.n_in
+    }
+
+    /// Output samples emitted by `push` so far (tail outputs from
+    /// [`flush_into`](Self::flush_into) are not counted).
+    pub fn emitted(&self) -> usize {
+        self.n_out
+    }
+}
+
 /// Downsamples 48 kHz audio to 16 kHz (the liveness-detector input rate).
 ///
 /// # Errors
@@ -142,5 +279,112 @@ mod tests {
             upsample_hold(&[1.0, 2.0], 3).unwrap(),
             vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]
         );
+    }
+
+    /// Deterministic noise in [-1, 1) (xorshift; tests must not use wall
+    /// clocks or OS entropy).
+    fn noise(n: usize, mut seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                (seed >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stream_decimator_matches_batch_for_any_chunking() {
+        for factor in [2usize, 3, 4] {
+            for (len, seed) in [
+                (0usize, 1u64),
+                (1, 2),
+                (72, 3),
+                (73, 4),
+                (997, 5),
+                (4800, 6),
+            ] {
+                let x = noise(len, seed ^ factor as u64);
+                let want = decimate(&x, factor).unwrap();
+                for chunk in [1usize, 3, 7, 64, 480, 5000] {
+                    let mut dec = StreamDecimator::new(factor).unwrap();
+                    let mut got = Vec::new();
+                    for c in x.chunks(chunk.max(1)) {
+                        dec.push(c, &mut got);
+                    }
+                    dec.flush_into(&mut got);
+                    assert_eq!(
+                        got.len(),
+                        want.len(),
+                        "factor {factor} len {len} chunk {chunk}"
+                    );
+                    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                        assert_eq!(
+                            g.to_bits(),
+                            w.to_bits(),
+                            "factor {factor} len {len} chunk {chunk} sample {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_decimator_flush_is_non_destructive() {
+        let x = noise(1000, 9);
+        let mut dec = StreamDecimator::new(3).unwrap();
+        let mut live = Vec::new();
+        dec.push(&x[..500], &mut live);
+
+        // A mid-stream flush sees the capture "as if it ended here" ...
+        let mut snap = live.clone();
+        dec.flush_into(&mut snap);
+        let want_half = decimate(&x[..500], 3).unwrap();
+        assert_eq!(snap.len(), want_half.len());
+        for (g, w) in snap.iter().zip(&want_half) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+
+        // ... and pushing may continue afterwards with full-stream parity.
+        dec.push(&x[500..], &mut live);
+        let mut full = live.clone();
+        dec.flush_into(&mut full);
+        let want = decimate(&x, 3).unwrap();
+        assert_eq!(full.len(), want.len());
+        for (g, w) in full.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn stream_decimator_factor_one_is_passthrough() {
+        let x = noise(37, 11);
+        let mut dec = StreamDecimator::new(1).unwrap();
+        let mut got = Vec::new();
+        dec.push(&x[..20], &mut got);
+        dec.push(&x[20..], &mut got);
+        dec.flush_into(&mut got);
+        assert_eq!(got, x);
+        assert!(StreamDecimator::new(0).is_err());
+    }
+
+    #[test]
+    fn stream_decimator_reset_matches_fresh() {
+        let x = noise(300, 21);
+        let mut dec = StreamDecimator::new(3).unwrap();
+        let mut first = Vec::new();
+        dec.push(&noise(131, 22), &mut first);
+        dec.reset();
+        let mut got = Vec::new();
+        dec.push(&x, &mut got);
+        dec.flush_into(&mut got);
+        let want = decimate(&x, 3).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+        assert_eq!(dec.samples_consumed(), 300);
+        assert_eq!(dec.emitted(), 88); // floor((299 - 36) / 3) + 1
     }
 }

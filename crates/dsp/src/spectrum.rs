@@ -125,6 +125,22 @@ pub fn low_band_chunk_stats(spectrum: &Spectrum, chunks: usize) -> Vec<(f64, f64
         .collect()
 }
 
+/// Allocation-free flattening of [`low_band_chunk_stats`]: appends
+/// `(mean, rms, std_dev)` per chunk, in chunk order, to `out`. Bit-identical
+/// to the tupled helper; used on the streaming finalize path where the
+/// feature vector is assembled into a reused scratch buffer.
+pub fn push_low_band_chunk_stats(spectrum: &Spectrum, chunks: usize, out: &mut Vec<f64>) {
+    assert!(chunks >= 1, "need at least one chunk");
+    let (lo, hi) = LOW_BAND_HZ;
+    let step = (hi - lo) / chunks as f64;
+    for c in 0..chunks {
+        let b = spectrum.band(lo + c as f64 * step, lo + (c + 1) as f64 * step);
+        out.push(crate::stats::mean(b));
+        out.push(crate::stats::rms(b));
+        out.push(crate::stats::std_dev(b));
+    }
+}
+
 /// Welch power-spectral-density estimate: mean periodogram over Hann-windowed
 /// half-overlapping segments of length `segment`.
 ///
@@ -264,6 +280,23 @@ mod tests {
             .unwrap()
             .0;
         assert_eq!(loudest, 10);
+    }
+
+    #[test]
+    fn push_chunk_stats_matches_tupled_helper() {
+        let x = tone(250.0, FS, 8192, 1.0);
+        let s = Spectrum::of(&x, FS).unwrap();
+        for chunks in [1usize, 3, 20] {
+            let want = low_band_chunk_stats(&s, chunks);
+            let mut got = vec![f64::NAN]; // existing prefix must survive
+            push_low_band_chunk_stats(&s, chunks, &mut got);
+            assert_eq!(got.len(), 1 + 3 * chunks);
+            for (c, (m, r, sd)) in want.iter().enumerate() {
+                assert_eq!(got[1 + 3 * c].to_bits(), m.to_bits());
+                assert_eq!(got[2 + 3 * c].to_bits(), r.to_bits());
+                assert_eq!(got[3 + 3 * c].to_bits(), sd.to_bits());
+            }
+        }
     }
 
     #[test]

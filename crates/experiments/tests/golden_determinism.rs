@@ -6,7 +6,7 @@
 //! This is the workspace's executable proof of the ht-par contract: thread
 //! count is a pure wall-clock knob, never a results knob. Every parallel
 //! layer in the pipeline is exercised here: `Scene::render` (per mic),
-//! `srp_phat` (per pair), `denoise_channels` (per channel),
+//! the frame-based feature extraction (parallel per capture),
 //! `RandomForest::fit` (per tree), and `evaluate_folds` (per fold).
 
 use headtalk::{HeadTalk, PipelineConfig};
@@ -131,12 +131,12 @@ fn report_bytes_are_identical_with_observability_on() {
     // And the run actually recorded through the instrumented layers, so the
     // equality above is not vacuous.
     assert!(
-        snap.span("wake.denoise").is_some(),
-        "no denoise span recorded"
+        snap.span("wake.feature_extract").is_some(),
+        "no feature-extract span recorded"
     );
     assert!(
-        snap.span("dsp.srp_phat").is_some(),
-        "no srp_phat span recorded"
+        snap.span("stream.srp").is_some(),
+        "no per-frame SRP span recorded"
     );
     assert!(
         snap.counter("par.tasks").unwrap_or(0) > 0,

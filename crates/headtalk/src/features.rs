@@ -1,21 +1,30 @@
 //! Orientation feature extraction (§III-B3).
 //!
-//! From a denoised multichannel capture the extractor produces one fixed-
-//! width feature vector composed of:
+//! From a raw multichannel capture the extractor produces one fixed-width
+//! feature vector composed of:
 //!
-//! * **Speech reverberation** features — the weighted SRP-PHAT curve's top
-//!   peaks and statistical summary, plus for every microphone pair the full
-//!   GCC-PHAT lag window, its TDoA, and its statistical summary (kurtosis,
-//!   skewness, max, MAD, std; §III-B3);
+//! * **Speech reverberation** features — the frame-averaged weighted
+//!   SRP-PHAT curve's top peaks and statistical summary, plus for every
+//!   microphone pair the frame-averaged GCC-PHAT lag window, its TDoA, and
+//!   its statistical summary (kurtosis, skewness, max, MAD, std; §III-B3);
 //! * **Speech directivity** features — the high/low band ratio (HLBR) and
 //!   per-chunk (mean, RMS, std) statistics of the 100–400 Hz low band split
-//!   into 20 chunks.
+//!   into 20 chunks, computed on the frame-averaged channel-mean spectrum.
+//!
+//! The extraction is *frame-based*: the capture is cut into the
+//! [`PipelineConfig::analysis_frame_geometry`] frames, each frame is
+//! analyzed by the streaming engine's [`FrameAnalyzer`], and the vector is
+//! assembled from the accumulated Welch-style evidence. This makes the
+//! batch extractor and the incremental `WakeStream::finalize` path one
+//! code path — the golden/property tests pin them bit-identical for any
+//! chunking and any `HT_THREADS`.
 
 use crate::config::PipelineConfig;
 use crate::HeadTalkError;
-use ht_dsp::spectrum::{hlbr, low_band_chunk_stats, Spectrum};
-use ht_dsp::srp::srp_phat;
-use ht_dsp::stats::feature_summary;
+use ht_dsp::spectrum;
+use ht_stream::analyzer::FrameAnalyzer;
+use ht_stream::directivity::DirectivityAccum;
+use ht_stream::error::StreamError;
 
 /// Computes the width of the feature vector for `n_channels` microphones
 /// under a configuration (feature vectors are fixed-width per device).
@@ -31,73 +40,112 @@ pub fn feature_width(n_channels: usize, config: &PipelineConfig) -> usize {
     srp + gcc + directivity
 }
 
-/// Extracts the §III-B3 feature vector from denoised channels.
+/// Extracts the §III-B3 feature vector from raw channels by framing the
+/// capture with [`PipelineConfig::analysis_frame_geometry`] and running
+/// each frame through the streaming [`FrameAnalyzer`]. Any trailing
+/// samples past the last complete frame are ignored — the streaming
+/// engine holds the same partial frame back, which is one of the two
+/// facts behind incremental/batch bit-identity (the other: assembly reads
+/// only the accumulated evidence, never the audio).
 ///
 /// # Errors
 ///
-/// Returns [`HeadTalkError::InvalidInput`] for fewer than two channels or a
-/// capture too short to fill the fixed-width vector, and propagates DSP
-/// errors for malformed audio.
+/// Returns [`HeadTalkError::InvalidInput`] for fewer than two channels,
+/// ragged channels, or a capture too short to hold one complete analysis
+/// frame.
 pub fn extract(channels: &[Vec<f64>], config: &PipelineConfig) -> Result<Vec<f64>, HeadTalkError> {
-    let _span = ht_obs::span("wake.feature_extract");
     if channels.len() < 2 {
         return Err(HeadTalkError::InvalidInput(format!(
             "orientation features need at least 2 channels, got {}",
             channels.len()
         )));
     }
-    let refs: Vec<&[f64]> = channels.iter().map(|c| c.as_slice()).collect();
-    let analysis = srp_phat(&refs, config.max_lag)?;
-
-    let mut features = Vec::with_capacity(feature_width(channels.len(), config));
-
-    // SRP features: ranked top peak values + summary statistics.
-    features.extend(analysis.top_peaks(config.srp_peaks));
-    features.extend(feature_summary(&analysis.srp.values));
-
-    // Pairwise GCC features.
-    for gcc in &analysis.gccs {
-        features.extend(gcc.values.iter().copied());
-        features.push(gcc.peak_lag_interpolated());
-        features.extend(feature_summary(&gcc.values));
-    }
-
-    // Directivity features on the channel average (a crude beamformed-to-
-    // broadside reference signal).
     let len = channels[0].len();
-    let mut avg = vec![0.0; len];
-    for c in channels {
-        for (a, v) in avg.iter_mut().zip(c.iter()) {
-            *a += v;
-        }
+    if channels.iter().any(|c| c.len() != len) {
+        return Err(HeadTalkError::InvalidInput(
+            "all channels must share one length".into(),
+        ));
     }
-    let n = channels.len() as f64;
-    for a in &mut avg {
-        *a /= n;
-    }
-    let spec = Spectrum::of(&avg, config.sample_rate)?;
-    features.push(hlbr(&spec));
-    for (mean, rms, std) in low_band_chunk_stats(&spec, config.low_band_chunks) {
-        features.push(mean);
-        features.push(rms);
-        features.push(std);
-    }
-
-    // Captures shorter than the analysis windows produce truncated GCC
-    // lags / peak lists / spectrum chunks; that is a malformed capture, not
-    // a programming error, so it must surface as an error (a debug assert
-    // here was reachable from `process_wake` with a pathologically short
-    // capture).
-    let expected = feature_width(channels.len(), config);
-    if features.len() != expected {
+    let (frame_len, hop) = config.analysis_frame_geometry();
+    if len < frame_len {
         return Err(HeadTalkError::InvalidInput(format!(
-            "capture too short for fixed-width features: extracted {} of \
-             {expected} values from {}-sample channels",
-            features.len(),
-            channels[0].len()
+            "capture too short for fixed-width features: {len}-sample \
+             channels hold no complete {frame_len}-sample analysis frame"
         )));
     }
+
+    let mut analyzer = FrameAnalyzer::new(
+        channels.len(),
+        frame_len,
+        config.max_lag,
+        config.sample_rate,
+    )
+    .map_err(stream_error)?;
+    let mut dir = DirectivityAccum::new(
+        channels.len(),
+        config.directivity_segment_len(),
+        config.sample_rate,
+    )
+    .map_err(stream_error)?;
+    let refs: Vec<&[f64]> = channels.iter().map(|c| c.as_slice()).collect();
+    dir.push(&refs).map_err(stream_error)?;
+    let mut frame: Vec<Vec<f64>> = vec![vec![0.0; frame_len]; channels.len()];
+    let mut start = 0;
+    while start + frame_len <= len {
+        for (dst, c) in frame.iter_mut().zip(channels) {
+            dst.copy_from_slice(&c[start..start + frame_len]);
+        }
+        analyzer.analyze(&frame).map_err(stream_error)?;
+        start += hop;
+    }
+
+    let mut features = Vec::with_capacity(feature_width(channels.len(), config));
+    assemble_into(&mut analyzer, &mut dir, config, &mut features)?;
     Ok(features)
+}
+
+/// Assembles the feature vector from the accumulated evidence — the
+/// analyzer's SRP/GCC sums followed by the directivity accumulator's
+/// averaged spectrum — translating streaming-layer errors into the
+/// pipeline's error type. This is the one assembly call both the batch
+/// extractor above and the incremental `WakeStream` finalize path go
+/// through, which is what makes their features structurally bit-identical.
+///
+/// # Errors
+///
+/// Returns [`HeadTalkError::InvalidInput`] when no complete frame has been
+/// analyzed (capture shorter than one frame).
+pub(crate) fn assemble_into(
+    analyzer: &mut FrameAnalyzer,
+    dir: &mut DirectivityAccum,
+    config: &PipelineConfig,
+    out: &mut Vec<f64>,
+) -> Result<(), HeadTalkError> {
+    let _span = ht_obs::span("wake.feature_extract");
+    analyzer
+        .assemble_features_into(config.srp_peaks, out)
+        .map_err(stream_error)?;
+    // ≥1 analyzed frame implies ≥frame_len pushed samples, so the
+    // accumulator always has a spectrum here.
+    let spec = dir.flush_spectrum().ok_or_else(|| {
+        HeadTalkError::InvalidInput("no directivity evidence accumulated: capture is empty".into())
+    })?;
+    out.push(spectrum::hlbr(spec));
+    spectrum::push_low_band_chunk_stats(spec, config.low_band_chunks, out);
+    Ok(())
+}
+
+/// Maps a streaming-layer error onto the pipeline's error type, keeping
+/// the user-facing "capture too short" phrasing for the no-frames case.
+fn stream_error(e: StreamError) -> HeadTalkError {
+    match e {
+        StreamError::NoFrames => HeadTalkError::InvalidInput(
+            "capture too short for fixed-width features: no complete \
+             analysis frame was accumulated"
+                .into(),
+        ),
+        other => HeadTalkError::InvalidInput(other.to_string()),
+    }
 }
 
 #[cfg(test)]

@@ -31,34 +31,68 @@ pub const REPLAYED: usize = 0;
 /// A capture with no AC energy is not a classifiable utterance; callers get
 /// an error rather than a garbage verdict.
 pub fn prepare_input(audio_48k: &[f64], target_len: usize) -> Result<Vec<f64>, HeadTalkError> {
-    let _span = ht_obs::span("wake.liveness_prepare");
     if audio_48k.is_empty() {
         return Err(HeadTalkError::InvalidInput("empty audio".into()));
     }
-    let mut x = to_16k_from_48k(audio_48k)?;
-    match x.len().cmp(&target_len) {
+    let x16k = to_16k_from_48k(audio_48k)?;
+    prepare_decimated(&x16k, target_len)
+}
+
+/// [`prepare_decimated_into`] returning a fresh vector.
+///
+/// # Errors
+///
+/// As for [`prepare_decimated_into`].
+pub fn prepare_decimated(x16k: &[f64], target_len: usize) -> Result<Vec<f64>, HeadTalkError> {
+    let mut out = Vec::with_capacity(target_len);
+    prepare_decimated_into(x16k, target_len, &mut out)?;
+    Ok(out)
+}
+
+/// The post-decimation core of [`prepare_input`]: center-crop or zero-pad
+/// already-16 kHz audio to `target_len` into `out` (cleared first), guard
+/// against zero variance, and z-score in place. Allocation-free once `out`
+/// has capacity — the streaming finalize path calls this on a reused
+/// scratch buffer with the decimated samples its stream accumulated, and
+/// produces the very bits the batch path produces.
+///
+/// # Errors
+///
+/// Returns [`HeadTalkError::InvalidInput`] for silent or DC-only audio:
+/// after cropping, such a capture has (numerically) zero variance, so
+/// z-scoring would hand the network an all-zero — or
+/// rounding-noise-amplified — input instead of an utterance.
+pub fn prepare_decimated_into(
+    x16k: &[f64],
+    target_len: usize,
+    out: &mut Vec<f64>,
+) -> Result<(), HeadTalkError> {
+    let _span = ht_obs::span("wake.liveness_prepare");
+    out.clear();
+    match x16k.len().cmp(&target_len) {
         std::cmp::Ordering::Greater => {
-            let start = (x.len() - target_len) / 2;
-            x = x[start..start + target_len].to_vec();
+            let start = (x16k.len() - target_len) / 2;
+            out.extend_from_slice(&x16k[start..start + target_len]);
         }
         std::cmp::Ordering::Less => {
-            x.resize(target_len, 0.0);
+            out.extend_from_slice(x16k);
+            out.resize(target_len, 0.0);
         }
-        std::cmp::Ordering::Equal => {}
+        std::cmp::Ordering::Equal => out.extend_from_slice(x16k),
     }
     // Zero-variance guard, relative to the DC level so a constant capture
     // whose cropped window differs from its mean only by float rounding is
     // still caught (an exact `== 0.0` would miss it).
-    let mean = ht_dsp::stats::mean(&x);
-    let var = ht_dsp::stats::variance(&x);
+    let mean = ht_dsp::stats::mean(out);
+    let var = ht_dsp::stats::variance(out);
     if var <= 1e-20 * (1.0 + mean * mean) {
         return Err(HeadTalkError::InvalidInput(format!(
             "zero-variance liveness input after resampling (mean {mean:.3e}): \
              silent or DC-only audio is not a classifiable utterance"
         )));
     }
-    ht_dsp::signal::normalize_zscore(&mut x);
-    Ok(x)
+    ht_dsp::signal::normalize_zscore(out);
+    Ok(())
 }
 
 /// A trained liveness detector.

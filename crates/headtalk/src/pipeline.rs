@@ -3,10 +3,11 @@
 
 use crate::config::PipelineConfig;
 use crate::features;
-use crate::liveness::{prepare_input, LivenessDetector, LIVE_HUMAN};
+use crate::liveness::{prepare_decimated, LivenessDetector, LIVE_HUMAN};
 use crate::orientation::OrientationDetector;
 use crate::preprocess::Preprocessor;
 use crate::HeadTalkError;
+use ht_dsp::resample::to_16k_from_48k;
 use ht_ml::Classifier;
 
 /// The pipeline's verdict on one wake-word capture.
@@ -74,11 +75,12 @@ impl HeadTalk {
     /// This is a thin batch adapter over the streaming engine
     /// ([`crate::stream::WakeStream`]): the capture is fed hop-sized chunk
     /// by chunk — exercising the exact ingest → frame → gate path a live
-    /// microphone would — and then finalized, which runs the reference
-    /// batch analysis ([`decide_batch`](HeadTalk::decide_batch)) over the
-    /// accumulated capture. The returned decision is byte-identical to
-    /// calling the batch path directly (the stream's advisory gate never
-    /// alters it); the golden tests pin this equivalence.
+    /// microphone would — and then finalized, which assembles the decision
+    /// evidence from the stream's accumulated statistics in O(features).
+    /// The returned decision is bit-identical to calling
+    /// [`decide_batch`](HeadTalk::decide_batch) directly (the stream's
+    /// advisory gate never alters it); the golden tests pin this
+    /// equivalence.
     ///
     /// Liveness runs on a single channel (the paper: "we needed one channel
     /// of audio data to detect liveliness and 4-channel audio data to detect
@@ -133,11 +135,16 @@ impl HeadTalk {
             .expect("advisory streaming always carries the batch decision"))
     }
 
-    /// The reference batch analysis: denoise the whole capture, run the
-    /// trained liveness and orientation models, and return the decision
-    /// together with the orientation feature vector it was based on. The
-    /// streaming engine calls this at finalization; the golden tests assert
-    /// the two paths are byte-identical.
+    /// The reference batch analysis: extract the frame-averaged orientation
+    /// features from the raw capture, prepare the causally-filtered liveness
+    /// input, run both trained models, and return the decision together with
+    /// the orientation feature vector it was based on. Every stage here is a
+    /// whole-capture view of an *incrementally computable* operation —
+    /// frame-accumulated feature statistics, a causal (single-pass) band-pass
+    /// plus streaming decimation for liveness — which is exactly why the
+    /// streaming engine's finalize path can produce the same bits without
+    /// revisiting the audio. The golden/property tests pin the two paths
+    /// bit-identical for any chunking at any `HT_THREADS`.
     ///
     /// # Errors
     ///
@@ -147,40 +154,76 @@ impl HeadTalk {
         &self,
         channels: &[Vec<f64>],
     ) -> Result<(WakeDecision, Vec<f64>), HeadTalkError> {
-        // `denoise_channels` records the `wake.denoise` span itself, so the
-        // training-path helpers below share the same timing breakdown.
-        let denoised = self.preprocessor.denoise_channels(channels)?;
+        if channels.is_empty() || channels[0].is_empty() {
+            return Err(HeadTalkError::InvalidInput(
+                "capture must have at least one non-empty channel".into(),
+            ));
+        }
+        let len = channels[0].len();
+        if channels.iter().any(|c| c.len() != len) {
+            return Err(HeadTalkError::InvalidInput(
+                "all channels must share one length".into(),
+            ));
+        }
         self.validate_feature_width(channels.len())?;
 
-        // Liveness on channel 0.
-        let prepared = prepare_input(&denoised[0], self.liveness.input_len())?;
+        // Orientation on the raw array: the frame analyzer whitens each
+        // pair's cross-spectrum (PHAT), so a pre-filter would only reshape
+        // the phase evidence the TDoA features are built from.
+        let fv = features::extract(channels, &self.config)?;
+
+        // Liveness on channel 0: causal band-pass (incrementally computable,
+        // unlike the zero-phase filtfilt) -> 16 kHz -> fixed-width z-scored
+        // window.
+        let filtered = {
+            let _s = ht_obs::span("wake.denoise");
+            self.preprocessor.filter_causal(&channels[0])
+        };
+        let x16k = to_16k_from_48k(&filtered)?;
+        let prepared = prepare_decimated(&x16k, self.liveness.input_len())?;
+
+        Ok((self.infer_assembled(&fv, &prepared), fv))
+    }
+
+    /// Runs the trained models over already-assembled evidence: the
+    /// fixed-width orientation feature vector and the prepared liveness
+    /// input. This is the O(models) tail of the decision path — the
+    /// streaming engine calls it at finalize time with evidence it
+    /// accumulated frame by frame, and `decide_batch` calls it with the
+    /// same bits computed in one pass, so the two paths cannot diverge
+    /// after assembly.
+    pub fn infer_assembled(&self, features: &[f64], liveness_input: &[f64]) -> WakeDecision {
         let (live_probability, live) = {
             let _s = ht_obs::span("wake.liveness_infer");
-            (
-                self.liveness.live_probability(&prepared),
-                self.liveness.predict(&prepared) == LIVE_HUMAN,
-            )
+            // One forward pass: `predict` is defined as `proba >= 0.5`, so
+            // deriving the class from the probability is bit-identical and
+            // halves the conv-net cost of every wake decision.
+            let p = self.liveness.live_probability(liveness_input);
+            (p, usize::from(p >= 0.5) == LIVE_HUMAN)
         };
-
-        // Orientation on the full array.
-        let fv = features::extract(&denoised, &self.config)?;
         let (facing_score, facing) = {
             let _s = ht_obs::span("wake.orientation_infer");
             (
-                self.orientation.decision_score(&fv),
-                self.orientation.is_facing(&fv),
+                self.orientation.decision_score(features),
+                self.orientation.is_facing(features),
             )
         };
+        WakeDecision {
+            live,
+            live_probability,
+            facing,
+            facing_score,
+        }
+    }
 
-        Ok((
-            WakeDecision {
-                live,
-                live_probability,
-                facing,
-                facing_score,
-            },
-            fv,
-        ))
+    /// The preprocessor, for the streaming engine's causal liveness branch.
+    pub(crate) fn preprocessor(&self) -> &Preprocessor {
+        &self.preprocessor
+    }
+
+    /// The liveness model's fixed input width in 16 kHz samples.
+    pub(crate) fn liveness_input_len(&self) -> usize {
+        self.liveness.input_len()
     }
 
     /// Rejects a channel count whose feature width differs from the width
@@ -201,33 +244,42 @@ impl HeadTalk {
     }
 
     /// Extracts the orientation feature vector from a raw capture (used by
-    /// the dataset builders so training and inference share one code path).
+    /// the dataset builders so training and inference share one code path —
+    /// this is exactly the feature view `decide_batch` scores).
     ///
     /// # Errors
     ///
-    /// Propagates preprocessing and feature-extraction errors.
+    /// Propagates feature-extraction errors.
     pub fn orientation_features(
         config: &PipelineConfig,
         channels: &[Vec<f64>],
     ) -> Result<Vec<f64>, HeadTalkError> {
-        let pre = Preprocessor::new(config)?;
-        let denoised = pre.denoise_channels(channels)?;
-        features::extract(&denoised, config)
+        features::extract(channels, config)
     }
 
     /// Prepares the liveness input from a raw capture (shared by training
-    /// and inference).
+    /// and inference): causal band-pass on channel 0, decimate to 16 kHz,
+    /// crop/pad and z-score.
     ///
     /// # Errors
     ///
-    /// Propagates preprocessing errors.
+    /// Propagates preprocessing errors; rejects empty or silent captures.
     pub fn liveness_input(
         config: &PipelineConfig,
         channels: &[Vec<f64>],
     ) -> Result<Vec<f64>, HeadTalkError> {
+        if channels.is_empty() || channels[0].is_empty() {
+            return Err(HeadTalkError::InvalidInput(
+                "capture must have at least one non-empty channel".into(),
+            ));
+        }
         let pre = Preprocessor::new(config)?;
-        let denoised = pre.denoise_channels(channels)?;
-        prepare_input(&denoised[0], config.liveness_input_len)
+        let filtered = {
+            let _s = ht_obs::span("wake.denoise");
+            pre.filter_causal(&channels[0])
+        };
+        let x16k = to_16k_from_48k(&filtered)?;
+        prepare_decimated(&x16k, config.liveness_input_len)
     }
 }
 

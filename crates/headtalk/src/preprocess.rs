@@ -39,6 +39,24 @@ impl Preprocessor {
         self.filter.filtfilt(x)
     }
 
+    /// The band-pass cascade itself, for callers that need to run it
+    /// causally with carried state (`ht_dsp::filter::StreamingSos` on the
+    /// streaming liveness branch).
+    pub fn sos(&self) -> &Sos {
+        &self.filter
+    }
+
+    /// Causal single-pass band-pass. Unlike [`denoise`](Self::denoise)
+    /// (zero-phase forward–backward, a whole-capture operation), each
+    /// output sample depends only on past inputs, so a chunked stream can
+    /// compute this incrementally with carried per-section state and match
+    /// the batch call bit for bit. The decision path's liveness branch uses
+    /// this; the orientation features analyze raw frames, so no filter
+    /// phase ever touches the TDoA evidence.
+    pub fn filter_causal(&self, x: &[f64]) -> Vec<f64> {
+        self.filter.filter(x)
+    }
+
     /// Denoises all channels of a multichannel capture, applying one common
     /// gain afterwards so the *relative* channel levels (a directional cue)
     /// are preserved while the overall peak is normalized to ±1.

@@ -6,11 +6,16 @@
 //! models. While audio arrives, every frame is analyzed incrementally and
 //! scored by the [`EarlyExitGate`] using the cheap per-frame evidence
 //! ([`crate::liveness::frame_live_evidence`],
-//! [`crate::orientation::frame_facing_evidence`]); at
-//! [`finalize`](WakeStream::finalize) the accumulated capture runs through
-//! the reference batch path ([`HeadTalk::decide_batch`]), so in the default
-//! advisory gate mode the outcome is byte-identical to batch processing —
-//! the golden tests pin this.
+//! [`crate::orientation::frame_facing_evidence`]) — and, on the same
+//! alloc-free scratch paths, the *batch* evidence accumulates too: per-pair
+//! GCC lag sums and the directivity spectrum inside the analyzer, plus a
+//! causally band-passed, streaming-decimated 16 kHz liveness branch in the
+//! stream itself. [`finalize`](WakeStream::finalize) therefore assembles
+//! the §III-B3 feature vector and the liveness input in O(features) — no
+//! audio is stored or revisited — and at the default
+//! [`PipelineConfig::analysis_frame_geometry`] the result is bit-identical
+//! to [`HeadTalk::decide_batch`] for any chunking at any `HT_THREADS`; the
+//! golden and property tests pin this.
 //!
 //! ```no_run
 //! # fn main() -> Result<(), headtalk::HeadTalkError> {
@@ -27,11 +32,13 @@
 //! ```
 
 use crate::config::PipelineConfig;
-use crate::liveness::frame_live_evidence;
+use crate::liveness::{frame_live_evidence, prepare_decimated_into};
 use crate::orientation::frame_facing_evidence;
 use crate::pipeline::{HeadTalk, WakeDecision};
-use crate::HeadTalkError;
-use ht_stream::{EarlyExitGate, FrameAnalyzer, FrameRing};
+use crate::{features, HeadTalkError};
+use ht_dsp::filter::StreamingSos;
+use ht_dsp::resample::StreamDecimator;
+use ht_stream::{DirectivityAccum, EarlyExitGate, FrameAnalyzer, FrameRing};
 
 pub use ht_stream::{
     AudioChunk, EarlyExit, ExitReason, GateConfig, GateMode, StreamError, WakeVerdict,
@@ -47,19 +54,22 @@ pub struct StreamConfig {
     pub hop: usize,
     /// Early-exit gate tuning.
     pub gate: GateConfig,
-    /// Expected capture length in samples (presizes the accumulator so
+    /// Expected capture length in samples (presizes the liveness branch so
     /// steady-state pushes don't reallocate it); 0 for a modest default.
     pub capacity_hint: usize,
 }
 
 impl StreamConfig {
-    /// The default geometry for a pipeline configuration: 20 ms frames
-    /// advancing by 10 ms (960/480 samples at the paper's 48 kHz), the
-    /// classic speech-analysis framing, with an advisory gate.
+    /// The default geometry for a pipeline configuration:
+    /// [`PipelineConfig::analysis_frame_geometry`] (20 ms frames advancing
+    /// by 10 ms — 960/480 samples at the paper's 48 kHz) with an advisory
+    /// gate. Streams at this geometry finalize bit-identically to
+    /// [`HeadTalk::decide_batch`]; a custom geometry still works but frames
+    /// the capture differently than the batch reference.
     pub fn for_pipeline(config: &PipelineConfig) -> StreamConfig {
-        let hop = (config.sample_rate / 100.0).round().max(1.0) as usize;
+        let (frame_len, hop) = config.analysis_frame_geometry();
         StreamConfig {
-            frame_len: 2 * hop,
+            frame_len,
             hop,
             gate: GateConfig::default(),
             capacity_hint: 0,
@@ -76,10 +86,10 @@ impl StreamConfig {
 #[derive(Debug, Clone)]
 pub struct StreamOutcome {
     /// The stream's verdict: [`WakeVerdict::Allow`] only when the finalized
-    /// batch decision accepted; [`WakeVerdict::SoftMute`] when the batch
-    /// decision rejected *or* an enforcing gate stopped the stream early.
+    /// decision accepted; [`WakeVerdict::SoftMute`] when the decision
+    /// rejected *or* an enforcing gate stopped the stream early.
     pub verdict: WakeVerdict,
-    /// The batch decision over the accumulated capture. `None` only when an
+    /// The decision over the accumulated evidence. `None` only when an
     /// enforcing gate stopped ingestion before a decidable capture
     /// accumulated.
     pub decision: Option<WakeDecision>,
@@ -95,6 +105,18 @@ pub struct StreamOutcome {
     pub samples_per_channel: usize,
 }
 
+/// The assembled decision evidence, borrowed from the stream's scratch
+/// buffers: the fixed-width orientation feature vector and the prepared
+/// liveness input. Feed them to [`HeadTalk::infer_assembled`] — or inspect
+/// them — without any copy.
+#[derive(Debug, Clone, Copy)]
+pub struct AssembledEvidence<'s> {
+    /// The §III-B3 orientation feature vector.
+    pub features: &'s [f64],
+    /// The z-scored fixed-width 16 kHz liveness input.
+    pub liveness_input: &'s [f64],
+}
+
 /// A live streaming session borrowing a [`HeadTalk`] pipeline.
 #[derive(Debug, Clone)]
 pub struct WakeStream<'a> {
@@ -103,10 +125,29 @@ pub struct WakeStream<'a> {
     ring: FrameRing,
     analyzer: FrameAnalyzer,
     gate: EarlyExitGate,
-    /// The full capture, accumulated for finalization.
-    capture: Vec<Vec<f64>>,
+    /// Welch accumulator for the speech-directivity spectrum.
+    dir: DirectivityAccum,
+    /// Samples ingested per channel (the stream stores no audio beyond the
+    /// ring's working window and the decimated liveness branch).
+    samples: usize,
     /// Scratch frame the ring pops into.
     frame: Vec<Vec<f64>>,
+    /// Carried band-pass state of the causal liveness filter (channel 0).
+    liv_sos: StreamingSos,
+    /// Per-chunk scratch for the filtered channel-0 samples.
+    liv_filtered: Vec<f64>,
+    /// Streaming ÷3 decimator carrying the anti-alias FIR tail.
+    liv_dec: StreamDecimator,
+    /// Decimated 16 kHz liveness samples emitted so far.
+    liv_16k: Vec<f64>,
+    /// Finalize-time scratch: `liv_16k` plus the decimator's flushed tail.
+    liv_tail: Vec<f64>,
+    /// Finalize-time scratch: the cropped/padded, z-scored liveness input.
+    liv_prepared: Vec<f64>,
+    /// Finalize-time scratch: the assembled feature vector.
+    features: Vec<f64>,
+    /// The liveness model's fixed input width in 16 kHz samples.
+    liv_input_len: usize,
     /// `true` once an enforcing gate has stopped ingestion.
     muted: bool,
 }
@@ -154,15 +195,28 @@ impl HeadTalk {
             // Default to 4 s of audio at the configured rate.
             (self.config().sample_rate * 4.0) as usize
         };
+        let liv_input_len = self.liveness_input_len();
+        let feature_cap = features::feature_width(n_channels, self.config());
         Ok(WakeStream {
             ht: self,
             ring,
             analyzer,
             gate: EarlyExitGate::new(config.gate),
-            capture: (0..n_channels)
-                .map(|_| Vec::with_capacity(capacity))
-                .collect(),
+            dir: DirectivityAccum::new(
+                n_channels,
+                self.config().directivity_segment_len(),
+                self.config().sample_rate,
+            )?,
+            samples: 0,
             frame: vec![vec![0.0; config.frame_len]; n_channels],
+            liv_sos: StreamingSos::new(self.preprocessor().sos().clone()),
+            liv_filtered: Vec::with_capacity(2 * config.hop + 16),
+            liv_dec: StreamDecimator::new(3)?,
+            liv_16k: Vec::with_capacity(capacity / 3 + 64),
+            liv_tail: Vec::with_capacity(capacity / 3 + 128),
+            liv_prepared: Vec::with_capacity(liv_input_len),
+            features: Vec::with_capacity(feature_cap),
+            liv_input_len,
             muted: false,
             config,
         })
@@ -189,9 +243,14 @@ impl WakeStream<'_> {
         {
             let _ingest = ht_obs::span("stream.ingest");
             self.ring.push(chunk)?;
-            for (cap, c) in self.capture.iter_mut().zip(chunk) {
-                cap.extend_from_slice(c);
-            }
+            self.dir.push(chunk)?;
+            self.samples += chunk[0].len();
+            // Liveness branch: causal band-pass with carried state, then
+            // streaming decimation — bit-identical to filtering and
+            // decimating the whole capture at once, at O(chunk) per push.
+            self.liv_filtered.clear();
+            self.liv_sos.process(chunk[0], &mut self.liv_filtered);
+            self.liv_dec.push(&self.liv_filtered, &mut self.liv_16k);
         }
         while !self.muted && self.ring.pop_frame_into(&mut self.frame) {
             let _frame_span = ht_obs::span("stream.frame");
@@ -254,6 +313,11 @@ impl WakeStream<'_> {
         self.gate.fired()
     }
 
+    /// `true` once an enforcing gate has stopped ingestion.
+    pub fn is_muted(&self) -> bool {
+        self.muted
+    }
+
     /// Frames analyzed so far.
     pub fn frames(&self) -> u64 {
         self.analyzer.frames_analyzed()
@@ -261,7 +325,7 @@ impl WakeStream<'_> {
 
     /// Samples ingested per channel so far.
     pub fn samples_per_channel(&self) -> usize {
-        self.capture[0].len()
+        self.samples
     }
 
     /// The stream's hop in samples (the natural push granularity).
@@ -274,21 +338,58 @@ impl WakeStream<'_> {
         &self.config
     }
 
-    /// Finalizes the stream: runs the reference batch analysis
-    /// ([`HeadTalk::decide_batch`]) over the accumulated capture and folds
-    /// in the gate's early exit.
-    ///
-    /// In advisory mode the decision and features are byte-identical to
-    /// batch-processing the same capture. In enforcing mode the capture may
-    /// have been truncated at the mute point; if too little audio
-    /// accumulated for the batch path to decide, the outcome carries the
-    /// gate's soft-mute with `decision: None` instead of an error.
+    /// Assembles the decision evidence from the accumulated statistics into
+    /// the stream's scratch buffers: the feature vector from the analyzer's
+    /// Welch accumulators, and the liveness input from the decimated branch
+    /// plus the decimator's flushed FIR tail. O(features), allocation-free
+    /// once the scratch has grown, and non-destructive — analysis may
+    /// continue and the evidence be assembled again.
+    fn assemble_evidence(&mut self) -> Result<(), HeadTalkError> {
+        self.features.clear();
+        features::assemble_into(
+            &mut self.analyzer,
+            &mut self.dir,
+            self.ht.config(),
+            &mut self.features,
+        )?;
+        self.liv_tail.clear();
+        self.liv_tail.extend_from_slice(&self.liv_16k);
+        self.liv_dec.flush_into(&mut self.liv_tail);
+        prepare_decimated_into(&self.liv_tail, self.liv_input_len, &mut self.liv_prepared)
+    }
+
+    /// Assembles and exposes the decision evidence without running the
+    /// models (borrowed from internal scratch; the next push or assembly
+    /// overwrites it). The serving layer uses this to batch model inference
+    /// across sessions.
     ///
     /// # Errors
     ///
-    /// Propagates batch-path errors (empty/short/degenerate captures) when
+    /// As for [`finalize`](WakeStream::finalize).
+    pub fn assemble(&mut self) -> Result<AssembledEvidence<'_>, HeadTalkError> {
+        self.assemble_evidence()?;
+        Ok(AssembledEvidence {
+            features: &self.features,
+            liveness_input: &self.liv_prepared,
+        })
+    }
+
+    /// Finalizes the stream: assembles the feature vector and liveness
+    /// input from the accumulated evidence — O(features), not O(capture) —
+    /// runs the trained models, and folds in the gate's early exit.
+    ///
+    /// At the default [`PipelineConfig::analysis_frame_geometry`] the
+    /// decision and features are bit-identical to
+    /// [`HeadTalk::decide_batch`] over the same capture. In enforcing mode
+    /// the evidence may have been truncated at the mute point; if too
+    /// little audio accumulated to decide, the outcome carries the gate's
+    /// soft-mute with `decision: None` instead of an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly errors (short or silent/DC-only captures) when
     /// the gate did not stop the stream.
-    pub fn finalize(self) -> Result<StreamOutcome, HeadTalkError> {
+    pub fn finalize(mut self) -> Result<StreamOutcome, HeadTalkError> {
         self.outcome()
     }
 
@@ -300,23 +401,26 @@ impl WakeStream<'_> {
     /// # Errors
     ///
     /// As for [`finalize`](WakeStream::finalize).
-    pub fn outcome(&self) -> Result<StreamOutcome, HeadTalkError> {
+    pub fn outcome(&mut self) -> Result<StreamOutcome, HeadTalkError> {
         let early_exit = self.gate.fired();
         let frames = self.analyzer.frames_analyzed();
-        let samples_per_channel = self.capture[0].len();
-        match self.ht.decide_batch(&self.capture) {
-            Ok((decision, features)) => Ok(StreamOutcome {
-                verdict: if self.muted || !decision.accepted() {
-                    WakeVerdict::SoftMute
-                } else {
-                    WakeVerdict::Allow
-                },
-                decision: Some(decision),
-                features,
-                early_exit,
-                frames,
-                samples_per_channel,
-            }),
+        let samples_per_channel = self.samples;
+        match self.assemble_evidence() {
+            Ok(()) => {
+                let decision = self.ht.infer_assembled(&self.features, &self.liv_prepared);
+                Ok(StreamOutcome {
+                    verdict: if self.muted || !decision.accepted() {
+                        WakeVerdict::SoftMute
+                    } else {
+                        WakeVerdict::Allow
+                    },
+                    decision: Some(decision),
+                    features: self.features.clone(),
+                    early_exit,
+                    frames,
+                    samples_per_channel,
+                })
+            }
             Err(_) if self.muted => Ok(StreamOutcome {
                 verdict: WakeVerdict::SoftMute,
                 decision: None,
@@ -330,18 +434,25 @@ impl WakeStream<'_> {
     }
 
     /// Returns the stream to its just-opened state — empty ring, rewound
-    /// analyzer, fresh gate, cleared capture — while keeping every buffer
-    /// at its grown capacity. A reset stream produces byte-identical
-    /// results to a freshly opened one, but reusing it costs no heap
-    /// allocations once its buffers have grown to the working capture
-    /// length; the serving layer's session arenas depend on this.
+    /// analyzer, fresh gate and filter/decimator state, cleared liveness
+    /// branch — while keeping every buffer at its grown capacity. A reset
+    /// stream produces byte-identical results to a freshly opened one, but
+    /// reusing it costs no heap allocations once its buffers have grown to
+    /// the working capture length; the serving layer's session arenas
+    /// depend on this.
     pub fn reset(&mut self) {
         self.ring.reset();
         self.analyzer.reset();
         self.gate.reset();
-        for cap in &mut self.capture {
-            cap.clear();
-        }
+        self.dir.reset();
+        self.samples = 0;
+        self.liv_sos.reset();
+        self.liv_dec.reset();
+        self.liv_filtered.clear();
+        self.liv_16k.clear();
+        self.liv_tail.clear();
+        self.liv_prepared.clear();
+        self.features.clear();
         self.muted = false;
     }
 }

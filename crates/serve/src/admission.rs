@@ -310,24 +310,52 @@ mod tests {
     }
 
     #[test]
-    fn prop_retry_hint_is_honored() {
-        // Whenever a take is rejected with a finite retry hint, a take at
-        // exactly `now + hint` succeeds (provided no other taker raced).
-        property("bucket_retry_hint").cases(64).run(|g| {
-            let capacity = g.u64_in(1..8);
-            let refill_per_sec = *g.choose(&[1u64, 2, 7, 1_000, 48_000]);
+    fn prop_retry_hint_is_honored_and_tight() {
+        // Satellite: whenever a take is rejected with a finite retry hint,
+        // a take at exactly `now + hint` succeeds (provided no other taker
+        // raced) — and the hint is *tight*: one nanosecond earlier is still
+        // rejected. Widened over random capacities and refill rates from
+        // one token per second up to one per nanosecond, with both gentle
+        // and multi-second arrival gaps.
+        property("bucket_retry_hint").cases(128).run(|g| {
+            let capacity = g.u64_in(1..64);
+            let refill_per_sec = *g.choose(&[
+                1u64,
+                2,
+                7,
+                1_000,
+                48_000,
+                999_983, // prime: exercises sub-token remainder carries
+                1_000_000,
+                123_456_789,
+                1_000_000_000,
+            ]);
             let mut b = TokenBucket::new(TokenBucketConfig {
                 capacity,
                 refill_per_sec,
             });
             let mut now: u64 = 0;
-            for _ in 0..g.usize_in(1..60) {
-                now = now.saturating_add(g.u64_in(0..500_000_000));
+            for _ in 0..g.usize_in(1..80) {
+                let step = if g.usize_in(0..4) == 0 {
+                    g.u64_in(0..30_000_000_000) // multi-second idle gap
+                } else {
+                    g.u64_in(0..500_000_000)
+                };
+                now = now.saturating_add(step);
                 match b.try_take(now) {
                     Ok(()) => {}
                     Err(RejectReason::RateLimited {
                         retry_after_ns: Some(hint),
                     }) => {
+                        if hint > 1 {
+                            // Tightness: probe a clone so the real bucket's
+                            // epoch is untouched by the early attempt.
+                            assert!(
+                                b.clone().try_take(now + hint - 1).is_err(),
+                                "one ns before the hint must still reject \
+                                 (now {now}, hint {hint})"
+                            );
+                        }
                         now = now.saturating_add(hint);
                         assert!(
                             b.try_take(now).is_ok(),

@@ -2,8 +2,7 @@
 //! [`WakeServer`].
 //!
 //! The driver replays `n_sessions` synthetic wake events through the
-//! server in **waves** sized to the server's total slot capacity. Each
-//! wave runs in two phases:
+//! server in **waves**, each wave running three phases:
 //!
 //! 1. **Admission (serial).** Sessions open one at a time in id order on a
 //!    logical clock that advances `open_spacing_ns` per attempt, so the
@@ -15,6 +14,19 @@
 //!    ragged chunk sizes drawn from `[chunk_min, chunk_max]` — thousands
 //!    of sessions' chunks arbitrarily interleaved, yet fully determined by
 //!    `(seed, scenario set)`.
+//! 3. **Finalization (batched).** The wave's sessions decide through
+//!    [`WakeServer::finalize_batch`]: evidence assembly is O(features) per
+//!    session (the incremental accumulators — no capture re-transform) and
+//!    model inference for the whole wave runs on the pool.
+//!
+//! Waves **overlap**: while wave `w` streams, wave `w+1`'s admission runs
+//! concurrently, so the serial admission phase costs no wall-clock between
+//! waves. Overlap is safe for determinism because waves are sized to half
+//! of each shard's slots — two waves in flight can never fill a shard, so
+//! admission outcomes depend only on the serial token-bucket sequence,
+//! never on how far the concurrent streaming has progressed. (A
+//! single-slot-per-shard server degenerates to drained, non-overlapped
+//! waves.)
 //!
 //! Because shards share no state and each shard's event order is fixed by
 //! the seed (never by scheduling), the whole run — every decision bit,
@@ -107,17 +119,84 @@ struct Pending {
     capture: usize,
 }
 
-/// One finished session's result, reduced to comparison bits.
-#[derive(Debug, Clone, Copy)]
-struct SessionOutcome {
-    id: u64,
-    verdict: WakeVerdict,
-    accepted: bool,
-    live_bits: u64,
-    facing_bits: u64,
-    feature_fold: u64,
-    frames: u64,
-    samples: u64,
+/// One wave's serial admission outcome.
+struct AdmitResult {
+    /// Admitted sessions, grouped by shard.
+    groups: Vec<Vec<Pending>>,
+    /// Rejected ids with their checksum tags, in admission order.
+    rejections: Vec<(u64, u64)>,
+    rejected_rate: usize,
+    rejected_capacity: usize,
+    /// The logical clock after the wave's last admission attempt.
+    end_ns: u64,
+}
+
+/// One unit of super-step work: stream a shard's admitted group, or run
+/// the next wave's serial admission (concurrently with the streaming).
+enum Task<'a> {
+    Admit {
+        base_id: u64,
+        start_ns: u64,
+        count: usize,
+    },
+    Stream {
+        shard: usize,
+        group: &'a [Pending],
+        now_ns: u64,
+        wave_seed: u64,
+    },
+}
+
+enum TaskOut {
+    Admitted(AdmitResult),
+    Streamed(Result<(), ServeError>),
+}
+
+/// Admits `count` consecutive session ids starting at `base_id`, one per
+/// `open_spacing_ns` tick of the logical clock.
+fn admit_wave(
+    server: &WakeServer<'_>,
+    config: &LoadConfig,
+    captures_len: usize,
+    base_id: u64,
+    start_ns: u64,
+    count: usize,
+) -> AdmitResult {
+    let n_shards = server.config().n_shards;
+    let mut groups: Vec<Vec<Pending>> = vec![Vec::new(); n_shards];
+    let mut rejections = Vec::new();
+    let mut rejected_rate = 0;
+    let mut rejected_capacity = 0;
+    let mut now_ns = start_ns;
+    for offset in 0..count as u64 {
+        let id = base_id + offset;
+        now_ns += config.open_spacing_ns;
+        match server.open(id, now_ns) {
+            Ok(()) => groups[server.shard_of(id)].push(Pending {
+                id,
+                capture: (id % captures_len as u64) as usize,
+            }),
+            Err(ServeError::Rejected(RejectReason::RateLimited { .. })) => {
+                rejected_rate += 1;
+                rejections.push((id, u64::MAX - 1));
+            }
+            Err(ServeError::Rejected(RejectReason::ShardFull { .. })) => {
+                rejected_capacity += 1;
+                rejections.push((id, u64::MAX - 2));
+            }
+            // Consecutive fresh ids cannot be duplicates, and the wave
+            // sizing keeps shards under capacity; anything else here is a
+            // driver bug worth failing loudly on.
+            Err(e) => panic!("unexpected admission error for session {id}: {e}"),
+        }
+    }
+    AdmitResult {
+        groups,
+        rejections,
+        rejected_rate,
+        rejected_capacity,
+        end_ns: now_ns,
+    }
 }
 
 /// Replays `config.n_sessions` wake events from `captures` through
@@ -144,7 +223,18 @@ pub fn run_load(
         "chunk bounds must satisfy 1 <= min <= max"
     );
     let n_shards = server.config().n_shards;
-    let total_slots = n_shards * server.config().sessions_per_shard;
+    let sessions_per_shard = server.config().sessions_per_shard;
+    // Overlap-safe wave size: half of each shard's slots, so two waves in
+    // flight (one streaming, the next admitting concurrently) can never
+    // fill a shard — admission outcomes stay a pure function of the serial
+    // token-bucket sequence. Waves take consecutive ids, so a wave of
+    // `n_shards * k` lands at most `k` sessions on any shard.
+    let overlap = sessions_per_shard >= 2;
+    let wave_cap = if overlap {
+        n_shards * (sessions_per_shard / 2)
+    } else {
+        n_shards * sessions_per_shard
+    };
 
     let mut report = LoadReport::default();
     let mut checksum = Fnv::new();
@@ -153,73 +243,145 @@ pub fn run_load(
     let mut remaining = config.n_sessions;
     let mut wave_idx = 0u64;
 
-    while remaining > 0 {
-        let wave = remaining.min(total_slots);
-        // Phase 1: serial admission in id order on the logical clock.
-        let mut groups: Vec<Vec<Pending>> = vec![Vec::new(); n_shards];
-        for _ in 0..wave {
-            let id = next_id;
-            next_id += 1;
-            now_ns += config.open_spacing_ns;
-            match server.open(id, now_ns) {
-                Ok(()) => groups[server.shard_of(id)].push(Pending {
-                    id,
-                    capture: (id % captures.len() as u64) as usize,
-                }),
-                Err(ServeError::Rejected(RejectReason::RateLimited { .. })) => {
-                    report.rejected_rate += 1;
-                    checksum.mix(id);
-                    checksum.mix(u64::MAX - 1);
-                }
-                Err(ServeError::Rejected(RejectReason::ShardFull { .. })) => {
-                    report.rejected_capacity += 1;
-                    checksum.mix(id);
-                    checksum.mix(u64::MAX - 2);
-                }
-                Err(e) => return Err(e),
+    // Wave 0 admits with nothing to overlap.
+    let mut current: Option<AdmitResult> = (remaining > 0).then(|| {
+        let count = remaining.min(wave_cap);
+        remaining -= count;
+        let r = admit_wave(server, config, captures.len(), next_id, now_ns, count);
+        next_id += count as u64;
+        now_ns = r.end_ns;
+        r
+    });
+
+    while let Some(wave) = current.take() {
+        // The wave's logical time: frozen after its own admission, shared
+        // by its pushes and its finalization regardless of how far the
+        // overlapped next-wave admission advances the clock.
+        let stream_now = now_ns;
+        let next_count = remaining.min(wave_cap);
+
+        // Super-step: this wave's shard groups stream in parallel; each
+        // group's event order comes from its own (seed, wave, shard) RNG
+        // stream, so the pool's scheduling cannot reorder anything
+        // observable. With overlap, the next wave's serial admission rides
+        // along as one more task.
+        let wave_seed = derive_seed(config.seed, wave_idx);
+        let mut tasks: Vec<Task<'_>> = wave
+            .groups
+            .iter()
+            .enumerate()
+            .filter(|(_, group)| !group.is_empty())
+            .map(|(shard, group)| Task::Stream {
+                shard,
+                group,
+                now_ns: stream_now,
+                wave_seed,
+            })
+            .collect();
+        if overlap && next_count > 0 {
+            tasks.push(Task::Admit {
+                base_id: next_id,
+                start_ns: now_ns,
+                count: next_count,
+            });
+        }
+        let mut next: Option<AdmitResult> = None;
+        for out in ht_par::par_map(&tasks, |task| match task {
+            Task::Stream {
+                shard,
+                group,
+                now_ns,
+                wave_seed,
+            } => TaskOut::Streamed(run_shard_group(
+                server, *shard, group, *wave_seed, config, captures, *now_ns,
+            )),
+            Task::Admit {
+                base_id,
+                start_ns,
+                count,
+            } => TaskOut::Admitted(admit_wave(
+                server,
+                config,
+                captures.len(),
+                *base_id,
+                *start_ns,
+                *count,
+            )),
+        }) {
+            match out {
+                TaskOut::Streamed(r) => r?,
+                TaskOut::Admitted(a) => next = Some(a),
             }
         }
-        remaining -= wave;
-
-        // Phase 2: shard groups stream in parallel; each group's event
-        // order comes from its own (seed, wave, shard) RNG stream, so the
-        // pool's scheduling cannot reorder anything observable.
-        let wave_seed = derive_seed(config.seed, wave_idx);
-        let indexed: Vec<(usize, Vec<Pending>)> = groups.into_iter().enumerate().collect();
-        let shard_results: Vec<Result<Vec<SessionOutcome>, ServeError>> =
-            ht_par::par_map(&indexed, |(shard_idx, group)| {
-                run_shard_group(
-                    server, *shard_idx, group, wave_seed, config, captures, now_ns,
-                )
-            });
-
-        // Merge in session-id order so the checksum is schedule-free.
-        let mut outcomes: Vec<SessionOutcome> = Vec::new();
-        for r in shard_results {
-            outcomes.extend(r?);
+        if let Some(a) = &next {
+            remaining -= next_count;
+            next_id += next_count as u64;
+            now_ns = a.end_ns;
         }
-        outcomes.sort_by_key(|o| o.id);
-        for o in &outcomes {
+
+        // The wave decides as one batch: per-shard O(features) assembly,
+        // pooled model inference across every session at once.
+        let mut ids: Vec<u64> = wave.groups.iter().flatten().map(|p| p.id).collect();
+        ids.sort_unstable();
+        let finalized = server.finalize_batch(&ids, stream_now);
+
+        // Fold the wave into the report: rejections in admission order,
+        // then outcomes in session-id order — schedule-free.
+        for (id, tag) in &wave.rejections {
+            checksum.mix(*id);
+            checksum.mix(*tag);
+        }
+        report.rejected_rate += wave.rejected_rate;
+        report.rejected_capacity += wave.rejected_capacity;
+        for (id, result) in finalized {
+            let outcome = result?;
+            let n_channels = captures[(id % captures.len() as u64) as usize].len();
+            let mut fold = Fnv::new();
+            for f in &outcome.features {
+                fold.mix(f.to_bits());
+            }
+            let samples = (outcome.samples_per_channel * n_channels) as u64;
             report.decided += 1;
-            if o.accepted {
+            if outcome.decision.as_ref().is_some_and(|d| d.accepted()) {
                 report.accepted += 1;
             } else {
                 report.soft_muted += 1;
             }
-            report.frames += o.frames;
-            report.samples += o.samples;
-            checksum.mix(o.id);
-            checksum.mix(match o.verdict {
+            report.frames += outcome.frames;
+            report.samples += samples;
+            checksum.mix(id);
+            checksum.mix(match outcome.verdict {
                 WakeVerdict::Allow => 1,
                 WakeVerdict::SoftMute => 2,
                 WakeVerdict::Undecided => 3,
             });
-            checksum.mix(o.live_bits);
-            checksum.mix(o.facing_bits);
-            checksum.mix(o.feature_fold);
-            checksum.mix(o.frames);
-            checksum.mix(o.samples);
+            checksum.mix(
+                outcome
+                    .decision
+                    .as_ref()
+                    .map_or(0, |d| d.live_probability.to_bits()),
+            );
+            checksum.mix(
+                outcome
+                    .decision
+                    .as_ref()
+                    .map_or(0, |d| d.facing_score.to_bits()),
+            );
+            checksum.mix(fold.0);
+            checksum.mix(outcome.frames);
+            checksum.mix(samples);
         }
+
+        // Degenerate single-slot shards cannot overlap: admit the next
+        // wave only now, after this wave drained.
+        if !overlap && next_count > 0 {
+            remaining -= next_count;
+            let r = admit_wave(server, config, captures.len(), next_id, now_ns, next_count);
+            next_id += next_count as u64;
+            now_ns = r.end_ns;
+            next = Some(r);
+        }
+        current = next;
         wave_idx += 1;
     }
     report.checksum = checksum.0;
@@ -227,7 +389,8 @@ pub fn run_load(
 }
 
 /// Streams one shard's admitted sessions to completion under the group's
-/// seeded interleaving.
+/// seeded interleaving. Finalization happens afterwards, batched across
+/// the whole wave by the driver.
 fn run_shard_group(
     server: &WakeServer<'_>,
     shard_idx: usize,
@@ -236,10 +399,9 @@ fn run_shard_group(
     config: &LoadConfig,
     captures: &[Vec<Vec<f64>>],
     now_ns: u64,
-) -> Result<Vec<SessionOutcome>, ServeError> {
+) -> Result<(), ServeError> {
     let mut rng = split_stream(wave_seed, shard_idx as u64);
     let mut cursors: Vec<(Pending, usize)> = group.iter().map(|&p| (p, 0usize)).collect();
-    let mut outcomes = Vec::with_capacity(group.len());
     let mut chunk: Vec<&[f64]> = Vec::new();
     while !cursors.is_empty() {
         let pick = rng.gen_range(0..cursors.len());
@@ -255,31 +417,10 @@ fn run_shard_group(
         let pos = pos + take;
         cursors[pick].1 = pos;
         if pos == len {
-            let outcome = server.finalize(pending.id, now_ns)?;
-            let mut fold = Fnv::new();
-            for f in &outcome.features {
-                fold.mix(f.to_bits());
-            }
-            outcomes.push(SessionOutcome {
-                id: pending.id,
-                verdict: outcome.verdict,
-                accepted: outcome.decision.as_ref().is_some_and(|d| d.accepted()),
-                live_bits: outcome
-                    .decision
-                    .as_ref()
-                    .map_or(0, |d| d.live_probability.to_bits()),
-                facing_bits: outcome
-                    .decision
-                    .as_ref()
-                    .map_or(0, |d| d.facing_score.to_bits()),
-                feature_fold: fold.0,
-                frames: outcome.frames,
-                samples: (outcome.samples_per_channel * capture.len()) as u64,
-            });
             cursors.swap_remove(pick);
         }
     }
-    Ok(outcomes)
+    Ok(())
 }
 
 /// A pipeline with quickly trained stand-in models, for load generation,

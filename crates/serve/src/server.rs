@@ -164,6 +164,7 @@ pub struct ServeStats {
 /// itself.
 #[derive(Debug)]
 pub struct WakeServer<'ht> {
+    ht: &'ht HeadTalk,
     config: ServeConfig,
     bucket: Mutex<TokenBucket>,
     shards: Vec<Mutex<Shard<'ht>>>,
@@ -199,6 +200,7 @@ impl<'ht> WakeServer<'ht> {
             })
             .collect();
         WakeServer {
+            ht,
             config,
             bucket: Mutex::new(TokenBucket::new(config.bucket)),
             shards,
@@ -296,32 +298,201 @@ impl<'ht> WakeServer<'ht> {
         }
     }
 
-    /// Finalizes a session at logical time `now_ns`: runs the
-    /// batch-identical decision over the accumulated capture, then closes
-    /// the session and recycles its slot — **also on error**, so a
-    /// degenerate capture cannot pin a slot.
+    /// Finalizes a session at logical time `now_ns`: assembles the
+    /// incrementally accumulated evidence (O(features) — the capture is
+    /// never re-transformed), runs the models, closes the session, and
+    /// recycles its slot.
+    ///
+    /// A finalize that cannot decide — typically a capture still too short
+    /// to hold one analysis frame — is **retryable**: the session stays
+    /// open, marked active at `now_ns` (so it is not counted idle relative
+    /// to this attempt), and more audio may be pushed before trying again.
+    /// A session that should be abandoned instead goes through
+    /// [`close`](WakeServer::close); idle eviction reaps the rest.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownSession`] for an id that isn't open;
-    /// [`ServeError::Pipeline`] when the batch path cannot decide.
-    pub fn finalize(&self, id: u64, _now_ns: u64) -> Result<StreamOutcome, ServeError> {
+    /// [`ServeError::Pipeline`] when the evidence cannot yet decide (the
+    /// session remains open).
+    pub fn finalize(&self, id: u64, now_ns: u64) -> Result<StreamOutcome, ServeError> {
         let _span = ht_obs::span("serve.decision");
         let mut shard = self.shards[self.shard_of(id)].lock().expect("shard lock");
-        let slot = match shard.sessions.get(&id) {
-            Some(session) => session.slot,
+        let slot = match shard.sessions.get_mut(&id) {
+            Some(session) => {
+                session.last_active_ns = now_ns;
+                session.slot
+            }
             None => return Err(ServeError::UnknownSession(id)),
         };
-        let outcome = shard.arena.slot(slot).outcome();
-        shard.sessions.remove(&id);
-        shard.arena.release(slot);
-        match outcome {
+        match shard.arena.slot_mut(slot).outcome() {
             Ok(o) => {
+                shard.sessions.remove(&id);
+                shard.arena.release(slot);
                 ht_obs::counter_add("serve.decisions", 1);
                 Ok(o)
             }
-            Err(e) => Err(ServeError::Pipeline(e)),
+            Err(e) => {
+                ht_obs::counter_add("serve.finalize_retry", 1);
+                Err(ServeError::Pipeline(e))
+            }
         }
+    }
+
+    /// Closes a session without deciding, releasing its slot. The explicit
+    /// companion to retryable [`finalize`](WakeServer::finalize) for
+    /// callers abandoning an undecidable session.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for an id that isn't open.
+    pub fn close(&self, id: u64) -> Result<(), ServeError> {
+        let mut shard = self.shards[self.shard_of(id)].lock().expect("shard lock");
+        match shard.sessions.remove(&id) {
+            Some(session) => {
+                shard.arena.release(session.slot);
+                ht_obs::counter_add("serve.closed", 1);
+                Ok(())
+            }
+            None => Err(ServeError::UnknownSession(id)),
+        }
+    }
+
+    /// Finalizes many sessions at logical time `now_ns`, batching model
+    /// inference across them on the `ht-par` pool.
+    ///
+    /// Per shard (locked once, briefly), each ready session's evidence is
+    /// assembled from its accumulators — O(features) per session — and its
+    /// slot released; the locks are dropped before any model runs, so
+    /// inference for sessions of *one* shard parallelizes too, which
+    /// single-session [`finalize`](WakeServer::finalize) under the shard
+    /// lock cannot do. Results come back in input order with per-session
+    /// errors: an undecidable session stays open (retryable, marked active
+    /// at `now_ns`) exactly as in single finalize, and never blocks its
+    /// batch neighbours. Outcomes are byte-identical to calling
+    /// [`finalize`](WakeServer::finalize) per id.
+    pub fn finalize_batch(
+        &self,
+        ids: &[u64],
+        now_ns: u64,
+    ) -> Vec<(u64, Result<StreamOutcome, ServeError>)> {
+        /// Evidence cloned out of a slot, ready for lock-free inference.
+        struct Pack {
+            pos: usize,
+            id: u64,
+            features: Vec<f64>,
+            liveness: Vec<f64>,
+            muted: bool,
+            early_exit: Option<headtalk::stream::EarlyExit>,
+            frames: u64,
+            samples_per_channel: usize,
+        }
+
+        let mut results: Vec<Option<(u64, Result<StreamOutcome, ServeError>)>> =
+            (0..ids.len()).map(|_| None).collect();
+        let mut by_shard: Vec<Vec<(usize, u64)>> = vec![Vec::new(); self.shards.len()];
+        for (pos, &id) in ids.iter().enumerate() {
+            by_shard[self.shard_of(id)].push((pos, id));
+        }
+
+        // Phase 1: per shard, assemble evidence and free the slots.
+        let mut packs: Vec<Pack> = Vec::new();
+        for (shard_idx, members) in by_shard.into_iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[shard_idx].lock().expect("shard lock");
+            for (pos, id) in members {
+                let slot = match shard.sessions.get_mut(&id) {
+                    Some(session) => {
+                        session.last_active_ns = now_ns;
+                        session.slot
+                    }
+                    None => {
+                        results[pos] = Some((id, Err(ServeError::UnknownSession(id))));
+                        continue;
+                    }
+                };
+                let stream = shard.arena.slot_mut(slot);
+                // Clone the evidence out eagerly so the borrow from
+                // `assemble` ends before the error arms inspect the stream.
+                let assembled = {
+                    let _span = ht_obs::span("serve.assemble");
+                    stream
+                        .assemble()
+                        .map(|ev| (ev.features.to_vec(), ev.liveness_input.to_vec()))
+                };
+                match assembled {
+                    Ok((features, liveness)) => {
+                        let pack = Pack {
+                            pos,
+                            id,
+                            features,
+                            liveness,
+                            muted: stream.is_muted(),
+                            early_exit: stream.early_exit(),
+                            frames: stream.frames(),
+                            samples_per_channel: stream.samples_per_channel(),
+                        };
+                        shard.sessions.remove(&id);
+                        shard.arena.release(slot);
+                        ht_obs::counter_add("serve.decisions", 1);
+                        packs.push(pack);
+                    }
+                    Err(_) if stream.is_muted() => {
+                        // Same contract as `WakeStream::outcome`: the gate
+                        // already muted the stream, so an undecidable
+                        // capture is a decision, not an error.
+                        let outcome = StreamOutcome {
+                            verdict: WakeVerdict::SoftMute,
+                            decision: None,
+                            features: Vec::new(),
+                            early_exit: stream.early_exit(),
+                            frames: stream.frames(),
+                            samples_per_channel: stream.samples_per_channel(),
+                        };
+                        shard.sessions.remove(&id);
+                        shard.arena.release(slot);
+                        ht_obs::counter_add("serve.decisions", 1);
+                        results[pos] = Some((id, Ok(outcome)));
+                    }
+                    Err(e) => {
+                        ht_obs::counter_add("serve.finalize_retry", 1);
+                        results[pos] = Some((id, Err(ServeError::Pipeline(e))));
+                    }
+                }
+            }
+        }
+
+        // Phase 2: model inference across sessions, outside every lock.
+        let inferred: Vec<(usize, u64, StreamOutcome)> = ht_par::par_map(&packs, |pack| {
+            let _span = ht_obs::span("serve.decision");
+            let decision = self.ht.infer_assembled(&pack.features, &pack.liveness);
+            let verdict = if pack.muted || !decision.accepted() {
+                WakeVerdict::SoftMute
+            } else {
+                WakeVerdict::Allow
+            };
+            (
+                pack.pos,
+                pack.id,
+                StreamOutcome {
+                    verdict,
+                    decision: Some(decision),
+                    features: pack.features.clone(),
+                    early_exit: pack.early_exit,
+                    frames: pack.frames,
+                    samples_per_channel: pack.samples_per_channel,
+                },
+            )
+        });
+        for (pos, id, outcome) in inferred {
+            results[pos] = Some((id, Ok(outcome)));
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every input id produced a result"))
+            .collect()
     }
 
     /// Evicts every session idle since before `now_ns -
@@ -535,6 +706,162 @@ mod tests {
             assert_eq!(shard0.live_hwm, 1, "round {round}: hwm stays flat");
             assert_eq!(shard0.live, 0, "round {round}: nothing stays pinned");
         }
+    }
+
+    #[test]
+    fn finalize_time_counts_as_activity() {
+        // Satellite regression: `finalize` used to ignore its `now_ns`, so
+        // a failed (retryable) finalize left `last_active_ns` at the last
+        // push — the session could be idle-evicted relative to a moment it
+        // was demonstrably active.
+        let ht = toy_pipeline();
+        let server = WakeServer::new(&ht, serve_config(&ht)); // 1 s timeout
+        server.open(0, 0).unwrap();
+        // One 16-sample push at t=0: far too short to hold a frame.
+        let tiny = noise_capture(0x33, 4, 16);
+        let views: Vec<&[f64]> = tiny.iter().map(Vec::as_slice).collect();
+        server.push(0, &views, 0).unwrap();
+        // Retryable finalize at t=0.5 s: fails, but counts as activity.
+        assert!(matches!(
+            server.finalize(0, 500_000_000),
+            Err(ServeError::Pipeline(_))
+        ));
+        assert_eq!(server.stats().live, 1, "retryable finalize keeps it open");
+        // At t=1.5 s the session is 1.0 s idle relative to the finalize —
+        // not past the 1 s timeout. Measured from the push it would be
+        // 1.5 s idle and wrongly evicted.
+        assert_eq!(server.evict_idle(1_500_000_000), 0);
+        assert_eq!(server.stats().live, 1);
+        assert_eq!(server.evict_idle(1_500_000_001), 1, "now truly idle");
+    }
+
+    #[test]
+    fn undecidable_finalize_is_retryable_with_more_audio() {
+        let ht = toy_pipeline();
+        let server = WakeServer::new(&ht, serve_config(&ht));
+        server.open(0, 0).unwrap();
+        let tiny = noise_capture(0x44, 4, 64);
+        let views: Vec<&[f64]> = tiny.iter().map(Vec::as_slice).collect();
+        server.push(0, &views, 0).unwrap();
+        assert!(matches!(
+            server.finalize(0, 1),
+            Err(ServeError::Pipeline(_))
+        ));
+        // The stream state survived the failed attempt: feed a decidable
+        // capture and retry.
+        let rest = noise_capture(0x45, 4, 4800);
+        push_all(&server, 0, &rest, 2);
+        let outcome = server.finalize(0, 3).expect("retry decides");
+        assert!(outcome.decision.is_some());
+        assert_eq!(server.stats().live, 0);
+    }
+
+    #[test]
+    fn close_releases_without_deciding() {
+        let ht = toy_pipeline();
+        let server = WakeServer::new(&ht, serve_config(&ht));
+        server.open(0, 0).unwrap();
+        server.close(0).unwrap();
+        assert_eq!(server.stats().live, 0);
+        assert_eq!(server.close(0), Err(ServeError::UnknownSession(0)));
+        // The slot is recycled, not rebuilt.
+        server.open(2, 1).unwrap();
+        assert_eq!(server.stats().shards[0].slots_built, 1);
+    }
+
+    #[test]
+    fn evict_idle_boundary_is_exclusive() {
+        // Satellite: a session idle *exactly* the timeout is not evicted —
+        // eviction requires idle time strictly greater.
+        let ht = toy_pipeline();
+        let server = WakeServer::new(&ht, serve_config(&ht)); // 1 s timeout
+        server.open(0, 1_000).unwrap();
+        assert_eq!(
+            server.evict_idle(1_000_000_999),
+            0,
+            "just under the boundary"
+        );
+        assert_eq!(server.evict_idle(1_000_001_000), 0, "exactly at boundary");
+        assert_eq!(server.evict_idle(1_000_001_001), 1, "strictly past it");
+    }
+
+    #[test]
+    fn evict_idle_never_underflows_on_early_clocks() {
+        // Satellite: `now_ns` earlier than a session's last activity (clock
+        // skew, reordered events) or smaller than the timeout itself must
+        // not wrap around into a huge idle time.
+        let ht = toy_pipeline();
+        let server = WakeServer::new(&ht, serve_config(&ht)); // 1 s timeout
+        server.open(0, 5_000_000_000).unwrap();
+        assert_eq!(server.evict_idle(0), 0, "now < timeout");
+        assert_eq!(server.evict_idle(4_000_000_000), 0, "now < last_active");
+        assert_eq!(server.stats().live, 1);
+    }
+
+    #[test]
+    fn finalize_batch_matches_single_finalize() {
+        let ht = toy_pipeline();
+        let captures: Vec<Vec<Vec<f64>>> = (0..4)
+            .map(|i| noise_capture(0x60 + i, 4, 4800 + 480 * i as usize))
+            .collect();
+
+        // Drive two identical servers identically; finalize one per id and
+        // the other in a single batch.
+        let single = WakeServer::new(&ht, serve_config(&ht));
+        let batch = WakeServer::new(&ht, serve_config(&ht));
+        for (i, capture) in captures.iter().enumerate() {
+            let id = i as u64;
+            single.open(id, 0).unwrap();
+            batch.open(id, 0).unwrap();
+            push_all(&single, id, capture, 1);
+            push_all(&batch, id, capture, 1);
+        }
+        // The batch includes an unknown id; order is preserved.
+        let results = batch.finalize_batch(&[0, 99, 1, 2, 3], 2);
+        assert_eq!(results.len(), 5);
+        assert_eq!(results[1].0, 99);
+        assert!(matches!(results[1].1, Err(ServeError::UnknownSession(99))));
+        for (id, result) in results.into_iter().filter(|(id, _)| *id != 99) {
+            let b = result.expect("batch outcome");
+            let s = single.finalize(id, 2).expect("single outcome");
+            assert_eq!(b.verdict, s.verdict, "session {id}");
+            let (bd, sd) = (b.decision.unwrap(), s.decision.unwrap());
+            assert_eq!(
+                bd.live_probability.to_bits(),
+                sd.live_probability.to_bits(),
+                "session {id}: live bits"
+            );
+            assert_eq!(
+                bd.facing_score.to_bits(),
+                sd.facing_score.to_bits(),
+                "session {id}: facing bits"
+            );
+            assert_eq!(b.features.len(), s.features.len());
+            for (x, y) in b.features.iter().zip(&s.features) {
+                assert_eq!(x.to_bits(), y.to_bits(), "session {id}: feature bits");
+            }
+        }
+        assert_eq!(batch.stats().live, 0);
+        assert_eq!(single.stats().live, 0);
+    }
+
+    #[test]
+    fn finalize_batch_keeps_undecidable_sessions_open() {
+        let ht = toy_pipeline();
+        let server = WakeServer::new(&ht, serve_config(&ht));
+        let good = noise_capture(0x70, 4, 4800);
+        let tiny = noise_capture(0x71, 4, 32);
+        server.open(0, 0).unwrap();
+        server.open(1, 0).unwrap();
+        push_all(&server, 0, &good, 1);
+        let views: Vec<&[f64]> = tiny.iter().map(Vec::as_slice).collect();
+        server.push(1, &views, 1).unwrap();
+
+        let results = server.finalize_batch(&[0, 1], 2);
+        assert!(results[0].1.is_ok(), "decidable neighbour unaffected");
+        assert!(matches!(&results[1].1, Err(ServeError::Pipeline(_))));
+        assert_eq!(server.stats().live, 1, "undecidable session stays open");
+        server.close(1).unwrap();
     }
 
     #[test]

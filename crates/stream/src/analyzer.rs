@@ -8,6 +8,15 @@
 //! `next_pow2(frame_len + max_lag + 1)` so circular GCC lags up to
 //! `±max_lag` never alias (the same pad rule as the batch
 //! `ht_dsp::srp::srp_phat`).
+//!
+//! Beyond the per-frame evidence, the analyzer also *accumulates* the
+//! running statistics the batch decision needs — per-pair GCC lag-window
+//! sums — so the reverberation half of the §III-B3 feature vector can be
+//! assembled at finalize time in O(features) via
+//! [`assemble_features_into`](FrameAnalyzer::assemble_features_into),
+//! without revisiting any audio. (The directivity half accumulates in
+//! [`crate::directivity::DirectivityAccum`], which needs longer windows
+//! than one analysis frame.)
 
 use crate::error::StreamError;
 use ht_dsp::complex::Complex;
@@ -45,8 +54,13 @@ pub struct FrameFeatures {
 
 impl FrameFeatures {
     /// SRP peak-to-mean ratio: a sharp dominant peak means a strong direct
-    /// path — the frontal-orientation signature. ≥ 1 by construction, 0
-    /// for a silent frame.
+    /// path — the frontal-orientation signature. 0 for a silent frame.
+    ///
+    /// The ratio is **not** bounded below by 1: `srp_peak` is the signed
+    /// maximum of the summed PHAT curve while `srp_mean_abs` averages
+    /// magnitudes, so a sign-mixed curve whose positive peak is small
+    /// relative to its negative excursions scores below 1 (a single pair's
+    /// whitened correlation oscillates around zero by construction).
     pub fn srp_sharpness(&self) -> f64 {
         if self.srp_mean_abs > 0.0 {
             self.srp_peak / self.srp_mean_abs
@@ -87,6 +101,10 @@ pub struct FrameAnalyzer {
     high_bins: (usize, usize),
     frames: u64,
     features: FrameFeatures,
+    /// Running per-pair GCC lag-window sums, `pairs × (2·max_lag + 1)` laid
+    /// out pair-major. Dividing by the frame count yields the Welch-style
+    /// frame-averaged lag curves the batch features are built from.
+    gcc_accum: Vec<f64>,
 }
 
 impl FrameAnalyzer {
@@ -156,6 +174,7 @@ impl FrameAnalyzer {
                 high_band: 0.0,
             },
             plan,
+            gcc_accum: vec![0.0; n_pairs * (2 * max_lag + 1)],
         })
     }
 
@@ -192,6 +211,7 @@ impl FrameAnalyzer {
         {
             let _srp = ht_obs::span("stream.srp");
             self.srp.fill(0.0);
+            let w = 2 * self.max_lag + 1;
             for (p, &(i, j)) in self.pairs.iter().enumerate() {
                 gcc_phat_from_spectra_into(
                     &self.spectra[i],
@@ -203,6 +223,13 @@ impl FrameAnalyzer {
                 );
                 self.features.tdoas[p] = peak_lag_interpolated(&self.lag_window, self.max_lag);
                 for (acc, v) in self.srp.iter_mut().zip(&self.lag_window) {
+                    *acc += v;
+                }
+                // Running evidence for the finalize-time feature vector.
+                for (acc, v) in self.gcc_accum[p * w..(p + 1) * w]
+                    .iter_mut()
+                    .zip(&self.lag_window)
+                {
                     *acc += v;
                 }
             }
@@ -249,12 +276,70 @@ impl FrameAnalyzer {
         self.frames
     }
 
-    /// Rewinds the frame counter so a pooled analyzer can serve a new
-    /// stream. All plan, scratch, and spectra buffers are kept — analysis
-    /// after a reset is byte-identical to a freshly built analyzer's and
-    /// allocation-free from the first frame.
+    /// Assembles the reverberation half of the §III-B3 feature vector from
+    /// the accumulated evidence, appending `srp_peaks + 5 +
+    /// pairs·(window + 6)` values to `out`. O(features): no audio is
+    /// revisited and, once `out` has capacity, no allocation happens. (The
+    /// directivity features follow from
+    /// [`crate::directivity::DirectivityAccum`].)
+    ///
+    /// Non-destructive and idempotent — the accumulators are left intact,
+    /// so more frames may be analyzed and the vector assembled again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::NoFrames`] when no complete frame has been
+    /// analyzed yet (`out` is left untouched).
+    pub fn assemble_features_into(
+        &mut self,
+        srp_peaks: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), StreamError> {
+        if self.frames == 0 {
+            return Err(StreamError::NoFrames);
+        }
+        let frames = self.frames as f64;
+        let w = 2 * self.max_lag + 1;
+
+        // Frame-averaged SRP curve: sum of per-pair lag sums, then one
+        // division per lag.
+        self.srp.fill(0.0);
+        for p in 0..self.pairs.len() {
+            for (s, v) in self.srp.iter_mut().zip(&self.gcc_accum[p * w..(p + 1) * w]) {
+                *s += v;
+            }
+        }
+        for s in &mut self.srp {
+            *s /= frames;
+        }
+        ht_dsp::peak::push_top_k_peak_values(&self.srp, srp_peaks, out);
+        out.extend_from_slice(&ht_dsp::stats::feature_summary(&self.srp));
+
+        // Per-pair frame-averaged GCC windows: full window, interpolated
+        // TDoA, summary statistics.
+        for p in 0..self.pairs.len() {
+            for (dst, v) in self
+                .lag_window
+                .iter_mut()
+                .zip(&self.gcc_accum[p * w..(p + 1) * w])
+            {
+                *dst = v / frames;
+            }
+            out.extend_from_slice(&self.lag_window);
+            out.push(peak_lag_interpolated(&self.lag_window, self.max_lag));
+            out.extend_from_slice(&ht_dsp::stats::feature_summary(&self.lag_window));
+        }
+        Ok(())
+    }
+
+    /// Rewinds the frame counter and zeroes the feature accumulators so a
+    /// pooled analyzer can serve a new stream without leaking evidence
+    /// between sessions. All plan, scratch, and spectra buffers are kept —
+    /// analysis after a reset is byte-identical to a freshly built
+    /// analyzer's and allocation-free from the first frame.
     pub fn reset(&mut self) {
         self.frames = 0;
+        self.gcc_accum.fill(0.0);
     }
 }
 
@@ -404,6 +489,93 @@ mod tests {
         assert_eq!(again.tdoas, fresh.tdoas);
         assert_eq!(again.srp_peak.to_bits(), fresh.srp_peak.to_bits());
         assert_eq!(again.low_band.to_bits(), fresh.low_band.to_bits());
+    }
+
+    #[test]
+    fn sharpness_is_zero_for_silence_and_can_dip_below_one() {
+        // Silent frame: mean_abs == 0, sharpness defined as 0.
+        let mut a = FrameAnalyzer::new(2, 480, 13, 48_000.0).unwrap();
+        let z = vec![0.0; 480];
+        assert_eq!(a.analyze(&[z.clone(), z]).unwrap().srp_sharpness(), 0.0);
+
+        // Single pair, sign-mixed curve: a polarity-inverted second channel
+        // puts a large *negative* PHAT spike at lag 0, so the signed peak
+        // (small positive ripple) sits below the mean magnitude — which is
+        // why the accessor makes no ">= 1" promise.
+        let x = noise(480, 17);
+        let inv: Vec<f64> = x.iter().map(|v| -v).collect();
+        let f = a.analyze(&[x, inv]).unwrap();
+        let s = f.srp_sharpness();
+        assert!(s.is_finite() && s >= 0.0);
+        assert!(
+            s < 1.0,
+            "inverted-polarity pair should dip below 1, got {s}"
+        );
+    }
+
+    #[test]
+    fn assemble_produces_fixed_width_and_is_idempotent() {
+        let x = noise(960, 3);
+        let y = fractional_delay(&x, 4.0, 16);
+        let mut a = FrameAnalyzer::new(2, 960, 13, 48_000.0).unwrap();
+
+        // Before any frame: NoFrames, and `out` stays untouched.
+        let mut out = vec![42.0];
+        assert_eq!(
+            a.assemble_features_into(3, &mut out),
+            Err(StreamError::NoFrames)
+        );
+        assert_eq!(out, vec![42.0]);
+
+        a.analyze(&[x.clone(), y.clone()]).unwrap();
+        a.analyze(&[y.clone(), x.clone()]).unwrap();
+        out.clear();
+        a.assemble_features_into(3, &mut out).unwrap();
+        // srp(3+5) + 1 pair × (27+1+5).
+        assert_eq!(out.len(), 3 + 5 + 33);
+        assert!(out.iter().all(|v| v.is_finite()));
+
+        // Assembly is non-destructive: a second call appends the same bits.
+        let mut again = Vec::new();
+        a.assemble_features_into(3, &mut again).unwrap();
+        assert_eq!(out.len(), again.len());
+        for (o, g) in out.iter().zip(&again) {
+            assert_eq!(o.to_bits(), g.to_bits());
+        }
+
+        // ... and analysis may continue after an assembly.
+        a.analyze(&[x, y]).unwrap();
+        assert_eq!(a.frames_analyzed(), 3);
+    }
+
+    #[test]
+    fn reset_clears_accumulated_evidence() {
+        let x = noise(960, 5);
+        let y = fractional_delay(&x, 2.0, 16);
+        let mut a = FrameAnalyzer::new(2, 960, 13, 48_000.0).unwrap();
+
+        a.analyze(&[x.clone(), y.clone()]).unwrap();
+        let mut fresh = Vec::new();
+        a.assemble_features_into(3, &mut fresh).unwrap();
+
+        // Pollute the accumulators with a different stream, then reset.
+        let other = noise(960, 99);
+        a.analyze(&[other.clone(), other]).unwrap();
+        a.reset();
+        assert_eq!(
+            a.assemble_features_into(3, &mut Vec::new()),
+            Err(StreamError::NoFrames)
+        );
+
+        // Same stream after reset: bit-identical features (no evidence
+        // leaks between pooled sessions).
+        a.analyze(&[x, y]).unwrap();
+        let mut again = Vec::new();
+        a.assemble_features_into(3, &mut again).unwrap();
+        assert_eq!(fresh.len(), again.len());
+        for (f, g) in fresh.iter().zip(&again) {
+            assert_eq!(f.to_bits(), g.to_bits());
+        }
     }
 
     #[test]

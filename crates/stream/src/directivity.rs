@@ -1,0 +1,345 @@
+//! Incremental speech-directivity evidence: a Welch-style running average
+//! of long channel-mean magnitude spectra.
+//!
+//! The §III-B3 directivity features (HLBR and the 100–400 Hz low-band
+//! chunk statistics) need *fine* spectral resolution — 20 chunks across a
+//! 300 Hz band is 15 Hz per chunk, and the statistics inside each chunk
+//! only carry information when the analysis window resolves the voice's
+//! harmonic structure. A 20 ms analysis frame (≈100 Hz rectangular-window
+//! resolution) cannot do that, so the directivity evidence accumulates
+//! here over much longer segments than the per-frame SRP/GCC analysis:
+//! non-overlapping windows of the channel-mean signal, each transformed
+//! once and summed per bin.
+//!
+//! The accumulator is chunking-independent by construction: samples fill
+//! the segment buffer by absolute index, so any split of the capture into
+//! push calls produces the same segment boundaries, the same FFT inputs,
+//! and bit-identical averaged magnitudes. The batch feature extractor
+//! pushes the whole capture in one call; the streaming engine pushes
+//! microphone chunks — both end at the same bits.
+
+use crate::error::StreamError;
+use ht_dsp::complex::Complex;
+use ht_dsp::spectrum::Spectrum;
+use ht_dsp::stft::StftProcessor;
+use ht_dsp::window::Window;
+
+/// Running channel-mean spectrum accumulator for the directivity features.
+#[derive(Debug, Clone)]
+pub struct DirectivityAccum {
+    channels: usize,
+    seg_len: usize,
+    stft: StftProcessor,
+    /// Channel-mean samples of the segment currently being filled
+    /// (`len() < seg_len` between pushes).
+    buf: Vec<f64>,
+    /// FFT scratch for completed and flushed segments.
+    bins: Vec<Complex>,
+    /// Zero-pad scratch for the flush path (the partial segment must not
+    /// be mutated by a non-destructive flush).
+    flush_buf: Vec<f64>,
+    /// Running per-bin magnitude sums over completed segments.
+    mag_accum: Vec<f64>,
+    /// Completed (full-length) segments accumulated.
+    segments: u64,
+    /// Reused facade over the averaged magnitudes so callers can use the
+    /// batch `hlbr`/chunk-stats helpers without allocating.
+    spectrum: Spectrum,
+}
+
+impl DirectivityAccum {
+    /// Builds an accumulator for `channels`-channel audio at `sample_rate`,
+    /// averaging spectra over non-overlapping `seg_len`-sample segments of
+    /// the channel mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::BadGeometry`] for zero channels, a zero
+    /// segment length, or a non-positive sample rate.
+    pub fn new(
+        channels: usize,
+        seg_len: usize,
+        sample_rate: f64,
+    ) -> Result<DirectivityAccum, StreamError> {
+        if channels == 0 {
+            return Err(StreamError::BadGeometry(
+                "directivity accumulator needs at least one channel".into(),
+            ));
+        }
+        if seg_len == 0 {
+            return Err(StreamError::BadGeometry(
+                "directivity segment length must be positive".into(),
+            ));
+        }
+        if sample_rate <= 0.0 || !sample_rate.is_finite() {
+            return Err(StreamError::BadGeometry(format!(
+                "sample rate must be positive and finite, got {sample_rate}"
+            )));
+        }
+        let n_fft = ht_dsp::fft::next_pow2(seg_len);
+        let mut stft = StftProcessor::with_n_fft(seg_len, n_fft, Window::Rect);
+        let bins = stft.onesided_len();
+        // One throwaway transform warms the processor's lazily sized FFT
+        // scratch (and the shared plan cache) at construction, so the
+        // first segment to complete mid-stream allocates nothing — the
+        // push path's allocation-free claim is unconditional.
+        let mut warm_bins = vec![Complex::ZERO; bins];
+        let warm_buf = vec![0.0; seg_len];
+        stft.process_into(&warm_buf, &mut warm_bins);
+        warm_bins.fill(Complex::ZERO);
+        Ok(DirectivityAccum {
+            channels,
+            seg_len,
+            stft,
+            buf: Vec::with_capacity(seg_len),
+            bins: warm_bins,
+            flush_buf: warm_buf,
+            mag_accum: vec![0.0; bins],
+            segments: 0,
+            spectrum: Spectrum {
+                magnitudes: vec![0.0; bins],
+                sample_rate,
+                n_fft,
+            },
+        })
+    }
+
+    /// Ingests one chunk (`channels` equally long sample slices), folding
+    /// the per-sample channel mean into the current segment and
+    /// transforming every segment that completes. Allocation-free after
+    /// construction; amortized one FFT per `seg_len` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::ChannelCountChanged`] /
+    /// [`StreamError::RaggedChunk`] for a chunk of the wrong shape (the
+    /// accumulator state is untouched).
+    pub fn push(&mut self, chunk: &[&[f64]]) -> Result<(), StreamError> {
+        if chunk.len() != self.channels {
+            return Err(StreamError::ChannelCountChanged {
+                expected: self.channels,
+                got: chunk.len(),
+            });
+        }
+        let len = chunk[0].len();
+        if let Some(other) = chunk.iter().find(|c| c.len() != len) {
+            return Err(StreamError::RaggedChunk {
+                first: len,
+                other: other.len(),
+            });
+        }
+        let n = self.channels as f64;
+        for i in 0..len {
+            let mut mean = 0.0;
+            for c in chunk {
+                mean += c[i];
+            }
+            self.buf.push(mean / n);
+            if self.buf.len() == self.seg_len {
+                let _span = ht_obs::span("stream.directivity");
+                self.stft.process_into(&self.buf, &mut self.bins);
+                for (acc, z) in self.mag_accum.iter_mut().zip(&self.bins) {
+                    *acc += z.abs();
+                }
+                self.segments += 1;
+                self.buf.clear();
+            }
+        }
+        Ok(())
+    }
+
+    /// Assembles the averaged magnitude spectrum over every completed
+    /// segment *plus* the current partial segment (zero-padded), so short
+    /// captures — down to a single sample — still yield directivity
+    /// evidence: for a capture shorter than one segment the result is
+    /// exactly the zero-padded whole-capture spectrum the batch Fig. 3
+    /// analysis plots. Non-destructive and idempotent: more audio may be
+    /// pushed afterwards, and a repeat call returns the same bits.
+    ///
+    /// Returns `None` when no sample has been pushed at all.
+    pub fn flush_spectrum(&mut self) -> Option<&Spectrum> {
+        let partial = !self.buf.is_empty();
+        if self.segments == 0 && !partial {
+            return None;
+        }
+        let _span = ht_obs::span("stream.directivity");
+        let mut total = self.segments as f64;
+        if partial {
+            total += 1.0;
+            self.flush_buf[..self.buf.len()].copy_from_slice(&self.buf);
+            self.flush_buf[self.buf.len()..].fill(0.0);
+            self.stft.process_into(&self.flush_buf, &mut self.bins);
+            for ((m, acc), z) in self
+                .spectrum
+                .magnitudes
+                .iter_mut()
+                .zip(&self.mag_accum)
+                .zip(&self.bins)
+            {
+                *m = (acc + z.abs()) / total;
+            }
+        } else {
+            for (m, acc) in self.spectrum.magnitudes.iter_mut().zip(&self.mag_accum) {
+                *m = acc / total;
+            }
+        }
+        Some(&self.spectrum)
+    }
+
+    /// The configured channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The segment length in samples.
+    pub fn seg_len(&self) -> usize {
+        self.seg_len
+    }
+
+    /// Completed (full-length) segments accumulated so far.
+    pub fn segments(&self) -> u64 {
+        self.segments
+    }
+
+    /// Samples folded into the current partial segment.
+    pub fn pending_samples(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Clears all accumulated evidence while keeping every buffer at
+    /// capacity, so a pooled session can reuse the accumulator with no
+    /// allocations and bit-identical results to a fresh one.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.mag_accum.fill(0.0);
+        self.segments = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(n: usize, mut state: u64) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunking_does_not_change_the_spectrum() {
+        let x = noise(5000, 9);
+        let y = noise(5000, 11);
+        for chunk in [1usize, 7, 480, 1024, 6000] {
+            let mut whole = DirectivityAccum::new(2, 1024, 48_000.0).unwrap();
+            whole.push(&[&x, &y]).unwrap();
+            let reference = whole.flush_spectrum().unwrap().clone();
+
+            let mut split = DirectivityAccum::new(2, 1024, 48_000.0).unwrap();
+            let mut pos = 0;
+            while pos < x.len() {
+                let end = (pos + chunk).min(x.len());
+                split.push(&[&x[pos..end], &y[pos..end]]).unwrap();
+                pos = end;
+            }
+            let got = split.flush_spectrum().unwrap();
+            assert_eq!(got.magnitudes.len(), reference.magnitudes.len());
+            for (g, r) in got.magnitudes.iter().zip(&reference.magnitudes) {
+                assert_eq!(g.to_bits(), r.to_bits(), "chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_capture_matches_zero_padded_whole_capture_fft() {
+        // One partial segment: the flushed spectrum is the plain magnitude
+        // spectrum of the zero-padded capture mean.
+        let x = noise(300, 3);
+        let mut acc = DirectivityAccum::new(1, 1024, 48_000.0).unwrap();
+        acc.push(&[&x]).unwrap();
+        assert_eq!(acc.segments(), 0);
+        assert_eq!(acc.pending_samples(), 300);
+        let got = acc.flush_spectrum().unwrap().clone();
+        let mut padded = x.clone();
+        padded.resize(1024, 0.0);
+        let reference = ht_dsp::fft::rfft_magnitude(&padded);
+        assert_eq!(got.magnitudes.len(), reference.len());
+        for (g, r) in got.magnitudes.iter().zip(&reference) {
+            assert_eq!(g.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn flush_is_non_destructive_and_idempotent() {
+        let x = noise(2500, 21);
+        let mut acc = DirectivityAccum::new(1, 1024, 48_000.0).unwrap();
+        acc.push(&[&x[..1500]]).unwrap();
+        let first = acc.flush_spectrum().unwrap().clone();
+        let again = acc.flush_spectrum().unwrap().clone();
+        assert_eq!(first, again);
+
+        // Continue pushing after a flush: same as never having flushed.
+        acc.push(&[&x[1500..]]).unwrap();
+        let streamed = acc.flush_spectrum().unwrap().clone();
+        let mut fresh = DirectivityAccum::new(1, 1024, 48_000.0).unwrap();
+        fresh.push(&[&x]).unwrap();
+        let reference = fresh.flush_spectrum().unwrap();
+        for (s, r) in streamed.magnitudes.iter().zip(&reference.magnitudes) {
+            assert_eq!(s.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_accumulator_has_no_spectrum_and_reset_matches_fresh() {
+        let mut acc = DirectivityAccum::new(2, 512, 48_000.0).unwrap();
+        assert!(acc.flush_spectrum().is_none());
+
+        let x = noise(700, 5);
+        let y = noise(700, 6);
+        acc.push(&[&x, &y]).unwrap();
+        let first = acc.flush_spectrum().unwrap().clone();
+
+        // Pollute with different audio, reset, replay: identical bits.
+        acc.push(&[&y, &x]).unwrap();
+        acc.reset();
+        assert!(acc.flush_spectrum().is_none());
+        acc.push(&[&x, &y]).unwrap();
+        let again = acc.flush_spectrum().unwrap();
+        for (f, a) in first.magnitudes.iter().zip(&again.magnitudes) {
+            assert_eq!(f.to_bits(), a.to_bits());
+        }
+    }
+
+    #[test]
+    fn bad_shapes_are_rejected_without_state_damage() {
+        let mut acc = DirectivityAccum::new(2, 256, 48_000.0).unwrap();
+        let x = noise(100, 1);
+        assert!(matches!(
+            acc.push(&[&x]),
+            Err(StreamError::ChannelCountChanged {
+                expected: 2,
+                got: 1
+            })
+        ));
+        assert!(matches!(
+            acc.push(&[&x, &x[..50]]),
+            Err(StreamError::RaggedChunk { .. })
+        ));
+        assert_eq!(acc.pending_samples(), 0);
+        acc.push(&[&x, &x]).unwrap();
+        assert_eq!(acc.pending_samples(), 100);
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(DirectivityAccum::new(0, 256, 48_000.0).is_err());
+        assert!(DirectivityAccum::new(2, 0, 48_000.0).is_err());
+        assert!(DirectivityAccum::new(2, 256, 0.0).is_err());
+        assert!(DirectivityAccum::new(2, 256, f64::NAN).is_err());
+    }
+}

@@ -43,6 +43,10 @@ pub enum StreamError {
     /// Invalid construction-time geometry (zero sizes, hop larger than the
     /// frame, too few channels, …).
     BadGeometry(String),
+    /// Feature assembly was requested before one complete analysis frame
+    /// was accumulated — the capture is shorter than a single frame, so no
+    /// fixed-width feature vector exists yet.
+    NoFrames,
 }
 
 impl fmt::Display for StreamError {
@@ -61,6 +65,10 @@ impl fmt::Display for StreamError {
                 "ragged chunk: channels must share one length, got {first} and {other}"
             ),
             StreamError::BadGeometry(msg) => write!(f, "bad stream geometry: {msg}"),
+            StreamError::NoFrames => write!(
+                f,
+                "no analysis frames accumulated: capture shorter than one frame"
+            ),
         }
     }
 }

@@ -13,6 +13,9 @@
 //!   over every microphone pair via
 //!   `ht_dsp::correlate::gcc_phat_from_spectra_into`, plus the paper's
 //!   low/high band evidence.
+//! * [`DirectivityAccum`] — Welch-style running average of long
+//!   channel-mean magnitude spectra, the incremental carrier of the
+//!   paper's speech-directivity evidence (HLBR + low-band chunks).
 //! * [`EarlyExitGate`] — frame-granular soft-mute: EWMA-smoothed liveness
 //!   and orientation evidence with a patience counter, advisory or
 //!   enforcing ([`GateMode`]).
@@ -26,11 +29,13 @@
 //! reused (and tested) in isolation.
 
 pub mod analyzer;
+pub mod directivity;
 pub mod error;
 pub mod gate;
 pub mod ring;
 
 pub use analyzer::{FrameAnalyzer, FrameFeatures};
+pub use directivity::DirectivityAccum;
 pub use error::StreamError;
 pub use gate::{EarlyExit, EarlyExitGate, ExitReason, GateConfig, GateMode, WakeVerdict};
 pub use ring::FrameRing;

@@ -31,7 +31,11 @@ fn build_pipeline() -> HeadTalk {
         .into_iter()
         .enumerate()
     {
-        for rep in 0..2u64 {
+        // Four reps per angle: the frame-averaged Welch features carry less
+        // per-capture noise than the old whole-capture transform, so the SVM
+        // boundary is estimated from a few more renders per angle to keep
+        // every held-out probe (incl. the 180° rejections) on the right side.
+        for rep in 0..4u64 {
             let spec = CaptureSpec {
                 angle_deg: angle,
                 seed: 100 + i as u64 * 4 + rep,

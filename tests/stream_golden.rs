@@ -498,6 +498,98 @@ fn probe_evidence_floors() {
 }
 
 #[test]
+fn reset_reuse_is_bit_identical_to_a_fresh_stream() {
+    // `reset` must clear *every* accumulator — running band-energy sums,
+    // GCC lag windows, the directivity Welch state, the decimator and
+    // filter tails — so a recycled stream is indistinguishable from a
+    // fresh one. This is the contract the serve arena's slot recycling
+    // rides on.
+    let ht = pipeline();
+    let a = CaptureSpec::baseline(9760).render().expect("render");
+    let b = CaptureSpec {
+        angle_deg: 135.0,
+        ..CaptureSpec::baseline(9761)
+    }
+    .render()
+    .expect("render");
+    let hop = StreamConfig::for_pipeline(ht.config()).hop;
+
+    let fresh = stream_outcome(ht, &b, hop);
+
+    // Recycle after a *completed* session.
+    let mut stream = ht.streamer(4).expect("streamer");
+    push_chunks(&mut stream, &a, hop);
+    let _ = stream.outcome().expect("outcome");
+    stream.reset();
+    push_chunks(&mut stream, &b, hop);
+    let recycled = stream.finalize().expect("finalize");
+    assert_eq!(recycled.decision, fresh.decision, "recycled after finalize");
+    assert_bits_eq(&recycled.features, &fresh.features, "recycled features");
+    assert_eq!(recycled.frames, fresh.frames);
+
+    // Recycle after an *abandoned* mid-capture session: partial frame in
+    // the ring, partial directivity segment, filter tails all non-trivial.
+    let half: Vec<Vec<f64>> = a
+        .iter()
+        .map(|c| c[..a[0].len() / 2 + 331].to_vec())
+        .collect();
+    let mut stream = ht.streamer(4).expect("streamer");
+    push_chunks(&mut stream, &half, 997);
+    stream.reset();
+    push_chunks(&mut stream, &b, hop);
+    let recycled = stream.finalize().expect("finalize");
+    assert_eq!(recycled.decision, fresh.decision, "recycled mid-capture");
+    assert_bits_eq(&recycled.features, &fresh.features, "mid-capture features");
+    assert_eq!(recycled.frames, fresh.frames);
+    assert_eq!(recycled.samples_per_channel, fresh.samples_per_channel);
+}
+
+#[test]
+fn zero_variance_tail_matches_batch() {
+    // A capture whose tail goes dead silent exercises the zero-variance
+    // guard in the liveness framing and the silent-frame paths in the
+    // band-energy and GCC accumulators. Identity to batch must survive it.
+    let ht = pipeline();
+    let mut channels = CaptureSpec::baseline(9770).render().expect("render");
+    let len = channels[0].len();
+    for c in &mut channels {
+        for x in &mut c[len / 2..] {
+            *x = 0.0;
+        }
+    }
+    let hop = StreamConfig::for_pipeline(ht.config()).hop;
+    for chunk_len in [hop, 997, len] {
+        let outcome = stream_outcome(ht, &channels, chunk_len);
+        let ctx = format!("silent tail (chunk {chunk_len})");
+        assert_outcome_matches_batch(ht, &channels, &outcome, &ctx);
+    }
+}
+
+#[test]
+fn all_silent_capture_streams_and_batches_identically() {
+    // Fully silent input: every frame is zero-variance. Whatever the
+    // pipeline decides (or refuses to decide), stream and batch must
+    // agree bit-for-bit.
+    let ht = pipeline();
+    let channels = vec![vec![0.0f64; 48_000]; 4];
+    let hop = StreamConfig::for_pipeline(ht.config()).hop;
+    let mut stream = ht.streamer(4).expect("streamer");
+    push_chunks(&mut stream, &channels, hop);
+    let streamed = stream.finalize();
+    let batched = ht.decide_batch(&channels);
+    match (streamed, batched) {
+        (Ok(outcome), Ok((decision, features))) => {
+            assert_eq!(outcome.decision, Some(decision), "silent decision");
+            assert_bits_eq(&outcome.features, &features, "silent features");
+        }
+        (Err(se), Err(be)) => {
+            assert_eq!(format!("{se}"), format!("{be}"), "silent error parity");
+        }
+        (s, b) => panic!("stream/batch diverge on silence: {s:?} vs {b:?}"),
+    }
+}
+
+#[test]
 fn default_gate_stays_silent_for_a_facing_human() {
     // The calibrated default floors must never strike a facing live
     // speaker — the gate exists to cut averted speech and replays short,
