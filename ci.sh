@@ -70,7 +70,7 @@ step "cargo test (HT_OBS=json)" \
 # cost is ~2 ns; the bound's headroom absorbs CI-runner noise) and fails
 # the run on violation. BENCH_obs.json lands in target/bench_out.
 step "obs overhead gate (bench obs)" \
-    env HT_BENCH_FAST=1 HT_BENCH_DIR=target/bench_out \
+    env HT_BENCH_FAST=1 HT_BENCH_DIR="$PWD/target/bench_out" \
     cargo bench -q --offline -p ht-bench --bench obs
 
 # FFT plan-cache gate: the fft_plans bench ends with a steady-state workload
@@ -80,7 +80,7 @@ step "obs overhead gate (bench obs)" \
 # misses. A regression that rebuilds plans per call fails here.
 # BENCH_fft.json lands in target/bench_out.
 step "fft plan-cache gate (bench fft_plans)" \
-    env HT_BENCH_FAST=1 HT_BENCH_DIR=target/bench_out \
+    env HT_BENCH_FAST=1 HT_BENCH_DIR="$PWD/target/bench_out" \
     cargo bench -q --offline -p ht-bench --bench fft_plans
 
 # Streaming latency gate: the stream_latency bench drives the frame-by-frame
@@ -89,19 +89,31 @@ step "fft plan-cache gate (bench fft_plans)" \
 # (b) the steady-state push loop makes zero heap allocations, counted by a
 # wrapping global allocator. BENCH_stream.json lands in target/bench_out.
 step "stream latency gate (bench stream_latency)" \
-    env HT_BENCH_FAST=1 HT_BENCH_DIR=target/bench_out \
+    env HT_BENCH_FAST=1 HT_BENCH_DIR="$PWD/target/bench_out" \
     cargo bench -q --offline -p ht-bench --bench stream_latency
 
 # Server throughput gate: the server_throughput bench replays a seeded
 # multi-tenant load drive (thousands of interleaved sessions) through the
-# sharded WakeServer and asserts (a) sustained end-to-end wake
-# decisions/sec stays above the floor, (b) the incremental decision path
-# (serve.assemble + serve.decision) sustains 3x the pre-incremental
-# ~144/s ceiling, and (c) the serve.decision and serve.push p99 tails
-# stay under their ceilings. BENCH_server.json lands in target/bench_out.
+# sharded WakeServer (int8 decision backends calibrated) and asserts
+# (a) sustained end-to-end wake decisions/sec stays above the floor,
+# (b) the incremental decision path (serve.assemble + serve.decision)
+# sustains a floor above the f64-inference ceiling, and (c) the
+# serve.decision and serve.push p99 tails stay under their ceilings.
+# BENCH_server.json lands in target/bench_out.
 step "server throughput gate (bench server_throughput)" \
-    env HT_BENCH_FAST=1 HT_BENCH_DIR=target/bench_out \
+    env HT_BENCH_FAST=1 HT_BENCH_DIR="$PWD/target/bench_out" \
     cargo bench -q --offline -p ht-bench --bench server_throughput
+
+# Quantized decision-path gate: the kernel_quant bench times the reference
+# vs vectorized GCC-PHAT whitening kernels and the f64 vs int8 liveness /
+# orientation inference backends, asserting the per-size cross-spectrum
+# speedup floors, a 2x floor on int8 liveness inference, an accuracy delta
+# within 0.5 pp of the f64 reference, and byte-stability of the reference
+# path (building the int8 backends must not move a bit). BENCH_quant.json
+# lands in target/bench_out.
+step "quantized kernel gate (bench kernel_quant)" \
+    env HT_BENCH_FAST=1 HT_BENCH_DIR="$PWD/target/bench_out" \
+    cargo bench -q --offline -p ht-bench --bench kernel_quant
 
 # Serving soak: 10k sessions through the load generator with a counting
 # global allocator — the steady-state push path AND the incremental

@@ -98,7 +98,8 @@ fn bench_fig15(s: &mut Suite) {
     let aged = blobs(40, width, 16);
     let det = OrientationDetector::fit(&base, ModelKind::Svm, 7).expect("separable");
     s.bench("fig15/incremental_round", || {
-        let confident = ht_ml::incremental::high_confidence_samples(&det, &aged, 0.8);
+        let confident =
+            ht_ml::incremental::high_confidence_samples(&det, &aged, 0.8).expect("same width");
         let take = confident.len().min(20);
         let additions = confident.filter_indices(|i| i < take);
         let mut train = base.clone();

@@ -9,6 +9,7 @@
 use crate::complex::Complex;
 use crate::error::DspError;
 use crate::fft::{self, RealFftPlan, RealFftScratch};
+use crate::kernels::{self, QuantMode};
 use std::sync::Arc;
 
 /// A lag-domain correlation curve restricted to `±max_lag` samples.
@@ -75,26 +76,6 @@ fn validate_pair(x: &[f64], y: &[f64]) -> Result<(), DspError> {
     Ok(())
 }
 
-/// PHAT whitening of a one-sided cross-power spectrum, in place.
-///
-/// Silences bins whose cross-power is numerically insignificant (more than
-/// 80 dB below the strongest bin): PHAT would otherwise amplify pure
-/// round-off noise to unit weight. One-sided whitening is equivalent to
-/// whitening the full spectrum — the mirrored bins have the same magnitude
-/// by conjugate symmetry.
-fn whiten(cross: &mut [Complex]) {
-    let max_mag = cross.iter().map(|c| c.abs()).fold(0.0, f64::max);
-    let floor = max_mag * 1e-4;
-    for c in cross {
-        let m = c.abs();
-        *c = if m > floor && m > 1e-15 {
-            *c / m
-        } else {
-            Complex::ZERO
-        };
-    }
-}
-
 /// Copies the circular correlation `r` into the `±max_lag` window: lag
 /// `l >= 0` lives at index `l`, lag `l < 0` at index `r.len() + l`.
 fn extract_lags(r: &[f64], max_lag: usize, values: &mut [f64]) {
@@ -128,6 +109,7 @@ pub struct Correlator {
     xf: Vec<Complex>,
     yf: Vec<Complex>,
     cross: Vec<Complex>,
+    mags: Vec<f64>,
     r: Vec<f64>,
 }
 
@@ -154,6 +136,7 @@ impl Correlator {
             xf: vec![Complex::ZERO; bins],
             yf: vec![Complex::ZERO; bins],
             cross: vec![Complex::ZERO; bins],
+            mags: vec![0.0; bins],
             r: vec![0.0; plan.len()],
             plan,
         })
@@ -226,11 +209,19 @@ impl Correlator {
         assert_eq!(values.len(), self.window_len(), "lag window length");
         self.plan.forward_into(x, &mut self.xf, &mut self.scratch);
         self.plan.forward_into(y, &mut self.yf, &mut self.scratch);
-        for ((c, a), b) in self.cross.iter_mut().zip(&self.xf).zip(&self.yf) {
-            *c = *a * b.conj();
-        }
         if phat {
-            whiten(&mut self.cross);
+            // Fused product + whiten kernel: bit-identical to the separate
+            // loops, one magnitude evaluation per bin instead of two.
+            kernels::cross_whiten_reference_into(
+                &self.xf,
+                &self.yf,
+                &mut self.cross,
+                &mut self.mags,
+            );
+        } else {
+            for ((c, a), b) in self.cross.iter_mut().zip(&self.xf).zip(&self.yf) {
+                *c = *a * b.conj();
+            }
         }
         // The cross spectrum of two real signals is conjugate-symmetric, so
         // its inverse is real and the one-sided inverse applies directly.
@@ -249,6 +240,7 @@ impl Correlator {
 #[derive(Debug, Clone)]
 pub struct SpectraGccScratch {
     cross: Vec<Complex>,
+    mags: Vec<f64>,
     r: Vec<f64>,
     fft: RealFftScratch,
 }
@@ -258,6 +250,7 @@ impl SpectraGccScratch {
     pub fn new() -> SpectraGccScratch {
         SpectraGccScratch {
             cross: Vec::new(),
+            mags: Vec::new(),
             r: Vec::new(),
             fft: RealFftScratch::new(),
         }
@@ -290,6 +283,29 @@ pub fn gcc_phat_from_spectra_into(
     scratch: &mut SpectraGccScratch,
     values: &mut [f64],
 ) {
+    gcc_phat_from_spectra_into_mode(xf, yf, plan, max_lag, scratch, values, QuantMode::Reference);
+}
+
+/// [`gcc_phat_from_spectra_into`] with an explicit kernel selection: under
+/// [`QuantMode::Reference`] the fused byte-stable whitening kernel runs
+/// (identical to [`gcc_phat`] on the time-domain channels); under
+/// [`QuantMode::Int8`] the vectorized squared-magnitude kernel runs,
+/// agreeing within tolerance but not bitwise. The streaming frame analyzer
+/// dispatches here from its configured mode.
+///
+/// # Panics
+///
+/// As for [`gcc_phat_from_spectra_into`].
+#[allow(clippy::too_many_arguments)]
+pub fn gcc_phat_from_spectra_into_mode(
+    xf: &[Complex],
+    yf: &[Complex],
+    plan: &RealFftPlan,
+    max_lag: usize,
+    scratch: &mut SpectraGccScratch,
+    values: &mut [f64],
+    mode: QuantMode,
+) {
     let bins = plan.onesided_len();
     assert_eq!(xf.len(), bins, "x spectrum length");
     assert_eq!(yf.len(), bins, "y spectrum length");
@@ -301,11 +317,16 @@ pub fn gcc_phat_from_spectra_into(
         plan.len()
     );
     scratch.cross.resize(bins, Complex::ZERO);
+    scratch.mags.resize(bins, 0.0);
     scratch.r.resize(plan.len(), 0.0);
-    for ((c, a), b) in scratch.cross.iter_mut().zip(xf).zip(yf) {
-        *c = *a * b.conj();
+    match mode {
+        QuantMode::Reference => {
+            kernels::cross_whiten_reference_into(xf, yf, &mut scratch.cross, &mut scratch.mags);
+        }
+        QuantMode::Int8 => {
+            kernels::cross_whiten_fast_into(xf, yf, &mut scratch.cross, &mut scratch.mags);
+        }
     }
-    whiten(&mut scratch.cross);
     plan.inverse_into(&scratch.cross, &mut scratch.r, &mut scratch.fft);
     extract_lags(&scratch.r, max_lag, values);
 }
@@ -541,6 +562,37 @@ mod tests {
             gcc_phat_from_spectra_into(&xf, &yf, &plan, max_lag, &mut scratch, &mut values);
             assert_eq!(values, reference.values);
         }
+    }
+
+    #[test]
+    fn int8_mode_gcc_agrees_with_reference_within_tolerance() {
+        let x = broadband(960);
+        let y = fractional_delay(&x, 6.0, 16);
+        let max_lag = 13;
+        let plan = fft::rfft_plan(fft::next_pow2(x.len() + max_lag + 1));
+        let xf = plan.forward(&x);
+        let yf = plan.forward(&y);
+        let reference = gcc_phat(&x, &y, max_lag).unwrap();
+        let mut scratch = SpectraGccScratch::new();
+        let mut values = vec![0.0; 2 * max_lag + 1];
+        gcc_phat_from_spectra_into_mode(
+            &xf,
+            &yf,
+            &plan,
+            max_lag,
+            &mut scratch,
+            &mut values,
+            QuantMode::Int8,
+        );
+        for (got, want) in values.iter().zip(&reference.values) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+        // The peak — the TDoA evidence — lands on the same lag.
+        let fast = LagCurve {
+            values: values.clone(),
+            max_lag,
+        };
+        assert_eq!(fast.peak_lag(), reference.peak_lag());
     }
 
     #[test]

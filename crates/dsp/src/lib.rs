@@ -56,6 +56,7 @@ pub mod error;
 pub mod fft;
 pub mod filter;
 pub mod json;
+pub mod kernels;
 pub mod obs;
 pub mod peak;
 pub mod resample;
@@ -69,3 +70,4 @@ pub mod window;
 
 pub use complex::Complex;
 pub use error::DspError;
+pub use kernels::QuantMode;

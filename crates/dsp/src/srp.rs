@@ -8,9 +8,10 @@
 //! GCC values and TDoAs, form the speech-reverberation feature set (§III-B3).
 
 use crate::complex::Complex;
-use crate::correlate::{gcc_phat_from_spectra, LagCurve};
+use crate::correlate::{gcc_phat_from_spectra_into_mode, LagCurve, SpectraGccScratch};
 use crate::error::DspError;
 use crate::fft;
+use crate::kernels::QuantMode;
 
 /// Result of an SRP-PHAT analysis over a multichannel frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +68,22 @@ impl SrpAnalysis {
 /// # }
 /// ```
 pub fn srp_phat(channels: &[&[f64]], max_lag: usize) -> Result<SrpAnalysis, DspError> {
+    srp_phat_mode(channels, max_lag, QuantMode::Reference)
+}
+
+/// [`srp_phat`] with an explicit whitening-kernel selection:
+/// [`QuantMode::Reference`] is byte-stable and identical to [`srp_phat`];
+/// [`QuantMode::Int8`] runs the vectorized squared-magnitude whitening
+/// kernel per pair (within tolerance of the reference, not bitwise).
+///
+/// # Errors
+///
+/// As for [`srp_phat`].
+pub fn srp_phat_mode(
+    channels: &[&[f64]],
+    max_lag: usize,
+    mode: QuantMode,
+) -> Result<SrpAnalysis, DspError> {
     let _span = ht_obs::span("dsp.srp_phat");
     if channels.len() < 2 {
         return Err(DspError::length(
@@ -105,7 +122,18 @@ pub fn srp_phat(channels: &[&[f64]], max_lag: usize) -> Result<SrpAnalysis, DspE
     // fixed order, so the result is byte-identical to the serial loop for
     // any thread count.
     let gccs: Vec<LagCurve> = ht_par::par_map(&pairs, |&(i, j)| {
-        gcc_phat_from_spectra(&specs[i], &specs[j], &plan, max_lag)
+        let mut scratch = SpectraGccScratch::new();
+        let mut values = vec![0.0; 2 * max_lag + 1];
+        gcc_phat_from_spectra_into_mode(
+            &specs[i],
+            &specs[j],
+            &plan,
+            max_lag,
+            &mut scratch,
+            &mut values,
+            mode,
+        );
+        LagCurve { values, max_lag }
     });
     let width = gccs[0].values.len();
     let mut srp_values = vec![0.0; width];
@@ -231,6 +259,63 @@ mod tests {
             let direct = crate::correlate::gcc_phat(refs[i], refs[j], 8).unwrap();
             assert_eq!(g.values, direct.values, "pair ({i}, {j})");
         }
+    }
+
+    #[test]
+    fn top_peaks_never_panics_for_oversized_or_zero_k() {
+        // k far beyond the number of detectable peaks in the curve must
+        // zero-pad, not panic; k = 0 is the empty feature set.
+        let x = chirp(256);
+        let mics = [x.clone(), x.clone()];
+        let refs: Vec<&[f64]> = mics.iter().map(|m| m.as_slice()).collect();
+        let a = srp_phat(&refs, 2).unwrap();
+        assert_eq!(a.top_peaks(0), Vec::<f64>::new());
+        let padded = a.top_peaks(50);
+        assert_eq!(padded.len(), 50);
+        // The lag window only holds 5 values; once peaks and then the
+        // largest remaining samples are exhausted, the tail is the
+        // documented zero padding.
+        assert!(padded[5..].iter().all(|&v| v == 0.0));
+        // The leading entries are the window's samples, largest first.
+        let mut window = a.srp.values.clone();
+        window.sort_by(|x, y| y.total_cmp(x));
+        assert_eq!(&padded[..5], window.as_slice());
+    }
+
+    #[test]
+    fn int8_mode_srp_agrees_with_reference() {
+        let x = chirp(1024);
+        let mics: Vec<Vec<f64>> = (0..3)
+            .map(|k| fractional_delay(&x, k as f64 * 1.7, 16))
+            .collect();
+        let refs: Vec<&[f64]> = mics.iter().map(|m| m.as_slice()).collect();
+        let reference = srp_phat(&refs, 8).unwrap();
+        let fast = srp_phat_mode(&refs, 8, QuantMode::Int8).unwrap();
+        assert_eq!(fast.pairs, reference.pairs);
+        assert_eq!(fast.srp.peak_lag(), reference.srp.peak_lag());
+        for (a, b) in fast.srp.values.iter().zip(&reference.srp.values) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        // Reference mode through the explicit entry point is bitwise the
+        // default path.
+        let explicit = srp_phat_mode(&refs, 8, QuantMode::Reference).unwrap();
+        assert_eq!(explicit, reference);
+    }
+
+    #[test]
+    fn max_delay_samples_rounding_is_pinned_at_sample_boundaries() {
+        // d·f/c landing exactly on an integer must stay there (8.5 cm at
+        // 48 kHz is exactly 12.0 samples), not round up to 13.
+        assert_eq!(max_delay_samples(0.085, 48_000.0), 12);
+        // A hair above the boundary (beyond the 1e-9 guard) rounds up: the
+        // lag window must cover the full physical aperture.
+        let just_above = 12.001 * 340.0 / 48_000.0;
+        assert_eq!(max_delay_samples(just_above, 48_000.0), 13);
+        // The half-sample point rounds up (ceil covers the aperture).
+        let half = 11.5 * 340.0 / 48_000.0;
+        assert_eq!(max_delay_samples(half, 48_000.0), 12);
+        // Degenerate apertures collapse to the zero-lag window.
+        assert_eq!(max_delay_samples(0.0, 48_000.0), 0);
     }
 
     #[test]

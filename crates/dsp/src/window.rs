@@ -53,21 +53,48 @@ impl Window {
 
     /// Applies the window to `signal` in place.
     ///
-    /// # Panics
-    ///
-    /// Panics if `signal.len()` differs from the length the window was asked
-    /// for — callers apply windows frame by frame with matching sizes.
+    /// Allocates the coefficient table per call; repeated framing should
+    /// precompute [`coefficients`](Window::coefficients) once and use
+    /// [`apply_coefficients`] (as [`crate::stft::StftProcessor`] does).
     pub fn apply(self, signal: &mut [f64]) {
         let coeffs = self.coefficients(signal.len());
-        for (s, w) in signal.iter_mut().zip(coeffs.iter()) {
-            *s *= w;
-        }
+        apply_coefficients(&coeffs, signal);
     }
 
     /// Sum of the window coefficients (used for amplitude normalization of
-    /// spectra).
+    /// spectra). Evaluated directly — no coefficient table is materialized.
     pub fn coherent_gain(self, n: usize) -> f64 {
-        self.coefficients(n).iter().sum()
+        match n {
+            // `iter::Sum` for f64 folds from -0.0; keep the historical bits.
+            0 => -0.0,
+            1 => 1.0,
+            _ => {
+                let nf = n as f64;
+                (0..n)
+                    .map(|i| {
+                        let x = 2.0 * std::f64::consts::PI * i as f64 / nf;
+                        match self {
+                            Window::Rect => 1.0,
+                            Window::Hann => 0.5 - 0.5 * x.cos(),
+                            Window::Hamming => 0.54 - 0.46 * x.cos(),
+                            Window::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
+                        }
+                    })
+                    .sum()
+            }
+        }
+    }
+}
+
+/// Multiplies `signal` by a precomputed coefficient table in place — the
+/// flat element-wise loop every framing hot path should sit on (the
+/// compiler autovectorizes it; no per-call allocation).
+///
+/// Trailing samples beyond `coeffs.len()` are left untouched, matching the
+/// historical zip semantics of [`Window::apply`].
+pub fn apply_coefficients(coeffs: &[f64], signal: &mut [f64]) {
+    for (s, w) in signal.iter_mut().zip(coeffs) {
+        *s *= w;
     }
 }
 
@@ -172,6 +199,35 @@ mod tests {
     #[test]
     fn coherent_gain_of_rect_is_n() {
         assert_eq!(Window::Rect.coherent_gain(37), 37.0);
+    }
+
+    #[test]
+    fn coherent_gain_matches_coefficient_sum_bitwise() {
+        for w in [
+            Window::Rect,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+        ] {
+            for n in [0usize, 1, 2, 17, 128] {
+                let direct = w.coherent_gain(n);
+                let summed: f64 = w.coefficients(n).iter().sum();
+                assert_eq!(direct.to_bits(), summed.to_bits(), "{w:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_coefficients_matches_apply() {
+        let mut a = vec![0.5; 33];
+        let mut b = a.clone();
+        Window::Blackman.apply(&mut a);
+        apply_coefficients(&Window::Blackman.coefficients(33), &mut b);
+        assert_eq!(a, b);
+        // A short table leaves the tail untouched.
+        let mut c = vec![2.0; 4];
+        apply_coefficients(&[0.5, 0.5], &mut c);
+        assert_eq!(c, vec![1.0, 1.0, 2.0, 2.0]);
     }
 
     #[test]

@@ -83,7 +83,7 @@ pub fn run(ctx: &Context) -> Result<ExperimentResult, String> {
             // Unlabeled view: dummy label, replaced by self-training.
             pool.push(r.vector.clone(), 0).map_err(|e| e.to_string())?;
         }
-        let confident = high_confidence_samples(&det0, &pool, 0.8);
+        let confident = high_confidence_samples(&det0, &pool, 0.8).map_err(|e| e.to_string())?;
         let mut recovered = Vec::new();
         for n_new in [10usize, 20, 30, 40] {
             let take = confident.len().min(n_new);

@@ -55,5 +55,6 @@ pub mod userstudy;
 
 pub use config::PipelineConfig;
 pub use error::HeadTalkError;
+pub use ht_dsp::QuantMode;
 pub use pipeline::{HeadTalk, WakeDecision};
 pub use stream::{StreamConfig, StreamOutcome, WakeStream};

@@ -9,8 +9,10 @@
 use crate::config::PipelineConfig;
 use crate::HeadTalkError;
 use ht_dsp::resample::to_16k_from_48k;
+use ht_dsp::QuantMode;
 use ht_ml::dataset::Dataset;
 use ht_ml::nn::{NeuralNet, NeuralNetConfig};
+use ht_ml::quant::QuantizedNet;
 use ht_ml::Classifier;
 
 /// Labels used by the liveness task.
@@ -100,6 +102,10 @@ pub fn prepare_decimated_into(
 pub struct LivenessDetector {
     net: NeuralNet,
     input_len: usize,
+    /// Int8 backend, built offline by [`LivenessDetector::calibrate_int8`].
+    /// `None` until calibrated; the f64 net above stays the byte-stable
+    /// reference either way.
+    quantized: Option<QuantizedNet>,
 }
 
 impl LivenessDetector {
@@ -130,6 +136,7 @@ impl LivenessDetector {
         Ok(LivenessDetector {
             net,
             input_len: ds.dim(),
+            quantized: None,
         })
     }
 
@@ -142,12 +149,44 @@ impl LivenessDetector {
     /// Propagates network errors (e.g. input-length mismatch).
     pub fn adapt(&mut self, new_data: &Dataset, epochs: usize) -> Result<(), HeadTalkError> {
         self.net.fit_more(new_data, epochs)?;
+        // The weights moved: any calibrated scales are stale. Drop the int8
+        // backend; callers recalibrate when they re-enable it.
+        self.quantized = None;
         Ok(())
+    }
+
+    /// Builds the int8 inference backend from *prepared* calibration inputs
+    /// (the same representation the detector scores — see
+    /// [`prepare_input`]). The f64 network is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeadTalkError::Ml`] for an empty calibration set or
+    /// rows of the wrong width.
+    pub fn calibrate_int8(&mut self, calib: &[&[f64]]) -> Result<(), HeadTalkError> {
+        self.quantized = Some(QuantizedNet::from_net(&self.net, calib)?);
+        Ok(())
+    }
+
+    /// `true` once [`calibrate_int8`](LivenessDetector::calibrate_int8) has
+    /// built the quantized backend.
+    pub fn has_int8(&self) -> bool {
+        self.quantized.is_some()
     }
 
     /// Probability that a prepared input is live human speech.
     pub fn live_probability(&self, prepared: &[f64]) -> f64 {
         self.net.predict_proba(prepared)
+    }
+
+    /// Mode-dispatched [`live_probability`](LivenessDetector::live_probability):
+    /// [`QuantMode::Int8`] runs the quantized backend when calibrated and
+    /// falls back to the byte-stable f64 reference otherwise.
+    pub fn live_probability_mode(&self, prepared: &[f64], mode: QuantMode) -> f64 {
+        match (&self.quantized, mode) {
+            (Some(q), QuantMode::Int8) => q.predict_proba(prepared),
+            _ => self.net.predict_proba(prepared),
+        }
     }
 
     /// Classifies a raw 48 kHz capture channel.

@@ -8,9 +8,11 @@
 
 use crate::HeadTalkError;
 use ht_dsp::rng::{SeedableRng, StdRng};
+use ht_dsp::QuantMode;
 use ht_ml::dataset::{Dataset, Standardizer};
 use ht_ml::forest::{ForestParams, RandomForest};
 use ht_ml::knn::Knn;
+use ht_ml::quant::QuantizedSvm;
 use ht_ml::svm::{Svm, SvmParams};
 use ht_ml::tree::{DecisionTree, TreeParams};
 use ht_ml::Classifier;
@@ -74,6 +76,11 @@ pub struct OrientationDetector {
     scaler: Standardizer,
     model: Model,
     kind: ModelKind,
+    /// Int8 backend for the SVM, built offline by
+    /// [`OrientationDetector::calibrate_int8`]. `None` until calibrated (and
+    /// always `None` for the non-SVM kinds); the f64 model above stays the
+    /// byte-stable reference either way.
+    quantized: Option<QuantizedSvm>,
 }
 
 impl OrientationDetector {
@@ -118,7 +125,50 @@ impl OrientationDetector {
             scaler,
             model,
             kind,
+            quantized: None,
         })
+    }
+
+    /// Builds the int8 inference backend from calibration feature vectors
+    /// (unscaled — the detector standardizes them exactly like queries).
+    ///
+    /// Only the SVM has an int8 backend: the trees, forest and kNN are
+    /// threshold/compare structures with no dense arithmetic to quantize,
+    /// so for those kinds this is a no-op and scoring stays f64.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeadTalkError::Ml`] for an empty calibration set or
+    /// rows of the wrong width.
+    pub fn calibrate_int8(&mut self, calib: &[&[f64]]) -> Result<(), HeadTalkError> {
+        let Model::Svm(svm) = &self.model else {
+            return Ok(());
+        };
+        let scaled: Vec<Vec<f64>> = calib.iter().map(|row| self.scaler.transform(row)).collect();
+        let refs: Vec<&[f64]> = scaled.iter().map(Vec::as_slice).collect();
+        self.quantized = Some(QuantizedSvm::from_svm(svm, &refs)?);
+        Ok(())
+    }
+
+    /// `true` once [`calibrate_int8`](OrientationDetector::calibrate_int8)
+    /// has built a quantized backend (always `false` for non-SVM kinds).
+    pub fn has_int8(&self) -> bool {
+        self.quantized.is_some()
+    }
+
+    /// Mode-dispatched decision: `(score, facing)`. Under
+    /// [`QuantMode::Int8`] with a calibrated SVM backend, one quantized
+    /// kernel evaluation produces both (the SVM's predict is exactly
+    /// `score >= 0`); otherwise the byte-stable f64 reference runs.
+    pub fn score_and_facing_mode(&self, features: &[f64], mode: QuantMode) -> (f64, bool) {
+        match (&self.quantized, mode) {
+            (Some(q), QuantMode::Int8) => {
+                let scaled = self.scaler.transform(features);
+                let s = q.decision_score(&scaled);
+                (s, s >= 0.0)
+            }
+            _ => (self.decision_score(features), self.is_facing(features)),
+        }
     }
 
     /// Which model kind backs this detector.

@@ -8,7 +8,7 @@ use crate::orientation::OrientationDetector;
 use crate::preprocess::Preprocessor;
 use crate::HeadTalkError;
 use ht_dsp::resample::to_16k_from_48k;
-use ht_ml::Classifier;
+use ht_dsp::QuantMode;
 
 /// The pipeline's verdict on one wake-word capture.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,6 +41,10 @@ pub struct HeadTalk {
     preprocessor: Preprocessor,
     liveness: LivenessDetector,
     orientation: OrientationDetector,
+    /// Which inference backend the decision path runs. Defaults to the
+    /// byte-stable f64 [`QuantMode::Reference`]; switched to
+    /// [`QuantMode::Int8`] by [`HeadTalk::enable_int8`].
+    quant: QuantMode,
 }
 
 impl HeadTalk {
@@ -61,12 +65,95 @@ impl HeadTalk {
             preprocessor,
             liveness,
             orientation,
+            quant: QuantMode::Reference,
         })
     }
 
     /// The active configuration.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+
+    /// The active inference backend.
+    pub fn quant_mode(&self) -> QuantMode {
+        self.quant
+    }
+
+    /// Selects the inference backend. [`QuantMode::Reference`] is always
+    /// available; [`QuantMode::Int8`] requires a prior
+    /// [`enable_int8`](HeadTalk::enable_int8) (or
+    /// [`enable_int8_assembled`](HeadTalk::enable_int8_assembled)) so the
+    /// static scales exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeadTalkError::InvalidInput`] when Int8 is requested
+    /// before calibration.
+    pub fn set_quant_mode(&mut self, mode: QuantMode) -> Result<(), HeadTalkError> {
+        if mode == QuantMode::Int8 && !self.liveness.has_int8() {
+            return Err(HeadTalkError::InvalidInput(
+                "int8 mode requires calibrated scales: call enable_int8 first".into(),
+            ));
+        }
+        self.quant = mode;
+        Ok(())
+    }
+
+    /// Calibrates the int8 backends offline from raw training captures and
+    /// switches the pipeline to [`QuantMode::Int8`]: each capture is pushed
+    /// through the same preprocessing as inference (feature extraction for
+    /// the orientation SVM, causal band-pass → 16 kHz → z-score for the
+    /// liveness net) and the observed activation ranges fix the static
+    /// per-layer scales. The f64 models are untouched and stay selectable
+    /// via [`set_quant_mode`](HeadTalk::set_quant_mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeadTalkError::InvalidInput`] for an empty calibration set
+    /// or degenerate captures, and propagates model errors.
+    pub fn enable_int8(&mut self, captures: &[Vec<Vec<f64>>]) -> Result<(), HeadTalkError> {
+        if captures.is_empty() {
+            return Err(HeadTalkError::InvalidInput(
+                "int8 calibration needs at least one capture".into(),
+            ));
+        }
+        let mut liveness_calib = Vec::with_capacity(captures.len());
+        let mut feature_calib = Vec::with_capacity(captures.len());
+        for channels in captures {
+            if channels.is_empty() || channels[0].is_empty() {
+                return Err(HeadTalkError::InvalidInput(
+                    "calibration capture must have at least one non-empty channel".into(),
+                ));
+            }
+            self.validate_feature_width(channels.len())?;
+            feature_calib.push(features::extract(channels, &self.config)?);
+            let filtered = self.preprocessor.filter_causal(&channels[0]);
+            let x16k = to_16k_from_48k(&filtered)?;
+            liveness_calib.push(prepare_decimated(&x16k, self.liveness.input_len())?);
+        }
+        let liv: Vec<&[f64]> = liveness_calib.iter().map(Vec::as_slice).collect();
+        let feat: Vec<&[f64]> = feature_calib.iter().map(Vec::as_slice).collect();
+        self.enable_int8_assembled(&liv, &feat)
+    }
+
+    /// [`enable_int8`](HeadTalk::enable_int8) from already-assembled
+    /// evidence: prepared liveness inputs and (unscaled) orientation
+    /// feature vectors — what a serving layer that has been running the
+    /// reference path already holds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration errors; on error the pipeline stays in its
+    /// previous mode.
+    pub fn enable_int8_assembled(
+        &mut self,
+        liveness_calib: &[&[f64]],
+        feature_calib: &[&[f64]],
+    ) -> Result<(), HeadTalkError> {
+        self.liveness.calibrate_int8(liveness_calib)?;
+        self.orientation.calibrate_int8(feature_calib)?;
+        self.quant = QuantMode::Int8;
+        Ok(())
     }
 
     /// Processes one multichannel wake-word capture (raw 48 kHz channels)
@@ -198,15 +285,14 @@ impl HeadTalk {
             // One forward pass: `predict` is defined as `proba >= 0.5`, so
             // deriving the class from the probability is bit-identical and
             // halves the conv-net cost of every wake decision.
-            let p = self.liveness.live_probability(liveness_input);
+            let p = self
+                .liveness
+                .live_probability_mode(liveness_input, self.quant);
             (p, usize::from(p >= 0.5) == LIVE_HUMAN)
         };
         let (facing_score, facing) = {
             let _s = ht_obs::span("wake.orientation_infer");
-            (
-                self.orientation.decision_score(features),
-                self.orientation.is_facing(features),
-            )
+            self.orientation.score_and_facing_mode(features, self.quant)
         };
         WakeDecision {
             live,
@@ -403,6 +489,63 @@ mod tests {
             };
             assert!(!d.accepted());
         }
+    }
+
+    #[test]
+    fn int8_mode_requires_calibration_then_tracks_reference() {
+        let mut ht = tiny_pipeline();
+        // Int8 cannot be selected before scales exist.
+        assert!(ht.set_quant_mode(QuantMode::Int8).is_err());
+        assert_eq!(ht.quant_mode(), QuantMode::Reference);
+
+        let mut rng = StdRng::seed_from_u64(21);
+        let captures: Vec<Vec<Vec<f64>>> = (0..4)
+            .map(|_| {
+                let ch0 = ht_dsp::rng::white_noise(&mut rng, 4800);
+                let ch1 = ht_dsp::signal::fractional_delay(&ch0, 2.0, 16);
+                vec![ch0, ch1]
+            })
+            .collect();
+        let reference: Vec<WakeDecision> = captures
+            .iter()
+            .map(|c| ht.process_wake(c).unwrap())
+            .collect();
+
+        ht.enable_int8(&captures).unwrap();
+        assert_eq!(ht.quant_mode(), QuantMode::Int8);
+        for (c, r) in captures.iter().zip(&reference) {
+            let q = ht.process_wake(c).unwrap();
+            assert!(
+                (q.live_probability - r.live_probability).abs() < 0.05,
+                "int8 {} vs reference {}",
+                q.live_probability,
+                r.live_probability
+            );
+            assert_eq!(q.live, r.live, "liveness verdict agrees");
+            // The kNN orientation model has no int8 backend, so facing is
+            // the identical f64 path either way.
+            assert_eq!(q.facing_score.to_bits(), r.facing_score.to_bits());
+            assert_eq!(q.facing, r.facing);
+        }
+
+        // Switching back reproduces the pre-calibration reference bits:
+        // calibration never perturbs the f64 models.
+        ht.set_quant_mode(QuantMode::Reference).unwrap();
+        for (c, r) in captures.iter().zip(&reference) {
+            let q = ht.process_wake(c).unwrap();
+            assert_eq!(
+                q.live_probability.to_bits(),
+                r.live_probability.to_bits(),
+                "reference stays byte-stable after calibration"
+            );
+        }
+    }
+
+    #[test]
+    fn enable_int8_rejects_an_empty_calibration_set() {
+        let mut ht = tiny_pipeline();
+        assert!(ht.enable_int8(&[]).is_err());
+        assert_eq!(ht.quant_mode(), QuantMode::Reference, "mode unchanged");
     }
 
     #[test]

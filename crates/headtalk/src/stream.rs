@@ -183,12 +183,16 @@ impl HeadTalk {
             config.hop,
             config.frame_len + 2 * config.hop,
         )?;
-        let analyzer = FrameAnalyzer::new(
+        let mut analyzer = FrameAnalyzer::new(
             n_channels,
             config.frame_len,
             self.config().max_lag,
             self.config().sample_rate,
         )?;
+        // The per-frame GCC kernels follow the pipeline's backend: fast
+        // squared-magnitude whitening under Int8, byte-stable hypot
+        // whitening under Reference.
+        analyzer.set_quant_mode(self.quant_mode());
         let capacity = if config.capacity_hint > 0 {
             config.capacity_hint
         } else {

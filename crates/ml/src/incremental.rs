@@ -15,11 +15,22 @@ use crate::{Classifier, MlError};
 /// Confidence is derived from the decision score via a logistic squash
 /// (`σ(2·score)`, so that a sample on an SVM's margin — `score = ±1` — maps
 /// to ≈88 % confidence); any classifier producing a monotone score works.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidParameter`] for a `min_confidence` outside
+/// `[0.5, 1]` (a threshold below chance selects *low*-confidence samples,
+/// silently inverting the protocol), and propagates dataset errors.
 pub fn high_confidence_samples<C: Classifier>(
     model: &C,
     unlabeled: &Dataset,
     min_confidence: f64,
-) -> Dataset {
+) -> Result<Dataset, MlError> {
+    if !(0.5..=1.0).contains(&min_confidence) {
+        return Err(MlError::InvalidParameter(format!(
+            "min_confidence must be in [0.5, 1], got {min_confidence}"
+        )));
+    }
     let mut out = Dataset::new(unlabeled.dim());
     for i in 0..unlabeled.len() {
         let (x, _) = unlabeled.sample(i);
@@ -27,10 +38,10 @@ pub fn high_confidence_samples<C: Classifier>(
         let p1 = 1.0 / (1.0 + (-2.0 * score).exp());
         let (label, conf) = if p1 >= 0.5 { (1, p1) } else { (0, 1.0 - p1) };
         if conf >= min_confidence {
-            out.push(x.to_vec(), label).expect("same dimensionality");
+            out.push(x.to_vec(), label)?;
         }
     }
-    out
+    Ok(out)
 }
 
 /// One round of the paper's incremental protocol:
@@ -44,7 +55,12 @@ pub fn high_confidence_samples<C: Classifier>(
 ///
 /// # Errors
 ///
-/// Propagates errors from the refit closure and dataset merging.
+/// Returns [`MlError::InvalidData`] when `new_data`'s dimensionality
+/// differs from `train`'s — scoring such samples would feed the model
+/// inputs of a width it was never trained on (silent truncation for the
+/// SVM's kernel, an out-of-bounds panic for the tree/kNN paths) — and
+/// propagates errors from the confidence filter, the refit closure, and
+/// dataset merging.
 pub fn incremental_round<C, F>(
     model: &C,
     train: &mut Dataset,
@@ -57,7 +73,14 @@ where
     C: Classifier,
     F: FnOnce(&Dataset) -> Result<C, MlError>,
 {
-    let confident = high_confidence_samples(model, new_data, min_confidence);
+    if new_data.dim() != train.dim() {
+        return Err(MlError::InvalidData(format!(
+            "new data has dimension {}, training set has {}",
+            new_data.dim(),
+            train.dim()
+        )));
+    }
+    let confident = high_confidence_samples(model, new_data, min_confidence)?;
     let take = confident.len().min(max_new);
     let capped = confident.filter_indices(|i| i < take);
     if !capped.is_empty() {
@@ -106,9 +129,31 @@ mod tests {
         probe.push(vec![3.0, 3.0], 1).unwrap(); // deep class 1
         probe.push(vec![-3.0, -3.0], 0).unwrap(); // deep class 0
         probe.push(vec![0.02, -0.02], 0).unwrap(); // boundary
-        let confident = high_confidence_samples(&model, &probe, 0.8);
+        let confident = high_confidence_samples(&model, &probe, 0.8).unwrap();
         assert_eq!(confident.len(), 2);
         assert_eq!(confident.labels(), &[1, 0]);
+    }
+
+    #[test]
+    fn out_of_range_confidence_threshold_is_rejected() {
+        let train = blobs(10, 8, 2.0, 0.3);
+        let model = Svm::fit(&train, &SvmParams::default()).unwrap();
+        for bad in [0.3, 1.5, -0.1] {
+            assert!(high_confidence_samples(&model, &train, bad).is_err());
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_a_typed_error_not_a_panic() {
+        let mut train = blobs(20, 9, 2.0, 0.3);
+        let model = Svm::fit(&train, &SvmParams::default()).unwrap();
+        let mut wrong = Dataset::new(3);
+        wrong.push(vec![1.0, 2.0, 3.0], 1).unwrap();
+        let err = incremental_round(&model, &mut train, &wrong, 0.8, 10, |d| {
+            Svm::fit(d, &SvmParams::default())
+        })
+        .unwrap_err();
+        assert!(matches!(err, MlError::InvalidData(_)), "got {err:?}");
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`knn`] — k-nearest neighbours,
 //! * [`nn`] — a small conv1d+dense neural network with Adam ("wav2vec2-mini",
 //!   the liveness model stand-in),
+//! * [`quant`] — int8 post-training quantization of the decision-path models
+//!   (calibrated static scales; the f64 paths above stay byte-stable),
 //! * [`sampling`] — SMOTE and ADASYN up-sampling (§IV-B14),
 //! * [`crossval`] — k-fold and stratified cross-validation,
 //! * [`incremental`] — the paper's incremental-learning protocol (§IV-A1,
@@ -48,6 +50,7 @@ pub mod incremental;
 pub mod knn;
 pub mod metrics;
 pub mod nn;
+pub mod quant;
 pub mod sampling;
 pub mod svm;
 pub mod tree;

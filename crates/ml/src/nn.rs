@@ -142,7 +142,7 @@ pub struct NeuralNet {
 /// Channels × time activation tensor.
 type Tensor = Vec<Vec<f64>>;
 
-fn conv_out_len(t_in: usize, kernel: usize, stride: usize) -> usize {
+pub(crate) fn conv_out_len(t_in: usize, kernel: usize, stride: usize) -> usize {
     if t_in < kernel {
         0
     } else {
@@ -474,6 +474,65 @@ impl NeuralNet {
     pub fn predict_proba(&self, x: &[f64]) -> f64 {
         let logit = self.forward(x).3;
         1.0 / (1.0 + (-logit).exp())
+    }
+
+    // ---- read-only views for the quantized backend (crate::quant) ----
+
+    /// The convolutional encoder stages.
+    pub(crate) fn conv_specs(&self) -> &[ConvSpec] {
+        &self.config.conv
+    }
+
+    /// Flattened `[out][in][k]` weights of conv stage `stage`.
+    pub(crate) fn conv_weights(&self, stage: usize) -> &[f64] {
+        &self.conv_w[stage].w
+    }
+
+    /// Per-output-channel biases of conv stage `stage`.
+    pub(crate) fn conv_biases(&self, stage: usize) -> &[f64] {
+        &self.conv_b[stage].w
+    }
+
+    /// Flattened `[out][in]` weights of dense layer `layer`.
+    pub(crate) fn dense_weights(&self, layer: usize) -> &[f64] {
+        &self.dense_w[layer].w
+    }
+
+    /// Biases of dense layer `layer`.
+    pub(crate) fn dense_biases(&self, layer: usize) -> &[f64] {
+        &self.dense_b[layer].w
+    }
+
+    /// Dense layer widths, input through final logit.
+    pub(crate) fn dense_dims(&self) -> &[usize] {
+        &self.dense_dims
+    }
+
+    /// The expected input width in samples.
+    pub(crate) fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Raw decision logit — the quantized backend's accuracy gates compare
+    /// against this rather than the squashed probability.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn logit(&self, x: &[f64]) -> f64 {
+        self.forward(x).3
+    }
+
+    /// Max-abs of the input to each conv stage for one sample (entry 0 is
+    /// the raw input, entry `s` the output of conv stage `s - 1`). This is
+    /// the calibration hook for [`crate::quant`]'s static activation scales.
+    pub(crate) fn conv_input_max_abs(&self, x: &[f64]) -> Vec<f64> {
+        let (conv_inputs, _, _, _) = self.forward(x);
+        conv_inputs
+            .iter()
+            .map(|t| {
+                t.iter()
+                    .flat_map(|row| row.iter())
+                    .fold(0.0f64, |m, &v| m.max(v.abs()))
+            })
+            .collect()
     }
 }
 

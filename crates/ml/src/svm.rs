@@ -264,6 +264,24 @@ impl Svm {
         self.support_vectors.len()
     }
 
+    // ---- read-only views for the quantized backend (crate::quant) ----
+
+    pub(crate) fn support_vectors(&self) -> &[Vec<f64>] {
+        &self.support_vectors
+    }
+
+    pub(crate) fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    pub(crate) fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    pub(crate) fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
     /// Trains with a grid search over `(C, γ)` using `k`-fold
     /// cross-validation, returning the best model refit on all data and its
     /// chosen parameters. This mirrors the paper's LIBSVM protocol (10-fold

@@ -88,6 +88,16 @@ pub enum ServeError {
     /// The underlying pipeline failed (finalization of a degenerate
     /// capture, slot construction with an untrained width, …).
     Pipeline(HeadTalkError),
+    /// A server-internal lock was poisoned: a thread panicked while
+    /// holding it, so its shard (or the admission bucket) can no longer be
+    /// trusted for request work. The string names the lock. Surfaced as a
+    /// typed error instead of propagating the panic into every subsequent
+    /// caller.
+    LockPoisoned(&'static str),
+    /// A server-internal invariant broke (a bug, not a caller error); the
+    /// string says which one. Exists so hot paths degrade to a typed error
+    /// instead of panicking mid-request.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for ServeError {
@@ -100,6 +110,10 @@ impl std::fmt::Display for ServeError {
                 write!(f, "session {id} evicted: {cause}")
             }
             ServeError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            ServeError::LockPoisoned(what) => {
+                write!(f, "{what} lock poisoned by a panicked handler")
+            }
+            ServeError::Internal(what) => write!(f, "internal invariant broken: {what}"),
         }
     }
 }
@@ -217,6 +231,14 @@ impl<'ht> WakeServer<'ht> {
         (id % self.config.n_shards as u64) as usize
     }
 
+    /// Locks shard `idx` for request work, turning poisoning into a typed
+    /// error instead of a propagated panic.
+    fn lock_shard(&self, idx: usize) -> Result<std::sync::MutexGuard<'_, Shard<'ht>>, ServeError> {
+        self.shards[idx]
+            .lock()
+            .map_err(|_| ServeError::LockPoisoned("shard"))
+    }
+
     /// Opens a session at logical time `now_ns`.
     ///
     /// Admission runs duplicate check → shard-slot check → token bucket,
@@ -227,11 +249,13 @@ impl<'ht> WakeServer<'ht> {
     /// # Errors
     ///
     /// [`ServeError::DuplicateSession`] for an id already in flight,
-    /// [`ServeError::Rejected`] when admission refuses.
+    /// [`ServeError::Rejected`] when admission refuses,
+    /// [`ServeError::LockPoisoned`] when a handler panicked while holding
+    /// this shard's (or the bucket's) lock.
     pub fn open(&self, id: u64, now_ns: u64) -> Result<(), ServeError> {
         let _span = ht_obs::span("serve.open");
         let shard_idx = self.shard_of(id);
-        let mut shard = self.shards[shard_idx].lock().expect("shard lock");
+        let mut shard = self.lock_shard(shard_idx)?;
         if shard.sessions.contains_key(&id) {
             return Err(ServeError::DuplicateSession(id));
         }
@@ -242,13 +266,21 @@ impl<'ht> WakeServer<'ht> {
                 capacity: shard.arena.capacity(),
             }));
         }
-        if let Err(reject) = self.bucket.lock().expect("bucket lock").try_take(now_ns) {
+        let admit = self
+            .bucket
+            .lock()
+            .map_err(|_| ServeError::LockPoisoned("bucket"))?
+            .try_take(now_ns);
+        if let Err(reject) = admit {
             ht_obs::counter_add("serve.rejected.rate", 1);
             return Err(ServeError::Rejected(reject));
         }
-        // Cannot be `None`: the capacity check above held under this
-        // shard's lock.
-        let slot = shard.arena.acquire()?.expect("slot after capacity check");
+        // Cannot be `None` unless an invariant broke: the capacity check
+        // above held under this shard's lock. Degrade to a typed error
+        // rather than panic mid-request if it ever does.
+        let Some(slot) = shard.arena.acquire()? else {
+            return Err(ServeError::Internal("arena empty after capacity check"));
+        };
         shard.sessions.insert(
             id,
             Session {
@@ -266,13 +298,14 @@ impl<'ht> WakeServer<'ht> {
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownSession`] for an id that isn't open. A
-    /// mid-stream geometry violation eagerly evicts the session (slot
-    /// reset and released before returning) and surfaces as
+    /// [`ServeError::UnknownSession`] for an id that isn't open,
+    /// [`ServeError::LockPoisoned`] for a shard wrecked by a panicked
+    /// handler. A mid-stream geometry violation eagerly evicts the session
+    /// (slot reset and released before returning) and surfaces as
     /// [`ServeError::Evicted`].
     pub fn push(&self, id: u64, chunk: &[&[f64]], now_ns: u64) -> Result<WakeVerdict, ServeError> {
         let _span = ht_obs::span("serve.push");
-        let mut shard = self.shards[self.shard_of(id)].lock().expect("shard lock");
+        let mut shard = self.lock_shard(self.shard_of(id))?;
         let slot = match shard.sessions.get_mut(&id) {
             Some(session) => {
                 session.last_active_ns = now_ns;
@@ -314,10 +347,11 @@ impl<'ht> WakeServer<'ht> {
     ///
     /// [`ServeError::UnknownSession`] for an id that isn't open;
     /// [`ServeError::Pipeline`] when the evidence cannot yet decide (the
-    /// session remains open).
+    /// session remains open); [`ServeError::LockPoisoned`] for a shard
+    /// wrecked by a panicked handler.
     pub fn finalize(&self, id: u64, now_ns: u64) -> Result<StreamOutcome, ServeError> {
         let _span = ht_obs::span("serve.decision");
-        let mut shard = self.shards[self.shard_of(id)].lock().expect("shard lock");
+        let mut shard = self.lock_shard(self.shard_of(id))?;
         let slot = match shard.sessions.get_mut(&id) {
             Some(session) => {
                 session.last_active_ns = now_ns;
@@ -345,9 +379,11 @@ impl<'ht> WakeServer<'ht> {
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownSession`] for an id that isn't open.
+    /// [`ServeError::UnknownSession`] for an id that isn't open,
+    /// [`ServeError::LockPoisoned`] for a shard wrecked by a panicked
+    /// handler.
     pub fn close(&self, id: u64) -> Result<(), ServeError> {
-        let mut shard = self.shards[self.shard_of(id)].lock().expect("shard lock");
+        let mut shard = self.lock_shard(self.shard_of(id))?;
         match shard.sessions.remove(&id) {
             Some(session) => {
                 shard.arena.release(session.slot);
@@ -401,7 +437,17 @@ impl<'ht> WakeServer<'ht> {
             if members.is_empty() {
                 continue;
             }
-            let mut shard = self.shards[shard_idx].lock().expect("shard lock");
+            let mut shard = match self.lock_shard(shard_idx) {
+                Ok(shard) => shard,
+                Err(e) => {
+                    // One wrecked shard fails only its own members; the
+                    // batch neighbours on healthy shards still decide.
+                    for (pos, id) in members {
+                        results[pos] = Some((id, Err(e.clone())));
+                    }
+                    continue;
+                }
+            };
             for (pos, id) in members {
                 let slot = match shard.sessions.get_mut(&id) {
                     Some(session) => {
@@ -489,9 +535,14 @@ impl<'ht> WakeServer<'ht> {
         for (pos, id, outcome) in inferred {
             results[pos] = Some((id, Ok(outcome)));
         }
+        // Every position was filled in phase 1 or phase 2; if one ever
+        // isn't, report it for that id instead of panicking mid-batch.
         results
             .into_iter()
-            .map(|r| r.expect("every input id produced a result"))
+            .zip(ids)
+            .map(|(r, &id)| {
+                r.unwrap_or((id, Err(ServeError::Internal("batch result missing for id"))))
+            })
             .collect()
     }
 
@@ -499,11 +550,19 @@ impl<'ht> WakeServer<'ht> {
     /// session_idle_timeout_ns`, releasing their slots. Returns the number
     /// evicted. Deterministic: sessions are scanned in shard order, then
     /// id order.
+    ///
+    /// A shard whose lock was poisoned by a panicked handler is recovered
+    /// and swept anyway: the session map and arena only mutate in paired,
+    /// non-unwinding steps, so the bookkeeping is structurally sound even
+    /// after a panic, and reaping the reaper would leak every slot on that
+    /// shard forever.
     pub fn evict_idle(&self, now_ns: u64) -> usize {
         let timeout = self.config.session_idle_timeout_ns;
         let mut evicted = 0;
         for shard in &self.shards {
-            let mut shard = shard.lock().expect("shard lock");
+            let mut shard = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let stale: Vec<u64> = shard
                 .sessions
                 .iter()
@@ -511,9 +570,10 @@ impl<'ht> WakeServer<'ht> {
                 .map(|(&id, _)| id)
                 .collect();
             for id in stale {
-                let slot = shard.sessions.remove(&id).expect("scanned session").slot;
-                shard.arena.release(slot);
-                evicted += 1;
+                if let Some(session) = shard.sessions.remove(&id) {
+                    shard.arena.release(session.slot);
+                    evicted += 1;
+                }
             }
         }
         if evicted > 0 {
@@ -522,18 +582,28 @@ impl<'ht> WakeServer<'ht> {
         evicted
     }
 
-    /// Admission tokens available at logical time `now_ns`.
+    /// Admission tokens available at logical time `now_ns`. Read-only, so
+    /// a poisoned bucket lock is recovered rather than propagated — the
+    /// count stays observable after a handler panic.
     pub fn tokens_available(&self, now_ns: u64) -> u64 {
-        self.bucket.lock().expect("bucket lock").available(now_ns)
+        self.bucket
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .available(now_ns)
     }
 
-    /// A point-in-time load summary across all shards.
+    /// A point-in-time load summary across all shards. Read-only, so
+    /// poisoned shard locks are recovered rather than propagated —
+    /// diagnostics must stay reachable precisely when a handler has
+    /// panicked.
     pub fn stats(&self) -> ServeStats {
         let shards: Vec<ShardStats> = self
             .shards
             .iter()
             .map(|shard| {
-                let shard = shard.lock().expect("shard lock");
+                let shard = shard
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 ShardStats {
                     live: shard.sessions.len(),
                     live_hwm: shard.arena.live_hwm(),
@@ -862,6 +932,117 @@ mod tests {
         assert!(matches!(&results[1].1, Err(ServeError::Pipeline(_))));
         assert_eq!(server.stats().live, 1, "undecidable session stays open");
         server.close(1).unwrap();
+    }
+
+    /// Panics while holding the given lock from another thread, leaving it
+    /// poisoned.
+    fn poison<T>(lock: &Mutex<T>)
+    where
+        T: Send,
+    {
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                let _guard = lock.lock().unwrap();
+                panic!("poisoning the lock under test");
+            });
+            assert!(handle.join().is_err());
+        });
+        assert!(lock.lock().is_err(), "lock is poisoned");
+    }
+
+    #[test]
+    fn poisoned_shard_is_a_typed_error_for_request_paths() {
+        // Satellite regression: every request entry point used to
+        // `expect("shard lock")`, so one panicked handler turned every
+        // subsequent request on that shard into a panic of its own. Now
+        // requests get a typed error, other shards keep serving, and the
+        // maintenance paths still reach the wrecked shard.
+        let ht = toy_pipeline();
+        let server = WakeServer::new(&ht, serve_config(&ht));
+        server.open(0, 0).unwrap();
+        server.open(1, 0).unwrap();
+        poison(&server.shards[0]);
+
+        let chunk = noise_capture(0x50, 4, 16);
+        let views: Vec<&[f64]> = chunk.iter().map(Vec::as_slice).collect();
+        assert_eq!(server.open(2, 1), Err(ServeError::LockPoisoned("shard")));
+        assert_eq!(
+            server.push(0, &views, 1).unwrap_err(),
+            ServeError::LockPoisoned("shard")
+        );
+        assert!(matches!(
+            server.finalize(0, 1),
+            Err(ServeError::LockPoisoned("shard"))
+        ));
+        assert_eq!(server.close(0), Err(ServeError::LockPoisoned("shard")));
+        // Shard 1 (odd ids) is unaffected by shard 0's corpse.
+        server.push(1, &views, 1).unwrap();
+        // A batch fails only the wrecked shard's members.
+        let results = server.finalize_batch(&[0, 1], 2);
+        assert!(matches!(
+            &results[0].1,
+            Err(ServeError::LockPoisoned("shard"))
+        ));
+        assert!(
+            !matches!(&results[1].1, Err(ServeError::LockPoisoned(_))),
+            "healthy shard member decided independently"
+        );
+        // Diagnostics and the reaper recover the poisoned lock: the
+        // sessions are still visible and idle eviction still frees slots.
+        assert_eq!(server.stats().live, 2);
+        assert_eq!(server.evict_idle(u64::MAX), 2);
+        assert_eq!(server.stats().live, 0);
+    }
+
+    #[test]
+    fn poisoned_bucket_is_typed_for_open_and_recovered_for_reads() {
+        let ht = toy_pipeline();
+        let server = WakeServer::new(&ht, serve_config(&ht));
+        poison(&server.bucket);
+        assert_eq!(server.open(0, 0), Err(ServeError::LockPoisoned("bucket")));
+        assert_eq!(server.tokens_available(0), 64, "read path recovers");
+    }
+
+    #[test]
+    fn int8_pipeline_serves_with_batch_single_and_solo_agreement() {
+        // The server inherits the pipeline's quantization mode through
+        // `infer_assembled`: an int8-calibrated pipeline must serve with
+        // the same bits whether a session is finalized solo, singly, or
+        // batched.
+        let mut ht = toy_pipeline();
+        let captures: Vec<Vec<Vec<f64>>> = (0..3)
+            .map(|i| noise_capture(0x80 + i, 4, 4800 + 480 * i as usize))
+            .collect();
+        ht.enable_int8(&captures).expect("calibration");
+        assert_eq!(ht.quant_mode(), headtalk::QuantMode::Int8);
+
+        let single = WakeServer::new(&ht, serve_config(&ht));
+        let batch = WakeServer::new(&ht, serve_config(&ht));
+        for (i, capture) in captures.iter().enumerate() {
+            let id = i as u64;
+            single.open(id, 0).unwrap();
+            batch.open(id, 0).unwrap();
+            push_all(&single, id, capture, 1);
+            push_all(&batch, id, capture, 1);
+        }
+        for (id, result) in batch.finalize_batch(&[0, 1, 2], 2) {
+            let b = result.expect("batch outcome");
+            let s = single.finalize(id, 2).expect("single outcome");
+            let solo = ht.decide_batch(&captures[id as usize]).unwrap().0;
+            let (bd, sd) = (b.decision.unwrap(), s.decision.unwrap());
+            assert_eq!(
+                bd.live_probability.to_bits(),
+                sd.live_probability.to_bits(),
+                "session {id}: batch vs single live bits"
+            );
+            assert_eq!(
+                bd.live_probability.to_bits(),
+                solo.live_probability.to_bits(),
+                "session {id}: served vs solo live bits"
+            );
+            assert_eq!(bd.facing_score.to_bits(), sd.facing_score.to_bits());
+            assert_eq!(bd.facing_score.to_bits(), solo.facing_score.to_bits());
+        }
     }
 
     #[test]

@@ -20,8 +20,9 @@
 
 use crate::error::StreamError;
 use ht_dsp::complex::Complex;
-use ht_dsp::correlate::{gcc_phat_from_spectra_into, SpectraGccScratch};
+use ht_dsp::correlate::{gcc_phat_from_spectra_into_mode, SpectraGccScratch};
 use ht_dsp::fft::{self, RealFftPlan};
+use ht_dsp::kernels::QuantMode;
 use ht_dsp::spectrum::{HIGH_BAND_HZ, LOW_BAND_HZ};
 use ht_dsp::stft::StftProcessor;
 use ht_dsp::window::Window;
@@ -105,6 +106,9 @@ pub struct FrameAnalyzer {
     /// out pair-major. Dividing by the frame count yields the Welch-style
     /// frame-averaged lag curves the batch features are built from.
     gcc_accum: Vec<f64>,
+    /// Which whitening kernel per-frame GCC runs on: the byte-stable
+    /// reference (default) or the vectorized Int8-path variant.
+    quant: QuantMode,
 }
 
 impl FrameAnalyzer {
@@ -175,7 +179,20 @@ impl FrameAnalyzer {
             },
             plan,
             gcc_accum: vec![0.0; n_pairs * (2 * max_lag + 1)],
+            quant: QuantMode::Reference,
         })
+    }
+
+    /// Selects the whitening kernel for subsequent frames. Streams mixing
+    /// modes mid-capture would mix accumulator provenances, so callers set
+    /// this once, right after construction or a [`reset`](Self::reset).
+    pub fn set_quant_mode(&mut self, mode: QuantMode) {
+        self.quant = mode;
+    }
+
+    /// The active whitening-kernel selection.
+    pub fn quant_mode(&self) -> QuantMode {
+        self.quant
     }
 
     /// Analyzes one frame (`channels` buffers of exactly `frame_len`
@@ -213,13 +230,14 @@ impl FrameAnalyzer {
             self.srp.fill(0.0);
             let w = 2 * self.max_lag + 1;
             for (p, &(i, j)) in self.pairs.iter().enumerate() {
-                gcc_phat_from_spectra_into(
+                gcc_phat_from_spectra_into_mode(
                     &self.spectra[i],
                     &self.spectra[j],
                     &self.plan,
                     self.max_lag,
                     &mut self.gcc,
                     &mut self.lag_window,
+                    self.quant,
                 );
                 self.features.tdoas[p] = peak_lag_interpolated(&self.lag_window, self.max_lag);
                 for (acc, v) in self.srp.iter_mut().zip(&self.lag_window) {
@@ -576,6 +594,31 @@ mod tests {
         for (f, g) in fresh.iter().zip(&again) {
             assert_eq!(f.to_bits(), g.to_bits());
         }
+    }
+
+    #[test]
+    fn int8_mode_agrees_with_reference_and_survives_reset() {
+        let x = noise(960, 31);
+        let y = fractional_delay(&x, 3.0, 16);
+        let mut reference = FrameAnalyzer::new(2, 960, 13, 48_000.0).unwrap();
+        let mut fast = FrameAnalyzer::new(2, 960, 13, 48_000.0).unwrap();
+        fast.set_quant_mode(QuantMode::Int8);
+        assert_eq!(fast.quant_mode(), QuantMode::Int8);
+
+        reference.analyze(&[x.clone(), y.clone()]).unwrap();
+        fast.analyze(&[x.clone(), y.clone()]).unwrap();
+        let mut want = Vec::new();
+        reference.assemble_features_into(3, &mut want).unwrap();
+        let mut got = Vec::new();
+        fast.assemble_features_into(3, &mut got).unwrap();
+        assert_eq!(want.len(), got.len());
+        for (w, g) in want.iter().zip(&got) {
+            assert!((w - g).abs() < 1e-8, "{w} vs {g}");
+        }
+
+        // Reset keeps the configured mode (pooled slots set it once).
+        fast.reset();
+        assert_eq!(fast.quant_mode(), QuantMode::Int8);
     }
 
     #[test]

@@ -316,6 +316,67 @@ mod tests {
     }
 
     #[test]
+    fn all_silent_capture_flushes_the_exact_zero_spectrum_idempotently() {
+        // A soft-muted microphone delivers exact zeros: every segment (and
+        // the zero-padded partial) transforms to the zero spectrum, so the
+        // documented result is exactly-zero magnitudes — not a partial
+        // window, not NaN — and repeated flushes return the same bits.
+        for len in [1usize, 100, 512, 700, 2048] {
+            let z = vec![0.0; len];
+            let mut acc = DirectivityAccum::new(2, 512, 48_000.0).unwrap();
+            acc.push(&[&z, &z]).unwrap();
+            for round in 0..3 {
+                let spec = acc.flush_spectrum().unwrap().clone();
+                assert!(
+                    spec.magnitudes.iter().all(|&m| m == 0.0),
+                    "len {len} round {round}: non-zero magnitude"
+                );
+            }
+            // Still ingesting after the flushes: state was untouched.
+            acc.push(&[&z, &z]).unwrap();
+            assert!(acc
+                .flush_spectrum()
+                .unwrap()
+                .magnitudes
+                .iter()
+                .all(|&m| m == 0.0));
+        }
+    }
+
+    #[test]
+    fn short_capture_flush_property() {
+        // Property (alongside the non-destructive-flush pin): for any
+        // capture shorter than one Welch segment, pushed in any chunking,
+        // the flush is the zero-padded whole-capture spectrum — never a
+        // partial window — and flushing is idempotent.
+        ht_dsp::check::property("directivity_short_capture_flush")
+            .cases(40)
+            .run(|g| {
+                let seg_len = *g.choose(&[256usize, 512, 1024]);
+                let len = g.usize_in(1..seg_len);
+                let x = g.vec_f64(-1.0..1.0, len..len + 1);
+                let mut acc = DirectivityAccum::new(1, seg_len, 48_000.0).unwrap();
+                let mut pos = 0;
+                while pos < len {
+                    let end = (pos + g.usize_in(1..len + 1)).min(len);
+                    acc.push(&[&x[pos..end]]).unwrap();
+                    pos = end;
+                }
+                assert_eq!(acc.segments(), 0, "capture shorter than one segment");
+                let first = acc.flush_spectrum().unwrap().clone();
+                let again = acc.flush_spectrum().unwrap().clone();
+                assert_eq!(first, again, "flush must be idempotent");
+                let mut padded = x.clone();
+                padded.resize(ht_dsp::fft::next_pow2(seg_len), 0.0);
+                let reference = ht_dsp::fft::rfft_magnitude(&padded);
+                assert_eq!(first.magnitudes.len(), reference.len());
+                for (f, r) in first.magnitudes.iter().zip(&reference) {
+                    assert_eq!(f.to_bits(), r.to_bits(), "partial-window leak");
+                }
+            });
+    }
+
+    #[test]
     fn bad_shapes_are_rejected_without_state_damage() {
         let mut acc = DirectivityAccum::new(2, 256, 48_000.0).unwrap();
         let x = noise(100, 1);
