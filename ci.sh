@@ -94,12 +94,14 @@ step "stream latency gate (bench stream_latency)" \
 
 # Server throughput gate: the server_throughput bench replays a seeded
 # multi-tenant load drive (thousands of interleaved sessions) through the
-# sharded WakeServer (int8 decision backends calibrated) and asserts
-# (a) sustained end-to-end wake decisions/sec stays above the floor,
-# (b) the incremental decision path (serve.assemble + serve.decision)
-# sustains a floor above the f64-inference ceiling, and (c) the
-# serve.decision and serve.push p99 tails stay under their ceilings.
-# BENCH_server.json lands in target/bench_out.
+# sharded WakeServer (slots prewarmed, int8 decision backends calibrated)
+# and asserts (a) sustained end-to-end wake decisions/sec stays above the
+# floor, (b) the incremental decision path (serve.assemble +
+# serve.decision) sustains 1200/s at the median — above anything the old
+# full-segment directivity flush could reach, (c) the median
+# serve.assemble stays under 300 µs, and (d) the serve.decision and
+# serve.push p99 tails stay under their ceilings. BENCH_server.json lands
+# in target/bench_out.
 step "server throughput gate (bench server_throughput)" \
     env HT_BENCH_FAST=1 HT_BENCH_DIR="$PWD/target/bench_out" \
     cargo bench -q --offline -p ht-bench --bench server_throughput
@@ -108,9 +110,11 @@ step "server throughput gate (bench server_throughput)" \
 # vs vectorized GCC-PHAT whitening kernels and the f64 vs int8 liveness /
 # orientation inference backends, asserting the per-size cross-spectrum
 # speedup floors, a 2x floor on int8 liveness inference, an accuracy delta
-# within 0.5 pp of the f64 reference, and byte-stability of the reference
-# path (building the int8 backends must not move a bit). BENCH_quant.json
-# lands in target/bench_out.
+# within 0.5 pp of the f64 reference, byte-stability of the reference
+# path (building the int8 backends must not move a bit), and — on AVX2
+# machines — exact i32 agreement between the std::arch i8 kernels and the
+# scalar reference on every tested shape (non-AVX2 runners log a notice
+# and skip). BENCH_quant.json lands in target/bench_out.
 step "quantized kernel gate (bench kernel_quant)" \
     env HT_BENCH_FAST=1 HT_BENCH_DIR="$PWD/target/bench_out" \
     cargo bench -q --offline -p ht-bench --bench kernel_quant

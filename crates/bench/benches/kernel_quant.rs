@@ -10,6 +10,10 @@
 //!   cross-spectrum sizes the pipeline actually uses,
 //! * int8 liveness inference ([`QuantizedNet`]) must run at least
 //!   [`NET_SPEEDUP_FLOOR`]x the f64 wav2vec2-mini forward,
+//! * on AVX2 machines, the `std::arch` i8 dot/dist2 backends must agree
+//!   with the scalar reference **exactly** (i32 equality on every tested
+//!   shape, ragged tails included) — runners without AVX2 log a notice
+//!   and skip this gate instead of silently passing it,
 //! * int8 accuracy must stay within [`ACCURACY_DELTA_MAX`] (0.5 pp) of the
 //!   f64 reference on a held-out corpus, and
 //! * the reference path must stay **byte-stable**: building the quantized
@@ -27,7 +31,10 @@ use ht_dsp::rng::{gaussian, Rng, SeedableRng, StdRng};
 use ht_dsp::srp::srp_phat_mode;
 use ht_dsp::QuantMode;
 use ht_ml::nn::{NeuralNet, NeuralNetConfig};
-use ht_ml::quant::{QuantScratch, QuantizedNet, QuantizedSvm};
+use ht_ml::quant::{
+    avx2_available, dist2_i8_avx2, dist2_i8_scalar, dot_i8_avx2, dot_i8_scalar, QuantScratch,
+    QuantizedNet, QuantizedSvm,
+};
 use ht_ml::svm::{Svm, SvmParams};
 use ht_ml::{Classifier, Dataset};
 
@@ -131,6 +138,68 @@ fn main() {
             ));
         }
         cross_speedups.push((n, speedup, floor));
+    }
+
+    // --- AVX2 i8 kernels: exact agreement + speedup ---------------------
+    // The AVX2 dot/dist2 backends are pure integer arithmetic, so they
+    // must agree with the scalar reference *exactly* — every i32 bit, on
+    // every shape including ragged tails. A runner without AVX2 skips the
+    // gate (and says so loudly) rather than silently passing it.
+    let mut avx2_speedups: Option<(f64, f64)> = None;
+    if avx2_available() {
+        let mut rng = StdRng::seed_from_u64(0x51_D0);
+        let mut rand_i8 =
+            |n: usize| -> Vec<i8> { (0..n).map(|_| (rng.next_u64() % 255) as i8).collect() };
+        for n in [1, 7, 15, 16, 17, 31, 32, 33, 64, 100, 128, 1000, 8000] {
+            let a = rand_i8(n);
+            let b = rand_i8(n);
+            if dot_i8_avx2(&a, &b) != dot_i8_scalar(&a, &b) {
+                violations.push(format!("avx2 dot_i8 disagreed with scalar at n={n}"));
+            }
+            if dist2_i8_avx2(&a, &b) != dist2_i8_scalar(&a, &b) {
+                violations.push(format!("avx2 dist2_i8 disagreed with scalar at n={n}"));
+            }
+        }
+        // Timing at the shapes inference actually runs: the mini encoder's
+        // widest im2col row (128) dotted against many filter rows, and the
+        // SVM's 64-dim distance against many support vectors.
+        let rows: Vec<Vec<i8>> = (0..256).map(|_| rand_i8(128)).collect();
+        let patch = rand_i8(128);
+        suite.bench("i8_dot/scalar_128", || {
+            rows.iter()
+                .map(|w| dot_i8_scalar(black_box(w), black_box(&patch)))
+                .sum::<i32>()
+        });
+        suite.bench("i8_dot/avx2_128", || {
+            rows.iter()
+                .map(|w| dot_i8_avx2(black_box(w), black_box(&patch)))
+                .sum::<i32>()
+        });
+        let svs: Vec<Vec<i8>> = (0..256).map(|_| rand_i8(64)).collect();
+        let x = rand_i8(64);
+        suite.bench("i8_dist2/scalar_64", || {
+            svs.iter()
+                .map(|sv| dist2_i8_scalar(black_box(sv), black_box(&x)))
+                .sum::<i32>()
+        });
+        suite.bench("i8_dist2/avx2_64", || {
+            svs.iter()
+                .map(|sv| dist2_i8_avx2(black_box(sv), black_box(&x)))
+                .sum::<i32>()
+        });
+        let dot_speedup = min_of(&suite, "i8_dot/scalar_128") / min_of(&suite, "i8_dot/avx2_128");
+        let dist2_speedup =
+            min_of(&suite, "i8_dist2/scalar_64") / min_of(&suite, "i8_dist2/avx2_64");
+        eprintln!(
+            "  avx2 i8 kernels: exact agreement ok, dot {dot_speedup:.2}x, \
+             dist2 {dist2_speedup:.2}x over autovectorized scalar"
+        );
+        avx2_speedups = Some((dot_speedup, dist2_speedup));
+    } else {
+        eprintln!(
+            "  NOTICE: AVX2 unavailable on this runner — i8 SIMD agreement \
+             gate skipped, scalar kernels serve the hot path"
+        );
     }
 
     // --- Liveness network: f64 reference vs int8 ------------------------
@@ -295,6 +364,16 @@ fn main() {
                 )
                 .set("liveness_int8", net_speedup)
                 .set("orientation_svm_int8", svm_speedup),
+        )
+        .set(
+            "avx2",
+            match avx2_speedups {
+                Some((dot, dist2)) => Json::obj()
+                    .set("available", true)
+                    .set("dot_i8_speedup", dot)
+                    .set("dist2_i8_speedup", dist2),
+                None => Json::obj().set("available", false),
+            },
         )
         .set(
             "accuracy",

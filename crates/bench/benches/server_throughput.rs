@@ -14,9 +14,15 @@
 //!   [`FINALIZE_DECISIONS_PER_SEC_FLOOR`]: before the incremental
 //!   finalize this path re-transformed the whole capture at
 //!   ~4.5 ms/session (~144 decisions/s single-core); incremental
-//!   assembly with f64 inference reached ~620/s; the bench now serves
-//!   with calibrated int8 decision backends and the floor sits above
-//!   the f64 ceiling, so losing either optimization cannot land,
+//!   assembly with f64 inference reached ~620/s; int8 decision
+//!   backends ~930/s; the adaptive directivity flush and AVX2 i8 dot
+//!   kernels put the measured path at ~1.8k/s, and the floor sits above
+//!   every slower configuration so losing any of the optimizations
+//!   cannot land,
+//! * the median `serve.assemble` must stay under
+//!   [`ASSEMBLE_P50_CEILING_NS`] — the directivity-flush half of the
+//!   decision path, pinned separately so inference speed cannot mask a
+//!   flush regression,
 //! * the per-session finalize p99 (`serve.decision`) must stay under
 //!   [`FINALIZE_P99_CEILING_NS`],
 //! * the per-chunk `serve.push` p99 must stay under
@@ -36,26 +42,37 @@ use ht_serve::{
 };
 
 /// CI floor on sustained end-to-end wake decisions per second (pushes,
-/// scheduling, and finalization all included). Measured ~130/s in fast
-/// mode on a single core — per-frame analysis now happens on the push
-/// path, so this number is bounded by total DSP work, not by finalize;
-/// the floor sits well below so only a serving regression (lock
-/// contention, lost parallelism, per-session rebuild costs) can cross
-/// it, not machine noise.
-const DECISIONS_PER_SEC_FLOOR: f64 = 50.0;
+/// scheduling, and finalization all included). Measured ~530/s in fast
+/// mode on a single core with prewarmed slots — per-frame analysis
+/// happens on the push path, so this number is bounded by total DSP
+/// work, not by finalize; the floor sits well below so only a serving
+/// regression (lock contention, lost parallelism, per-session rebuild
+/// costs, losing prewarm) can cross it, not machine noise.
+const DECISIONS_PER_SEC_FLOOR: f64 = 150.0;
 
 /// CI floor on decision-path throughput: the inverse of the median
 /// per-session cost of `serve.assemble` + `serve.decision`. The
 /// pre-incremental path re-ran the full STFT/SRP/feature pipeline at
 /// finalize (~4.5 ms/session, ~144/s single-core); incremental assembly
 /// is O(features) (~1.6 ms/session, ~620/s with f64 inference); int8
-/// decision inference (`QuantMode::Int8`, calibrated below) cuts the
-/// `serve.decision` median from ~0.8 ms to ~0.25 ms (~930/s measured).
-/// 700/s sits above the f64-inference ceiling, so losing the quantized
-/// backend — or regressing to re-transforming the capture — cannot
+/// decision inference (`QuantMode::Int8`, calibrated below) cut the
+/// `serve.decision` median from ~0.8 ms to ~0.25 ms (~930/s); the
+/// adaptive directivity flush (partial captures transform at the next
+/// power of two instead of the full 32k segment) plus the AVX2 i8 dot
+/// kernels push the measured path to ~1.8k/s. 1200/s sits above
+/// everything the old full-segment flush could reach, so regressing the
+/// flush grid, the quantized backend, or the capture re-transform cannot
 /// pass. Gated at the median so isolated scheduler stalls on a loaded
 /// CI runner don't fail a healthy path.
-const FINALIZE_DECISIONS_PER_SEC_FLOOR: f64 = 700.0;
+const FINALIZE_DECISIONS_PER_SEC_FLOOR: f64 = 1200.0;
+
+/// CI ceiling on the median `serve.assemble` cost in nanoseconds: the
+/// evidence-assembly half of the decision path, dominated by the
+/// directivity flush. With the adaptive flush the median sits at
+/// ~180–280 µs for the bench's half-second captures; a regression back
+/// to transforming the full 32k segment costs over a millisecond and
+/// trips this even when `serve.decision` stays fast.
+const ASSEMBLE_P50_CEILING_NS: u64 = 300_000;
 
 /// CI ceiling on the per-session finalize (`serve.decision`) p99 in
 /// nanoseconds. Measured ~0.8 ms (one conv-net forward + the facing
@@ -89,6 +106,10 @@ fn main() {
     let serve_config = ServeConfig {
         n_shards: 4,
         sessions_per_shard: 32,
+        // Build every slot at server construction: `serve.open` then never
+        // pays first-session stream construction, which used to put tens
+        // of milliseconds into the open p99 recorded below.
+        prewarm_slots: 32,
         bucket: TokenBucketConfig {
             capacity: u64::MAX,
             refill_per_sec: 0,
@@ -184,6 +205,7 @@ fn main() {
         );
         spans.push(hist_json(name, h));
     }
+    let open = *snapshot.span("serve.open").expect("open span");
     let push = *snapshot.span("serve.push").expect("push span");
     let assemble = *snapshot.span("serve.assemble").expect("assemble span");
     let decision = *snapshot.span("serve.decision").expect("decision span");
@@ -243,6 +265,9 @@ fn main() {
             FINALIZE_DECISIONS_PER_SEC_FLOOR,
         )
         .set("finalize_p99_ceiling_ns", FINALIZE_P99_CEILING_NS)
+        .set("assemble_p50_ns", assemble.p50_ns)
+        .set("assemble_p50_ceiling_ns", ASSEMBLE_P50_CEILING_NS)
+        .set("open_p99_ns", open.p99_ns)
         .set("push_p99_ceiling_ns", PUSH_P99_CEILING_NS)
         .set("elapsed_s", elapsed)
         .set("decided", report.decided)
@@ -276,6 +301,13 @@ fn main() {
              ceiling)"
         ));
     }
+    if assemble.p50_ns > ASSEMBLE_P50_CEILING_NS {
+        violations.push(format!(
+            "serve.assemble p50 {} exceeds the {} ceiling",
+            format_ns(assemble.p50_ns as f64),
+            format_ns(ASSEMBLE_P50_CEILING_NS as f64),
+        ));
+    }
     if decision.p99_ns > FINALIZE_P99_CEILING_NS {
         violations.push(format!(
             "serve.decision p99 {} exceeds the {} ceiling",
@@ -298,7 +330,9 @@ fn main() {
     eprintln!(
         "suite server: gate ok ({decisions_per_sec:.0} decisions/s >= {DECISIONS_PER_SEC_FLOOR:.0}, \
          decision path {finalize_decisions_per_sec:.0}/s >= {FINALIZE_DECISIONS_PER_SEC_FLOOR:.0}, \
-         finalize p99 {} < {}, push p99 {} < {})",
+         assemble p50 {} < {}, finalize p99 {} < {}, push p99 {} < {})",
+        format_ns(assemble.p50_ns as f64),
+        format_ns(ASSEMBLE_P50_CEILING_NS as f64),
         format_ns(decision.p99_ns as f64),
         format_ns(FINALIZE_P99_CEILING_NS as f64),
         format_ns(push.p99_ns as f64),

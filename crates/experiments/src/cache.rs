@@ -48,7 +48,10 @@ impl FromJson for Meta {
 
 /// Bump when feature extraction or the simulator changes incompatibly.
 /// v5: planned FFT engine (table twiddles) shifts feature bit patterns.
-const CACHE_VERSION: u32 = 5;
+/// v6: adaptive directivity flush — short captures (< one 32k segment)
+/// transform at the next power of two instead of the full segment, which
+/// moves their directivity-band feature values.
+const CACHE_VERSION: u32 = 6;
 
 /// The cache directory (`target/ht_cache`, created on demand).
 pub fn cache_dir() -> PathBuf {

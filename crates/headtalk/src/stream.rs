@@ -332,6 +332,16 @@ impl WakeStream<'_> {
         self.samples
     }
 
+    /// Forward FFTs the directivity accumulator's flush has performed
+    /// since this stream was constructed (a repeat flush at an unchanged
+    /// sample count hits the epoch cache and performs none). Survives
+    /// [`reset`](WakeStream::reset), so a pooled slot keeps a running
+    /// total — the serving layer's retry-hits-the-cache regression tests
+    /// pin this.
+    pub fn directivity_flush_ffts(&self) -> u64 {
+        self.dir.flush_ffts()
+    }
+
     /// The stream's hop in samples (the natural push granularity).
     pub fn hop(&self) -> usize {
         self.config.hop

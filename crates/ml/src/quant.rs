@@ -29,6 +29,10 @@ use crate::svm::Svm;
 use crate::{Classifier, MlError};
 use std::cell::RefCell;
 
+pub mod simd;
+
+pub use simd::{avx2_available, dist2_i8_avx2, dot_i8_avx2};
+
 /// Symmetric scale for values bounded by `max_abs`, mapping onto `[-127, 127]`.
 ///
 /// An all-zero tensor gets scale 1.0 — every quantized value is 0 either way
@@ -70,9 +74,11 @@ const DOT_LANES: usize = 8;
 
 /// Flat i8·i8 → i32 dot product over [`DOT_LANES`] independent
 /// accumulators, so the compiler widens each chunk to one vector
-/// multiply-add instead of a serial scalar chain.
+/// multiply-add instead of a serial scalar chain. Portable reference for
+/// the [`simd`] backends and the fallback on machines without AVX2; the
+/// hot path dispatches through [`simd::dot_i8`].
 #[inline]
-fn dot_i8(w: &[i8], x: &[i8]) -> i32 {
+pub fn dot_i8_scalar(w: &[i8], x: &[i8]) -> i32 {
     let mut lanes = [0i32; DOT_LANES];
     let wc = w.chunks_exact(DOT_LANES);
     let xc = x.chunks_exact(DOT_LANES);
@@ -90,9 +96,10 @@ fn dot_i8(w: &[i8], x: &[i8]) -> i32 {
 }
 
 /// Flat squared Euclidean distance between i8 vectors, same lane structure
-/// as [`dot_i8`].
+/// as [`dot_i8_scalar`]. Portable reference; the hot path dispatches
+/// through [`simd::dist2_i8`].
 #[inline]
-fn dist2_i8(a: &[i8], b: &[i8]) -> i32 {
+pub fn dist2_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
     let mut lanes = [0i32; DOT_LANES];
     let ac = a.chunks_exact(DOT_LANES);
     let bc = b.chunks_exact(DOT_LANES);
@@ -143,7 +150,7 @@ pub struct QuantScratch {
     q_out: Vec<i8>,
     /// Gathered conv patches, flat `[t][in_ch · kernel]`: one contiguous row
     /// per output position, in the same `[in][k]` order as a weight row, so
-    /// every conv output is one flat [`dot_i8`] over contiguous memory.
+    /// every conv output is one flat [`simd::dot_i8`] over contiguous memory.
     patches: Vec<i8>,
     /// f64 output of the last conv stage, flat `[ch][t]`.
     f_last: Vec<f64>,
@@ -338,7 +345,7 @@ impl QuantizedNet {
                 let row_off = o * st.t_out;
                 let w_row = &st.w[o * patch_w..][..patch_w];
                 for (t, patch) in scratch.patches.chunks_exact(patch_w).enumerate() {
-                    let acc = dot_i8(w_row, patch);
+                    let acc = simd::dot_i8(w_row, patch);
                     let v = (st.b[o] + acc as f64 * deq).max(0.0);
                     if is_last {
                         scratch.f_last[row_off + t] = v;
@@ -476,7 +483,7 @@ impl QuantizedSvm {
         quantize_into(x, self.scale, scratch);
         let mut f = self.bias;
         for (sv, &a) in self.svs.chunks_exact(self.dim).zip(self.coeffs.iter()) {
-            let d2 = dist2_i8(sv, scratch);
+            let d2 = simd::dist2_i8(sv, scratch);
             f += a * (-self.gamma_q * d2 as f64).exp();
         }
         f

@@ -104,9 +104,61 @@ impl<'ht> ShardArena<'ht> {
         self.live -= 1;
     }
 
+    /// Eagerly builds slots until `n` exist (bounded by the capacity), so
+    /// the first `n` acquisitions skip construction entirely — the fix for
+    /// lazy-construction tail latency on `open`. Returns the number of
+    /// slots built by this call; already-built slots count toward `n` but
+    /// are not rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-construction errors (bad geometry, untrained
+    /// feature width) from the first failing build; earlier slots stay
+    /// built and usable.
+    pub fn prewarm(&mut self, n: usize) -> Result<usize, HeadTalkError> {
+        let target = n.min(self.capacity);
+        let mut built_now = 0;
+        while self.slots.len() < target {
+            let slot = self.ht.streamer_with(self.n_channels, self.stream_config)?;
+            self.slots.push(slot);
+            self.free.push(self.slots.len() - 1);
+            self.built += 1;
+            built_now += 1;
+        }
+        Ok(built_now)
+    }
+
     /// The slot at `idx` (must be acquired).
     pub fn slot_mut(&mut self, idx: usize) -> &mut WakeStream<'ht> {
         &mut self.slots[idx]
+    }
+
+    /// Hands out disjoint mutable borrows of the slots at `indices`, so
+    /// per-session work (batch-finalize assembly) can proceed in parallel
+    /// across the sessions of one shard while the shard stays locked.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `indices` is strictly increasing and in range — the
+    /// caller derives it from the session map, where each live session
+    /// owns a distinct slot, so a violation is a serving-layer bug.
+    pub fn disjoint_slots_mut(&mut self, indices: &[usize]) -> Vec<&mut WakeStream<'ht>> {
+        let mut out = Vec::with_capacity(indices.len());
+        let mut rest = self.slots.as_mut_slice();
+        let mut offset = 0;
+        for &idx in indices {
+            let skip = idx
+                .checked_sub(offset)
+                .expect("disjoint slot indices must be strictly increasing");
+            let (_, tail) = rest.split_at_mut(skip);
+            let (slot, tail) = tail
+                .split_first_mut()
+                .expect("disjoint slot index out of range");
+            out.push(slot);
+            offset = idx + 1;
+            rest = tail;
+        }
+        out
     }
 
     /// Immutable access to the slot at `idx`.
@@ -202,6 +254,52 @@ mod tests {
         arena.release(c);
         assert_eq!(arena.built(), 2);
         assert_eq!(arena.live_hwm(), 2);
+    }
+
+    #[test]
+    fn prewarm_builds_eagerly_and_acquire_reuses() {
+        let ht = toy_pipeline();
+        let cfg = StreamConfig::for_pipeline(ht.config());
+        let mut arena = ShardArena::new(&ht, 4, cfg, 3);
+        assert_eq!(arena.prewarm(2).unwrap(), 2);
+        assert_eq!(arena.built(), 2);
+        // Prewarming past capacity clamps; re-prewarming builds nothing.
+        assert_eq!(arena.prewarm(10).unwrap(), 1);
+        assert_eq!(arena.built(), 3);
+        assert_eq!(arena.prewarm(10).unwrap(), 0);
+        // Every acquisition now reuses a prewarmed slot.
+        let a = arena.acquire().unwrap().expect("slot");
+        let b = arena.acquire().unwrap().expect("slot");
+        let c = arena.acquire().unwrap().expect("slot");
+        assert_eq!(arena.built(), 3, "no lazy construction after prewarm");
+        assert_eq!(arena.acquire().unwrap(), None, "capacity still bounds");
+        arena.release(a);
+        arena.release(b);
+        arena.release(c);
+    }
+
+    #[test]
+    fn disjoint_slots_mut_hands_out_every_requested_slot() {
+        let ht = toy_pipeline();
+        let cfg = StreamConfig::for_pipeline(ht.config());
+        let mut arena = ShardArena::new(&ht, 4, cfg, 4);
+        arena.prewarm(4).unwrap();
+        let slots = arena.disjoint_slots_mut(&[0, 2, 3]);
+        assert_eq!(slots.len(), 3);
+        // The borrows are usable mutably and genuinely disjoint.
+        for slot in slots {
+            slot.reset();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn disjoint_slots_mut_rejects_duplicates() {
+        let ht = toy_pipeline();
+        let cfg = StreamConfig::for_pipeline(ht.config());
+        let mut arena = ShardArena::new(&ht, 4, cfg, 4);
+        arena.prewarm(2).unwrap();
+        arena.disjoint_slots_mut(&[1, 1]);
     }
 
     #[test]

@@ -50,6 +50,12 @@ pub struct ServeConfig {
     pub n_channels: usize,
     /// Stream geometry and gate tuning shared by every session.
     pub stream: StreamConfig,
+    /// Session slots to build eagerly per shard at construction (clamped
+    /// to `sessions_per_shard`). Lazy slot construction puts a
+    /// multi-millisecond burst on the first `open` to touch each slot;
+    /// prewarming moves that cost to startup so open tail latency stays
+    /// flat. `0` keeps the historical fully lazy behavior.
+    pub prewarm_slots: usize,
 }
 
 impl ServeConfig {
@@ -64,6 +70,7 @@ impl ServeConfig {
             session_idle_timeout_ns: 30_000_000_000,
             n_channels: 4,
             stream: StreamConfig::for_pipeline(config),
+            prewarm_slots: 0,
         }
     }
 }
@@ -192,7 +199,11 @@ impl<'ht> WakeServer<'ht> {
     ///
     /// Panics when `config.n_shards`, `config.sessions_per_shard`, or
     /// `config.n_channels` is zero — a structurally useless server is a
-    /// deployment bug, not a runtime condition.
+    /// deployment bug, not a runtime condition. Panics when
+    /// `config.prewarm_slots > 0` and a slot fails to construct (an
+    /// untrained pipeline behind an eagerly provisioned server is likewise
+    /// a deployment bug; leave the knob at zero to surface construction
+    /// errors lazily through `open` instead).
     pub fn new(ht: &'ht HeadTalk, config: ServeConfig) -> WakeServer<'ht> {
         assert!(config.n_shards > 0, "a server needs at least one shard");
         assert!(
@@ -213,12 +224,38 @@ impl<'ht> WakeServer<'ht> {
                 })
             })
             .collect();
-        WakeServer {
+        let server = WakeServer {
             ht,
             config,
             bucket: Mutex::new(TokenBucket::new(config.bucket)),
             shards,
+        };
+        if config.prewarm_slots > 0 {
+            server
+                .prewarm(config.prewarm_slots)
+                .expect("prewarm: session-slot construction failed");
         }
+        server
+    }
+
+    /// Eagerly builds up to `per_shard` session slots on every shard (see
+    /// [`ServeConfig::prewarm_slots`] to do this at construction). Returns
+    /// the total number of slots built. Idempotent: already-built slots
+    /// are counted toward the target, never rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Pipeline`] when a slot fails to construct (earlier
+    /// slots stay built), [`ServeError::LockPoisoned`] for a wrecked
+    /// shard.
+    pub fn prewarm(&self, per_shard: usize) -> Result<usize, ServeError> {
+        let _span = ht_obs::span("serve.prewarm");
+        let mut total = 0;
+        for idx in 0..self.shards.len() {
+            let mut shard = self.lock_shard(idx)?;
+            total += shard.arena.prewarm(per_shard)?;
+        }
+        Ok(total)
     }
 
     /// The configuration this server runs under.
@@ -394,19 +431,25 @@ impl<'ht> WakeServer<'ht> {
         }
     }
 
-    /// Finalizes many sessions at logical time `now_ns`, batching model
-    /// inference across them on the `ht-par` pool.
+    /// Finalizes many sessions at logical time `now_ns`, parallelizing
+    /// both evidence assembly and model inference across them on the
+    /// `ht-par` pool.
     ///
-    /// Per shard (locked once, briefly), each ready session's evidence is
-    /// assembled from its accumulators — O(features) per session — and its
-    /// slot released; the locks are dropped before any model runs, so
-    /// inference for sessions of *one* shard parallelizes too, which
+    /// Every involved shard is locked (in ascending index order — the
+    /// fixed order, so the server cannot deadlock against itself), the
+    /// batch's sessions are staged, and **assembly itself runs as one
+    /// per-session task fan-out** over disjoint slot borrows: the
+    /// remaining FFT/accumulator work of a finalize wave overlaps across
+    /// pool workers instead of serializing under one shard lock at a
+    /// time. The locks are dropped before any model runs, so inference
+    /// for sessions of *one* shard parallelizes too, which
     /// single-session [`finalize`](WakeServer::finalize) under the shard
     /// lock cannot do. Results come back in input order with per-session
-    /// errors: an undecidable session stays open (retryable, marked active
-    /// at `now_ns`) exactly as in single finalize, and never blocks its
-    /// batch neighbours. Outcomes are byte-identical to calling
-    /// [`finalize`](WakeServer::finalize) per id.
+    /// errors: an undecidable session stays open (retryable, marked
+    /// active at `now_ns`) exactly as in single finalize, and never
+    /// blocks its batch neighbours. Outcomes are byte-identical to
+    /// calling [`finalize`](WakeServer::finalize) per id, at any
+    /// `HT_THREADS`.
     pub fn finalize_batch(
         &self,
         ids: &[u64],
@@ -424,6 +467,116 @@ impl<'ht> WakeServer<'ht> {
             samples_per_channel: usize,
         }
 
+        /// One session's assembly result, produced without touching any
+        /// shard bookkeeping so the tasks can run in parallel.
+        enum Assembled {
+            Ready {
+                features: Vec<f64>,
+                liveness: Vec<f64>,
+                muted: bool,
+                early_exit: Option<headtalk::stream::EarlyExit>,
+                frames: u64,
+                samples_per_channel: usize,
+            },
+            /// Same contract as `WakeStream::outcome`: the gate already
+            /// muted the stream, so an undecidable capture is a decision,
+            /// not an error.
+            Muted {
+                early_exit: Option<headtalk::stream::EarlyExit>,
+                frames: u64,
+                samples_per_channel: usize,
+            },
+            Retry(HeadTalkError),
+        }
+
+        /// Assembles one session's evidence. Clones the evidence out
+        /// eagerly so the borrow from `assemble` ends before the error
+        /// arms inspect the stream.
+        fn assemble_session(stream: &mut headtalk::WakeStream<'_>) -> Assembled {
+            let assembled = {
+                let _span = ht_obs::span("serve.assemble");
+                stream
+                    .assemble()
+                    .map(|ev| (ev.features.to_vec(), ev.liveness_input.to_vec()))
+            };
+            match assembled {
+                Ok((features, liveness)) => Assembled::Ready {
+                    features,
+                    liveness,
+                    muted: stream.is_muted(),
+                    early_exit: stream.early_exit(),
+                    frames: stream.frames(),
+                    samples_per_channel: stream.samples_per_channel(),
+                },
+                Err(_) if stream.is_muted() => Assembled::Muted {
+                    early_exit: stream.early_exit(),
+                    frames: stream.frames(),
+                    samples_per_channel: stream.samples_per_channel(),
+                },
+                Err(e) => Assembled::Retry(e),
+            }
+        }
+
+        /// Applies one assembly result to its shard's bookkeeping —
+        /// single-finalize semantics, in input order.
+        #[allow(clippy::too_many_arguments)]
+        fn apply<'ht>(
+            shard: &mut Shard<'ht>,
+            outcome: Assembled,
+            pos: usize,
+            id: u64,
+            slot: usize,
+            results: &mut [Option<(u64, Result<StreamOutcome, ServeError>)>],
+            packs: &mut Vec<Pack>,
+        ) {
+            match outcome {
+                Assembled::Ready {
+                    features,
+                    liveness,
+                    muted,
+                    early_exit,
+                    frames,
+                    samples_per_channel,
+                } => {
+                    shard.sessions.remove(&id);
+                    shard.arena.release(slot);
+                    ht_obs::counter_add("serve.decisions", 1);
+                    packs.push(Pack {
+                        pos,
+                        id,
+                        features,
+                        liveness,
+                        muted,
+                        early_exit,
+                        frames,
+                        samples_per_channel,
+                    });
+                }
+                Assembled::Muted {
+                    early_exit,
+                    frames,
+                    samples_per_channel,
+                } => {
+                    let outcome = StreamOutcome {
+                        verdict: WakeVerdict::SoftMute,
+                        decision: None,
+                        features: Vec::new(),
+                        early_exit,
+                        frames,
+                        samples_per_channel,
+                    };
+                    shard.sessions.remove(&id);
+                    shard.arena.release(slot);
+                    ht_obs::counter_add("serve.decisions", 1);
+                    results[pos] = Some((id, Ok(outcome)));
+                }
+                Assembled::Retry(e) => {
+                    ht_obs::counter_add("serve.finalize_retry", 1);
+                    results[pos] = Some((id, Err(ServeError::Pipeline(e))));
+                }
+            }
+        }
+
         let mut results: Vec<Option<(u64, Result<StreamOutcome, ServeError>)>> =
             (0..ids.len()).map(|_| None).collect();
         let mut by_shard: Vec<Vec<(usize, u64)>> = vec![Vec::new(); self.shards.len()];
@@ -431,8 +584,15 @@ impl<'ht> WakeServer<'ht> {
             by_shard[self.shard_of(id)].push((pos, id));
         }
 
-        // Phase 1: per shard, assemble evidence and free the slots.
-        let mut packs: Vec<Pack> = Vec::new();
+        // Phase 1a: lock every involved shard, validate its batch members
+        // against the session map, and stage one assemble job per live
+        // session. A wrecked shard fails only its own members; the batch
+        // neighbours on healthy shards still decide.
+        let mut guards: Vec<std::sync::MutexGuard<'_, Shard<'ht>>> = Vec::new();
+        // (guard, pos, id, slot) per staged first-occurrence session.
+        let mut jobs: Vec<(usize, usize, u64, usize)> = Vec::new();
+        // (guard, pos, id) per repeated id, resolved after the fan-out.
+        let mut dups: Vec<(usize, usize, u64)> = Vec::new();
         for (shard_idx, members) in by_shard.into_iter().enumerate() {
             if members.is_empty() {
                 continue;
@@ -440,75 +600,99 @@ impl<'ht> WakeServer<'ht> {
             let mut shard = match self.lock_shard(shard_idx) {
                 Ok(shard) => shard,
                 Err(e) => {
-                    // One wrecked shard fails only its own members; the
-                    // batch neighbours on healthy shards still decide.
                     for (pos, id) in members {
                         results[pos] = Some((id, Err(e.clone())));
                     }
                     continue;
                 }
             };
+            let guard_pos = guards.len();
+            let mut claimed: Vec<u64> = Vec::new();
             for (pos, id) in members {
-                let slot = match shard.sessions.get_mut(&id) {
+                if claimed.contains(&id) {
+                    // A repeated id decides against whatever state its
+                    // first occurrence leaves behind, so it cannot join
+                    // the parallel fan-out (two tasks would need the same
+                    // slot). Resolved serially below with single-finalize
+                    // semantics.
+                    dups.push((guard_pos, pos, id));
+                    continue;
+                }
+                match shard.sessions.get_mut(&id) {
                     Some(session) => {
                         session.last_active_ns = now_ns;
-                        session.slot
+                        claimed.push(id);
+                        jobs.push((guard_pos, pos, id, session.slot));
                     }
                     None => {
                         results[pos] = Some((id, Err(ServeError::UnknownSession(id))));
-                        continue;
-                    }
-                };
-                let stream = shard.arena.slot_mut(slot);
-                // Clone the evidence out eagerly so the borrow from
-                // `assemble` ends before the error arms inspect the stream.
-                let assembled = {
-                    let _span = ht_obs::span("serve.assemble");
-                    stream
-                        .assemble()
-                        .map(|ev| (ev.features.to_vec(), ev.liveness_input.to_vec()))
-                };
-                match assembled {
-                    Ok((features, liveness)) => {
-                        let pack = Pack {
-                            pos,
-                            id,
-                            features,
-                            liveness,
-                            muted: stream.is_muted(),
-                            early_exit: stream.early_exit(),
-                            frames: stream.frames(),
-                            samples_per_channel: stream.samples_per_channel(),
-                        };
-                        shard.sessions.remove(&id);
-                        shard.arena.release(slot);
-                        ht_obs::counter_add("serve.decisions", 1);
-                        packs.push(pack);
-                    }
-                    Err(_) if stream.is_muted() => {
-                        // Same contract as `WakeStream::outcome`: the gate
-                        // already muted the stream, so an undecidable
-                        // capture is a decision, not an error.
-                        let outcome = StreamOutcome {
-                            verdict: WakeVerdict::SoftMute,
-                            decision: None,
-                            features: Vec::new(),
-                            early_exit: stream.early_exit(),
-                            frames: stream.frames(),
-                            samples_per_channel: stream.samples_per_channel(),
-                        };
-                        shard.sessions.remove(&id);
-                        shard.arena.release(slot);
-                        ht_obs::counter_add("serve.decisions", 1);
-                        results[pos] = Some((id, Ok(outcome)));
-                    }
-                    Err(e) => {
-                        ht_obs::counter_add("serve.finalize_retry", 1);
-                        results[pos] = Some((id, Err(ServeError::Pipeline(e))));
                     }
                 }
             }
+            guards.push(shard);
         }
+
+        // Phase 1b: assemble every staged session in parallel through
+        // disjoint slot borrows. Jobs sort by (guard, slot) so each
+        // arena's borrow splits cleanly; `par_map` preserves order, so
+        // `assembled[i]` belongs to `jobs[i]`.
+        jobs.sort_by_key(|&(guard, _, _, slot)| (guard, slot));
+        let assembled: Vec<Assembled> = {
+            let mut tasks: Vec<Mutex<&mut headtalk::WakeStream<'ht>>> =
+                Vec::with_capacity(jobs.len());
+            let mut job_iter = jobs.iter().peekable();
+            for (guard_pos, shard) in guards.iter_mut().enumerate() {
+                let mut slots = Vec::new();
+                while let Some(&&(g, _, _, slot)) = job_iter.peek() {
+                    if g != guard_pos {
+                        break;
+                    }
+                    slots.push(slot);
+                    job_iter.next();
+                }
+                for stream in shard.arena.disjoint_slots_mut(&slots) {
+                    tasks.push(Mutex::new(stream));
+                }
+            }
+            ht_par::par_map(&tasks, |task| {
+                let mut stream = task.lock().expect("assemble task lock");
+                assemble_session(&mut stream)
+            })
+        };
+
+        // Phase 1c: apply the results to the shard bookkeeping in job
+        // order, then resolve repeated ids serially — a retryable first
+        // occurrence leaves the session open, so its repeat re-assembles
+        // (hitting the cached directivity flush) exactly as two serial
+        // finalize calls would.
+        let mut packs: Vec<Pack> = Vec::with_capacity(jobs.len());
+        for (&(guard_pos, pos, id, slot), outcome) in jobs.iter().zip(assembled) {
+            apply(
+                &mut guards[guard_pos],
+                outcome,
+                pos,
+                id,
+                slot,
+                &mut results,
+                &mut packs,
+            );
+        }
+        for (guard_pos, pos, id) in dups {
+            let shard = &mut guards[guard_pos];
+            let slot = match shard.sessions.get_mut(&id) {
+                Some(session) => {
+                    session.last_active_ns = now_ns;
+                    session.slot
+                }
+                None => {
+                    results[pos] = Some((id, Err(ServeError::UnknownSession(id))));
+                    continue;
+                }
+            };
+            let outcome = assemble_session(shard.arena.slot_mut(slot));
+            apply(shard, outcome, pos, id, slot, &mut results, &mut packs);
+        }
+        drop(guards);
 
         // Phase 2: model inference across sessions, outside every lock.
         let inferred: Vec<(usize, u64, StreamOutcome)> = ht_par::par_map(&packs, |pack| {
@@ -913,6 +1097,117 @@ mod tests {
         }
         assert_eq!(batch.stats().live, 0);
         assert_eq!(single.stats().live, 0);
+    }
+
+    #[test]
+    fn prewarm_moves_slot_construction_off_the_open_path() {
+        let ht = toy_pipeline();
+        let mut config = serve_config(&ht);
+        config.prewarm_slots = 2;
+        let server = WakeServer::new(&ht, config);
+        let stats = server.stats();
+        assert_eq!(stats.slots_built, 4, "2 slots × 2 shards built at startup");
+        assert_eq!(stats.live, 0);
+        // Opens reuse the prewarmed slots: `built` stays flat.
+        server.open(0, 0).unwrap();
+        server.open(1, 0).unwrap();
+        server.open(2, 0).unwrap();
+        server.open(3, 0).unwrap();
+        assert_eq!(server.stats().slots_built, 4, "no lazy construction");
+        // Explicit prewarm is idempotent once the target is met.
+        for id in 0..4 {
+            server.close(id).unwrap();
+        }
+        assert_eq!(server.prewarm(2).unwrap(), 0);
+        assert_eq!(
+            server.prewarm(1).unwrap(),
+            0,
+            "smaller target builds nothing"
+        );
+    }
+
+    #[test]
+    fn finalize_batch_with_repeated_ids_matches_serial_semantics() {
+        let ht = toy_pipeline();
+        let server = WakeServer::new(&ht, serve_config(&ht));
+        let good = noise_capture(0x90, 4, 4800);
+        let tiny = noise_capture(0x91, 4, 32);
+        server.open(0, 0).unwrap();
+        server.open(1, 0).unwrap();
+        push_all(&server, 0, &good, 1);
+        let views: Vec<&[f64]> = tiny.iter().map(Vec::as_slice).collect();
+        server.push(1, &views, 1).unwrap();
+
+        // id 0 decides on its first occurrence, so the repeat sees a
+        // closed session; id 1 is retryable on both occurrences — exactly
+        // what two serial finalize calls per id produce.
+        let results = server.finalize_batch(&[0, 1, 0, 1], 2);
+        assert!(results[0].1.is_ok());
+        assert!(matches!(&results[1].1, Err(ServeError::Pipeline(_))));
+        assert!(matches!(&results[2].1, Err(ServeError::UnknownSession(0))));
+        assert!(matches!(&results[3].1, Err(ServeError::Pipeline(_))));
+        assert_eq!(server.stats().live, 1, "retryable session stays open");
+        server.close(1).unwrap();
+    }
+
+    #[test]
+    fn retryable_finalize_reuses_the_cached_directivity_flush() {
+        // An exactly silent capture holds analysis frames, so assembly
+        // runs the directivity flush before the zero-variance liveness
+        // input rejects it — the retryable path. (Silence is the one
+        // capture whose decimated branch is *numerically* constant; a DC
+        // level leaves FIR ripple and decides.) Retries without new
+        // audio must hit the flush cache and perform zero additional
+        // FFTs; new audio must invalidate it.
+        let ht = toy_pipeline();
+        let server = WakeServer::new(&ht, serve_config(&ht));
+        server.open(0, 0).unwrap();
+        let dc = vec![vec![0.0; 28_800]; 4];
+        push_all(&server, 0, &dc, 1);
+
+        let flush_ffts = |server: &WakeServer<'_>| {
+            let shard = server.shards[server.shard_of(0)].lock().unwrap();
+            let slot = shard.sessions.get(&0).expect("session open").slot;
+            shard.arena.slot(slot).directivity_flush_ffts()
+        };
+
+        assert!(matches!(
+            server.finalize(0, 2),
+            Err(ServeError::Pipeline(_))
+        ));
+        let after_first = flush_ffts(&server);
+        assert_eq!(after_first, 1, "first finalize transforms the tail once");
+        for now in 3..6 {
+            assert!(matches!(
+                server.finalize(0, now),
+                Err(ServeError::Pipeline(_))
+            ));
+        }
+        assert_eq!(
+            flush_ffts(&server),
+            after_first,
+            "retries with no new audio must not re-run the flush FFT"
+        );
+        // The batch path retries through the same cache.
+        let results = server.finalize_batch(&[0], 6);
+        assert!(matches!(&results[0].1, Err(ServeError::Pipeline(_))));
+        assert_eq!(flush_ffts(&server), after_first);
+        // New audio moves the epoch: the next attempt transforms again
+        // (still retryable — the liveness center-crop stays silent — but
+        // the cache was correctly invalidated).
+        let more = noise_capture(0x92, 4, 480);
+        let views: Vec<&[f64]> = more.iter().map(Vec::as_slice).collect();
+        server.push(0, &views, 7).unwrap();
+        assert!(matches!(
+            server.finalize(0, 8),
+            Err(ServeError::Pipeline(_))
+        ));
+        assert_eq!(
+            flush_ffts(&server),
+            after_first + 1,
+            "new audio must invalidate the cached flush"
+        );
+        server.close(0).unwrap();
     }
 
     #[test]

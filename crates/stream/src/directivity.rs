@@ -17,12 +17,37 @@
 //! and bit-identical averaged magnitudes. The batch feature extractor
 //! pushes the whole capture in one call; the streaming engine pushes
 //! microphone chunks — both end at the same bits.
+//!
+//! Flushing is cached and adaptive. The flushed spectrum is stamped with
+//! the sample-count epoch it was computed at, so repeat flushes with no
+//! new audio (retryable finalizes, `finalize_batch` re-drives, `outcome()`
+//! re-reads) return the cached [`Spectrum`] with zero FFT work. And when
+//! no segment has completed yet — the common case for sub-second serving
+//! captures against a 32k-sample Welch segment — the partial tail is
+//! transformed at the next power of two ≥ its own length (floored at
+//! [`MIN_PARTIAL_N_FFT`] so the 100–400 Hz chunk statistics stay
+//! resolved), not zero-padded to the full segment: the produced
+//! [`Spectrum`] carries its own `n_fft` so the band helpers read the same
+//! underlying DTFT on a coarser grid at a fraction of the transform cost.
 
 use crate::error::StreamError;
 use ht_dsp::complex::Complex;
+use ht_dsp::fft::{rfft_plan, RealFftPlan, RealFftScratch};
 use ht_dsp::spectrum::Spectrum;
 use ht_dsp::stft::StftProcessor;
 use ht_dsp::window::Window;
+use std::sync::Arc;
+
+/// Resolution floor for the adaptive short-capture flush: at 48 kHz a
+/// 4096-point grid gives ≈11.7 Hz bins, enough to keep every 15 Hz
+/// low-band chunk populated. Captures whose next power of two is at
+/// least the segment FFT length use the full segment grid (bit-identical
+/// to the historical full-pad flush), so this floor only engages for
+/// genuinely short captures.
+pub const MIN_PARTIAL_N_FFT: usize = 4096;
+
+/// Sentinel for "no cached flush" (no real epoch reaches `u64::MAX`).
+const EPOCH_DIRTY: u64 = u64::MAX;
 
 /// Running channel-mean spectrum accumulator for the directivity features.
 #[derive(Debug, Clone)]
@@ -45,6 +70,21 @@ pub struct DirectivityAccum {
     /// Reused facade over the averaged magnitudes so callers can use the
     /// batch `hlbr`/chunk-stats helpers without allocating.
     spectrum: Spectrum,
+    /// Segment FFT length (the full-resolution grid).
+    n_fft: usize,
+    /// Sample-count epoch `spectrum` was computed at (`EPOCH_DIRTY` when
+    /// no flush is cached). A repeat flush at the same epoch returns the
+    /// cached spectrum without touching the FFT.
+    cached_epoch: u64,
+    /// Plan for the most recent adaptive (shorter-than-segment) flush
+    /// grid, kept so steady-state flushes skip the shared plan-cache lock.
+    partial_plan: Option<Arc<RealFftPlan>>,
+    /// Scratch for the adaptive flush transform (warmed at construction
+    /// to the full segment size, so no flush grid can grow it).
+    scratch: RealFftScratch,
+    /// Forward FFTs performed by `flush_spectrum` since construction.
+    /// Diagnostic: pinned by the zero-FFT-on-repeat regression tests.
+    flush_ffts: u64,
 }
 
 impl DirectivityAccum {
@@ -86,6 +126,11 @@ impl DirectivityAccum {
         let mut warm_bins = vec![Complex::ZERO; bins];
         let warm_buf = vec![0.0; seg_len];
         stft.process_into(&warm_buf, &mut warm_bins);
+        // Warm the adaptive-flush scratch at the *largest* grid the flush
+        // can ever use (the full segment FFT), so every shorter grid runs
+        // within its capacity and the flush path stays allocation-free.
+        let mut scratch = RealFftScratch::new();
+        rfft_plan(n_fft).forward_into(&warm_buf, &mut warm_bins, &mut scratch);
         warm_bins.fill(Complex::ZERO);
         Ok(DirectivityAccum {
             channels,
@@ -101,6 +146,11 @@ impl DirectivityAccum {
                 sample_rate,
                 n_fft,
             },
+            n_fft,
+            cached_epoch: EPOCH_DIRTY,
+            partial_plan: None,
+            scratch,
+            flush_ffts: 0,
         })
     }
 
@@ -151,39 +201,96 @@ impl DirectivityAccum {
     /// Assembles the averaged magnitude spectrum over every completed
     /// segment *plus* the current partial segment (zero-padded), so short
     /// captures — down to a single sample — still yield directivity
-    /// evidence: for a capture shorter than one segment the result is
-    /// exactly the zero-padded whole-capture spectrum the batch Fig. 3
-    /// analysis plots. Non-destructive and idempotent: more audio may be
-    /// pushed afterwards, and a repeat call returns the same bits.
+    /// evidence. Non-destructive and idempotent: more audio may be pushed
+    /// afterwards, and a repeat call returns the same bits.
+    ///
+    /// Two structural optimizations keep this off the finalize hot path:
+    ///
+    /// * **Epoch cache.** The result is stamped with the total-sample
+    ///   epoch it was computed at; a repeat flush with no new audio
+    ///   returns the cached spectrum and performs zero FFT work.
+    /// * **Adaptive grid.** While no segment has completed, the flush is
+    ///   the whole-capture magnitude spectrum at
+    ///   `next_pow2(capture_len)` resolution (floored at
+    ///   [`MIN_PARTIAL_N_FFT`], capped at the segment FFT length) —
+    ///   exactly what [`Spectrum::of`] computes for the batch Fig. 3
+    ///   analysis — instead of a full-segment zero-pad. The coarser grid
+    ///   samples the *same* DTFT, so band statistics agree with the
+    ///   full-pad flush at every shared frequency, for a fraction of the
+    ///   transform cost. Once a segment completes, the historical
+    ///   full-grid Welch average is bit-for-bit unchanged.
     ///
     /// Returns `None` when no sample has been pushed at all.
     pub fn flush_spectrum(&mut self) -> Option<&Spectrum> {
-        let partial = !self.buf.is_empty();
-        if self.segments == 0 && !partial {
+        let partial = self.buf.len();
+        let epoch = self.segments * self.seg_len as u64 + partial as u64;
+        if epoch == 0 {
             return None;
         }
+        if self.cached_epoch == epoch {
+            ht_obs::counter_add("stream.directivity_flush_cached", 1);
+            return Some(&self.spectrum);
+        }
         let _span = ht_obs::span("stream.directivity");
-        let mut total = self.segments as f64;
-        if partial {
-            total += 1.0;
-            self.flush_buf[..self.buf.len()].copy_from_slice(&self.buf);
-            self.flush_buf[self.buf.len()..].fill(0.0);
-            self.stft.process_into(&self.flush_buf, &mut self.bins);
-            for ((m, acc), z) in self
-                .spectrum
-                .magnitudes
-                .iter_mut()
-                .zip(&self.mag_accum)
-                .zip(&self.bins)
-            {
-                *m = (acc + z.abs()) / total;
+        let full_bins = self.mag_accum.len();
+        if self.segments == 0 {
+            // Short capture: one transform at the capture's own grid.
+            let m = ht_dsp::fft::next_pow2(partial)
+                .max(MIN_PARTIAL_N_FFT)
+                .min(self.n_fft);
+            let plan = match &self.partial_plan {
+                Some(p) if p.len() == m => Arc::clone(p),
+                _ => {
+                    let p = rfft_plan(m);
+                    self.partial_plan = Some(Arc::clone(&p));
+                    p
+                }
+            };
+            let half = plan.onesided_len();
+            plan.forward_into(&self.buf, &mut self.bins[..half], &mut self.scratch);
+            self.spectrum.magnitudes.resize(half, 0.0);
+            for (mag, z) in self.spectrum.magnitudes.iter_mut().zip(&self.bins[..half]) {
+                *mag = z.abs();
             }
+            self.spectrum.n_fft = m;
+            self.flush_ffts += 1;
+            ht_obs::counter_add("stream.directivity_flush_fft", 1);
         } else {
-            for (m, acc) in self.spectrum.magnitudes.iter_mut().zip(&self.mag_accum) {
-                *m = acc / total;
+            self.spectrum.magnitudes.resize(full_bins, 0.0);
+            self.spectrum.n_fft = self.n_fft;
+            let mut total = self.segments as f64;
+            if partial > 0 {
+                total += 1.0;
+                self.flush_buf[..partial].copy_from_slice(&self.buf);
+                self.flush_buf[partial..].fill(0.0);
+                self.stft.process_into(&self.flush_buf, &mut self.bins);
+                for ((m, acc), z) in self
+                    .spectrum
+                    .magnitudes
+                    .iter_mut()
+                    .zip(&self.mag_accum)
+                    .zip(&self.bins)
+                {
+                    *m = (acc + z.abs()) / total;
+                }
+                self.flush_ffts += 1;
+                ht_obs::counter_add("stream.directivity_flush_fft", 1);
+            } else {
+                for (m, acc) in self.spectrum.magnitudes.iter_mut().zip(&self.mag_accum) {
+                    *m = acc / total;
+                }
             }
         }
+        self.cached_epoch = epoch;
         Some(&self.spectrum)
+    }
+
+    /// Forward FFTs `flush_spectrum` has performed since construction
+    /// (cache hits and full-segment averages perform none). Survives
+    /// [`reset`](DirectivityAccum::reset) so pooled reuse keeps a running
+    /// total.
+    pub fn flush_ffts(&self) -> u64 {
+        self.flush_ffts
     }
 
     /// The configured channel count.
@@ -213,6 +320,10 @@ impl DirectivityAccum {
         self.buf.clear();
         self.mag_accum.fill(0.0);
         self.segments = 0;
+        // A recycled session may push a different capture of the same
+        // length, so the epoch alone cannot distinguish it — drop the
+        // cached flush explicitly.
+        self.cached_epoch = EPOCH_DIRTY;
     }
 }
 
@@ -372,6 +483,174 @@ mod tests {
                 assert_eq!(first.magnitudes.len(), reference.len());
                 for (f, r) in first.magnitudes.iter().zip(&reference) {
                     assert_eq!(f.to_bits(), r.to_bits(), "partial-window leak");
+                }
+            });
+    }
+
+    #[test]
+    fn repeat_flush_at_same_epoch_performs_zero_ffts() {
+        let x = noise(1500, 77);
+        let mut acc = DirectivityAccum::new(1, 1024, 48_000.0).unwrap();
+        acc.push(&[&x[..700]]).unwrap();
+        assert_eq!(acc.flush_ffts(), 0, "push alone must not flush");
+        let first = acc.flush_spectrum().unwrap().clone();
+        assert_eq!(acc.flush_ffts(), 1);
+        for _ in 0..3 {
+            let again = acc.flush_spectrum().unwrap();
+            assert_eq!(again, &first);
+        }
+        assert_eq!(acc.flush_ffts(), 1, "repeat flushes must hit the cache");
+        // New audio invalidates the cache: the next flush transforms again.
+        acc.push(&[&x[700..]]).unwrap();
+        acc.flush_spectrum().unwrap();
+        assert_eq!(acc.flush_ffts(), 2);
+        // A reset drops the cache even though a same-length capture would
+        // land on the same epoch.
+        acc.reset();
+        acc.push(&[&x[..700]]).unwrap();
+        let replay = acc.flush_spectrum().unwrap().clone();
+        assert_eq!(acc.flush_ffts(), 3);
+        for (r, f) in replay.magnitudes.iter().zip(&first.magnitudes) {
+            assert_eq!(r.to_bits(), f.to_bits());
+        }
+    }
+
+    #[test]
+    fn complete_segment_flush_performs_no_fft_and_caches() {
+        let x = noise(2048, 41);
+        let mut acc = DirectivityAccum::new(1, 1024, 48_000.0).unwrap();
+        acc.push(&[&x]).unwrap();
+        assert_eq!(acc.segments(), 2);
+        assert_eq!(acc.pending_samples(), 0);
+        let first = acc.flush_spectrum().unwrap().clone();
+        let again = acc.flush_spectrum().unwrap().clone();
+        assert_eq!(first, again);
+        assert_eq!(
+            acc.flush_ffts(),
+            0,
+            "averaging completed segments is FFT-free"
+        );
+    }
+
+    #[test]
+    fn short_capture_against_large_segment_uses_adaptive_grid() {
+        // A 4800-sample capture against a 32k Welch segment (the serving
+        // shape) transforms at next_pow2(4800) = 8192 — the whole-capture
+        // spectrum `Spectrum::of` computes — not the full 32k pad.
+        let x = noise(4800, 5);
+        let mut acc = DirectivityAccum::new(1, 32_768, 48_000.0).unwrap();
+        acc.push(&[&x]).unwrap();
+        let got = acc.flush_spectrum().unwrap().clone();
+        assert_eq!(got.n_fft, 8192);
+        assert_eq!(got.magnitudes.len(), 8192 / 2 + 1);
+        let reference = ht_dsp::fft::rfft_magnitude(&x);
+        assert_eq!(got.magnitudes.len(), reference.len());
+        for (g, r) in got.magnitudes.iter().zip(&reference) {
+            assert_eq!(g.to_bits(), r.to_bits());
+        }
+        assert_eq!(acc.flush_ffts(), 1);
+    }
+
+    #[test]
+    fn tiny_capture_flush_floors_at_min_partial_n_fft() {
+        let x = noise(10, 3);
+        let mut acc = DirectivityAccum::new(1, 32_768, 48_000.0).unwrap();
+        acc.push(&[&x]).unwrap();
+        let got = acc.flush_spectrum().unwrap().clone();
+        assert_eq!(got.n_fft, MIN_PARTIAL_N_FFT);
+        let mut padded = x.clone();
+        padded.resize(MIN_PARTIAL_N_FFT, 0.0);
+        let reference = ht_dsp::fft::rfft_magnitude(&padded);
+        for (g, r) in got.magnitudes.iter().zip(&reference) {
+            assert_eq!(g.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn adaptive_grid_samples_the_full_pad_dtft() {
+        // The coarse M-point grid samples the same DTFT as the historical
+        // full-segment zero-pad at every (n_fft / M)-th bin: the grid
+        // change trades resolution, never accuracy.
+        let x = noise(4800, 21);
+        let mut acc = DirectivityAccum::new(1, 32_768, 48_000.0).unwrap();
+        acc.push(&[&x]).unwrap();
+        let got = acc.flush_spectrum().unwrap().clone();
+        assert_eq!(got.n_fft, 8192);
+        let mut padded = x.clone();
+        padded.resize(32_768, 0.0);
+        let full = ht_dsp::fft::rfft_magnitude(&padded);
+        let stride = 32_768 / got.n_fft;
+        for (k, g) in got.magnitudes.iter().enumerate() {
+            let r = full[k * stride];
+            assert!(
+                (g - r).abs() <= 1e-9 * r.abs().max(1.0),
+                "bin {k}: {g} vs {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_flush_is_non_destructive_across_the_grid_transition() {
+        // Flushing on the adaptive grid, then streaming past the segment
+        // boundary, must yield the same full-grid Welch average as never
+        // having flushed.
+        let x = noise(40_000, 31);
+        let mut acc = DirectivityAccum::new(1, 32_768, 48_000.0).unwrap();
+        acc.push(&[&x[..4800]]).unwrap();
+        assert_eq!(acc.flush_spectrum().unwrap().n_fft, 8192);
+        acc.push(&[&x[4800..]]).unwrap();
+        let streamed = acc.flush_spectrum().unwrap().clone();
+        assert_eq!(
+            streamed.n_fft, 32_768,
+            "full grid returns with the first segment"
+        );
+
+        let mut fresh = DirectivityAccum::new(1, 32_768, 48_000.0).unwrap();
+        fresh.push(&[&x]).unwrap();
+        let reference = fresh.flush_spectrum().unwrap();
+        assert_eq!(streamed.magnitudes.len(), reference.magnitudes.len());
+        for (s, r) in streamed.magnitudes.iter().zip(&reference.magnitudes) {
+            assert_eq!(s.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn cached_flush_interleaving_property() {
+        // Property: for any chunking with flushes interleaved at random
+        // points, the final spectrum is bit-identical to a single-push
+        // fresh accumulator, every interleaved double-flush hits the
+        // cache, and flushing never perturbs later evidence.
+        ht_dsp::check::property("directivity_cached_flush_interleaving")
+            .cases(30)
+            .run(|g| {
+                let seg_len = *g.choose(&[512usize, 1024, 8192]);
+                let len = g.usize_in(1..3 * seg_len);
+                let x = g.vec_f64(-1.0..1.0, len..len + 1);
+                let mut acc = DirectivityAccum::new(1, seg_len, 48_000.0).unwrap();
+                let mut pos = 0;
+                while pos < len {
+                    let end = (pos + g.usize_in(1..len + 1)).min(len);
+                    acc.push(&[&x[pos..end]]).unwrap();
+                    pos = end;
+                    if g.usize_in(0..3) == 0 {
+                        let ffts = acc.flush_ffts();
+                        let first = acc.flush_spectrum().unwrap().clone();
+                        let again = acc.flush_spectrum().unwrap();
+                        assert_eq!(&first, again, "repeat flush must be bit-stable");
+                        assert!(
+                            acc.flush_ffts() <= ffts + 1,
+                            "repeat flush must not transform again"
+                        );
+                    }
+                }
+                let streamed = acc.flush_spectrum().unwrap().clone();
+                let mut fresh = DirectivityAccum::new(1, seg_len, 48_000.0).unwrap();
+                fresh.push(&[&x]).unwrap();
+                let reference = fresh.flush_spectrum().unwrap();
+                assert_eq!(streamed.n_fft, reference.n_fft);
+                assert_eq!(streamed.magnitudes.len(), reference.magnitudes.len());
+                for (s, r) in streamed.magnitudes.iter().zip(&reference.magnitudes) {
+                    assert_eq!(s.to_bits(), r.to_bits());
                 }
             });
     }
